@@ -1,0 +1,524 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 5) on the simulated substrate.
+
+     dune exec bench/main.exe            -- all experiments
+     dune exec bench/main.exe -- table4 fig6
+     dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks only
+
+   Compile-time rows are real wall-clock measurements; inference rows are
+   simulated CPU milliseconds from the Table 2 latency oracle.  The
+   paper's published values are printed alongside for shape comparison
+   (see EXPERIMENTS.md). *)
+
+open Fhe_ir
+
+let prm = Ckks.Params.default
+
+let line = String.make 78 '-'
+
+let section name description =
+  Format.printf "@.%s@.== %s@.   %s@.%s@." line name description line
+
+(* Lowered models and compiled variants are shared across experiments. *)
+let lowered_cache : (string, Nn.Lowering.t) Hashtbl.t = Hashtbl.create 8
+
+let lowered model =
+  match Hashtbl.find_opt lowered_cache model.Nn.Model.name with
+  | Some l -> l
+  | None ->
+      let l = Nn.Lowering.lower model in
+      Hashtbl.add lowered_cache model.Nn.Model.name l;
+      l
+
+let compiled_cache : (string * string * int, Dfg.t * Resbm.Report.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let compile ?(params = prm) mgr model =
+  let key = (mgr.Resbm.Variants.name, model.Nn.Model.name, params.Ckks.Params.l_max) in
+  match Hashtbl.find_opt compiled_cache key with
+  | Some r -> r
+  | None ->
+      let r = Resbm.Variants.compile mgr params (lowered model).Nn.Lowering.dfg in
+      Hashtbl.add compiled_cache key r;
+      r
+
+let models = Nn.Model.paper_models
+
+(* --- Table 1: operation semantics ----------------------------------------- *)
+
+let table1 () =
+  section "Table 1" "scales and levels of FHE operation results (checked live)";
+  let ev = Ckks.Evaluator.create prm in
+  let ct = Ckks.Evaluator.encrypt ev ~level:8 [| 0.5 |] in
+  let pt = Ckks.Evaluator.encode ev ~scale_bits:ct.Ckks.Ciphertext.scale_bits [| 0.25 |] in
+  let ptw = Ckks.Evaluator.encode ev [| 0.25 |] in
+  let row name (r : Ckks.Ciphertext.t) expect_scale expect_level =
+    Format.printf "  %-22s scale 2^%-3d level %-2d  (expected 2^%d, L%d)  %s@." name
+      r.Ckks.Ciphertext.scale_bits r.Ckks.Ciphertext.level expect_scale expect_level
+      (if
+         r.Ckks.Ciphertext.scale_bits = expect_scale
+         && r.Ckks.Ciphertext.level = expect_level
+       then "ok"
+       else "MISMATCH")
+  in
+  let s = ct.Ckks.Ciphertext.scale_bits and l = ct.Ckks.Ciphertext.level in
+  row "AddCP ct, pt" (Ckks.Evaluator.add_cp ev ct pt) s l;
+  row "AddCC ct, ct" (Ckks.Evaluator.add_cc ev ct ct) s l;
+  row "MulCP ct, pt" (Ckks.Evaluator.mul_cp ev ct ptw) (s + prm.Ckks.Params.waterline_bits) l;
+  let m = Ckks.Evaluator.mul_cc ev ct ct in
+  row "MulCC ct, ct" m (2 * s) l;
+  row "Rotate ct, 3" (Ckks.Evaluator.rotate ev ct 3) s l;
+  let r = Ckks.Evaluator.rescale ev (Ckks.Evaluator.relin ev m) in
+  row "Rescale ct" r ((2 * s) - prm.Ckks.Params.scale_bits) (l - 1);
+  row "Modswitch ct" (Ckks.Evaluator.modswitch ev ct) s (l - 1);
+  row "Bootstrap ct, 12"
+    (Ckks.Evaluator.bootstrap ev ct ~target_level:12)
+    prm.Ckks.Params.scale_bits 12
+
+(* --- Table 2: operation latencies ------------------------------------------ *)
+
+let table2 () =
+  section "Table 2" "RNS-CKKS operation latencies (ms) from the cost oracle";
+  Format.printf "  %-16s" "Operation";
+  List.iter
+    (fun l -> Format.printf "%9s" (Printf.sprintf "l=%d" l))
+    Ckks.Cost_model.table_levels;
+  Format.printf "@.";
+  List.iter
+    (fun op ->
+      Format.printf "  %-16s" (Ckks.Cost_model.op_name op);
+      List.iter
+        (fun l -> Format.printf "%9.3f" (Ckks.Cost_model.cost op ~level:l))
+        Ckks.Cost_model.table_levels;
+      Format.printf "@.")
+    Ckks.Cost_model.all_ops
+
+(* --- Table 3: compile times -------------------------------------------------- *)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let table3 () =
+  section "Table 3" "compile times (s); paper columns quoted for comparison";
+  let dacapo = function
+    | "ResNet20" -> Some 15.8
+    | "ResNet44" -> Some 79.4
+    | "AlexNet" -> Some 1042.3
+    | "VGG16" -> Some 230.1
+    | "SqueezeNet" -> Some 89.1
+    | "MobileNet" -> Some 222.8
+    | _ -> None
+  in
+  let paper_resbm = function
+    | "ResNet20" -> 0.128
+    | "ResNet44" -> 0.290
+    | "ResNet110" -> 0.773
+    | "AlexNet" -> 0.050
+    | "VGG16" -> 0.094
+    | "SqueezeNet" -> 0.147
+    | "MobileNet" -> 0.185
+    | _ -> nan
+  in
+  Format.printf "  %-11s %11s %11s %13s %14s %9s@." "Model" "ReSBM" "Fhelipe"
+    "ReSBM(paper)" "DaCapo(paper)" "speedup";
+  List.iter
+    (fun model ->
+      let g = (lowered model).Nn.Lowering.dfg in
+      let time mgr =
+        median
+          (List.init 3 (fun _ ->
+               let _, r = Resbm.Variants.compile mgr prm g in
+               r.Resbm.Report.compile_ms /. 1000.0))
+      in
+      let t_resbm = time Resbm.Variants.resbm and t_fhelipe = time Resbm.Variants.fhelipe in
+      Format.printf "  %-11s %10.3fs %10.3fs %12.3fs %s %s@." model.Nn.Model.name t_resbm
+        t_fhelipe
+        (paper_resbm model.Nn.Model.name)
+        (match dacapo model.Nn.Model.name with
+        | Some d -> Printf.sprintf "%13.1fs" d
+        | None -> "            -")
+        (match dacapo model.Nn.Model.name with
+        | Some d -> Printf.sprintf "%7.0fx" (d /. t_resbm)
+        | None -> "       -"))
+    models
+
+(* --- Table 4: executed rescaling operations ----------------------------------- *)
+
+let table4 () =
+  section "Table 4" "executed rescaling operations at l_max = 16";
+  let paper = function
+    | "ResNet20" -> (2627, 14495)
+    | "ResNet44" -> (6063, 33767)
+    | "ResNet110" -> (15512, 86765)
+    | "AlexNet" -> (610, 28775)
+    | "VGG16" -> (1026, 70917)
+    | "SqueezeNet" -> (1458, 14868)
+    | "MobileNet" -> (2035, 16337)
+    | _ -> (0, 0)
+  in
+  Format.printf "  %-11s %9s %9s %7s | %9s %9s %7s@." "Model" "ReSBM" "Fhelipe" "ratio"
+    "paper-R" "paper-F" "ratio";
+  List.iter
+    (fun model ->
+      let _, r = compile Resbm.Variants.resbm model in
+      let _, f = compile Resbm.Variants.fhelipe model in
+      let nr = r.Resbm.Report.stats.Stats.executed_rescales
+      and nf = f.Resbm.Report.stats.Stats.executed_rescales in
+      let pr, pf = paper model.Nn.Model.name in
+      Format.printf "  %-11s %9d %9d %6.1fx | %9d %9d %6.1fx@." model.Nn.Model.name nr nf
+        (float_of_int nf /. float_of_int (max nr 1))
+        pr pf
+        (float_of_int pf /. float_of_int pr))
+    models
+
+(* --- Table 5: bootstrapping levels ----------------------------------------------- *)
+
+let table5 () =
+  section "Table 5" "bootstrap counts and level histograms at l_max = 16";
+  let paper_counts = function
+    | "ResNet20" -> 20
+    | "ResNet44" -> 44
+    | "ResNet110" -> 110
+    | "AlexNet" -> 9
+    | "VGG16" -> 17
+    | "SqueezeNet" -> 19
+    | "MobileNet" -> 30
+    | _ -> 0
+  in
+  Format.printf "  %-11s %5s %5s %7s  %s@." "Model" "ReSBM" "Fhel." "paper" "ReSBM levels";
+  List.iter
+    (fun model ->
+      let _, r = compile Resbm.Variants.resbm model in
+      let _, f = compile Resbm.Variants.fhelipe model in
+      Format.printf "  %-11s %5d %5d %7d  %s@." model.Nn.Model.name
+        r.Resbm.Report.stats.Stats.bootstrap_count
+        f.Resbm.Report.stats.Stats.bootstrap_count
+        (paper_counts model.Nn.Model.name)
+        (String.concat " "
+           (List.map
+              (fun (l, c) -> Printf.sprintf "L%d:%d" l c)
+              r.Resbm.Report.stats.Stats.bootstrap_levels)))
+    models;
+  Format.printf "  (Fhelipe bootstraps exclusively at l_max = 16, as in the paper)@."
+
+(* --- Table 6: inference accuracy ---------------------------------------------------- *)
+
+let table6 () =
+  section "Table 6" "unencrypted vs simulated encrypted accuracy (synthetic data)";
+  Format.printf "  %-11s %12s %10s %8s %10s %11s@." "Model" "Unencrypted" "Encrypted"
+    "Loss" "Agreement" "max |err|";
+  List.iter
+    (fun model ->
+      let l = lowered model in
+      let managed, _ = compile Resbm.Variants.resbm model in
+      let fid = Nn.Inference.fidelity ~samples:20 ~dim:64 ~seed:0xF1DE17L prm l ~managed in
+      Format.printf "  %-11s %11.1f%% %9.1f%% %+7.1f%% %9.1f%% %11.2e@."
+        model.Nn.Model.name
+        (100.0 *. fid.Nn.Inference.unencrypted_acc)
+        (100.0 *. fid.Nn.Inference.encrypted_acc)
+        (100.0 *. fid.Nn.Inference.accuracy_loss)
+        (100.0 *. fid.Nn.Inference.agreement)
+        fid.Nn.Inference.max_abs_err)
+    models;
+  Format.printf "  (paper: losses between -0.2%% and 1.7%%, average 0.3%%)@."
+
+(* --- Figure 1: the motivating example ------------------------------------------------ *)
+
+let fig1_block () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let conv name v =
+    let tap k w =
+      let src = if k = 0 then v else Dfg.rotate g v k in
+      Dfg.mul_cp g src (Dfg.const g (Printf.sprintf "%s_w%d" name w))
+    in
+    Dfg.add_cp g
+      (Dfg.add_cc g (Dfg.add_cc g (tap 0 0) (tap (-1) 1)) (tap 1 2))
+      (Dfg.const g (name ^ "_b"))
+  in
+  let u = conv "conv1" x in
+  let u2 = Dfg.mul_cc g u u in
+  let u3 = Dfg.mul_cc g u2 u in
+  let relu =
+    Dfg.add_cc g (Dfg.mul_cp g u3 (Dfg.const g "c3")) (Dfg.mul_cp g u (Dfg.const g "c1"))
+  in
+  let out = Dfg.mul_cc g (conv "conv2" relu) x in
+  Dfg.set_outputs g [ out ];
+  g
+
+let fig1 () =
+  section "Figure 1" "the simplified ResNet block under q = q_w = 2^40, l_max = 3";
+  let p = Ckks.Params.fig1 in
+  let g = fig1_block () in
+  Format.printf "  unmanaged program: %s@."
+    (match Scale_check.run p g with
+    | Ok _ -> "legal (unexpected!)"
+    | Error vs -> Printf.sprintf "rejected with %d violations (Figure 1a)" (List.length vs));
+  Format.printf "  %-12s %12s %5s %-12s %9s@." "manager" "latency(ms)" "bts" "levels"
+    "rescales";
+  List.iter
+    (fun mgr ->
+      let _, r = Resbm.Variants.compile mgr p g in
+      Format.printf "  %-12s %12.1f %5d %-12s %9d@." mgr.Resbm.Variants.name
+        r.Resbm.Report.latency_ms r.Resbm.Report.stats.Stats.bootstrap_count
+        (String.concat ","
+           (List.map
+              (fun (l, c) -> Printf.sprintf "L%d:%d" l c)
+              r.Resbm.Report.stats.Stats.bootstrap_levels))
+        r.Resbm.Report.stats.Stats.executed_rescales)
+    Resbm.Variants.all;
+  Format.printf
+    "  (paper: ReSBM bootstraps at L3 and L1; Fhelipe/DaCapo at l_max = 3 twice)@."
+
+(* --- Figure 3: region partition ------------------------------------------------------- *)
+
+let fig3 () =
+  section "Figure 3" "region partitions for a3*x^3 + a1*x";
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let x2 = Dfg.mul_cc g x x in
+  let x3 = Dfg.mul_cc g x2 x in
+  let a3x3 = Dfg.mul_cp g x3 (Dfg.const g "a3") in
+  let a1x = Dfg.mul_cp g x (Dfg.const g "a1") in
+  Dfg.set_outputs g [ Dfg.add_cc g a3x3 a1x ];
+  let r = Resbm.Region.build g in
+  Format.printf "  %a@." Resbm.Region.pp r;
+  Format.printf "  a1*x placed in region %d (Figure 3b: multiply at the lower level)@."
+    r.Resbm.Region.region_of.(a1x)
+
+(* --- Figure 4: intra-region min-cut --------------------------------------------------- *)
+
+let fig4 () =
+  section "Figure 4" "SMO placement for the first convolution region of Figure 1";
+  let p = Ckks.Params.fig1 in
+  let g = fig1_block () in
+  let r = Resbm.Region.build g in
+  let cache = Resbm.Region_eval.create_cache () in
+  let eval smo_mode =
+    (Resbm.Region_eval.eval cache r p ~smo_mode ~bts_mode:Resbm.Region_eval.Bts_min_cut
+       ~region:1 ~entry_level:1 ~rescales:1 ~bts:None)
+      .Resbm.Region_eval.latency_ms
+  in
+  let mincut = eval Resbm.Region_eval.Smo_min_cut
+  and eva = eval Resbm.Region_eval.Smo_eva
+  and pars = eval Resbm.Region_eval.Smo_pars in
+  Format.printf "  min-cut (ReSBM):      %8.3f ms@." mincut;
+  Format.printf "  waterline (Fhelipe):  %8.3f ms@." eva;
+  Format.printf "  lazy (DaCapo/PARS):   %8.3f ms@." pars;
+  Format.printf "  (paper's Region 2: 131.832 vs 142.616 vs 143.860 ms)@.";
+  let cut = Resbm.Smoplc.run r p ~region:1 ~level:1 in
+  Format.printf "  chosen cut: %a@." Resbm.Cut.pp cut
+
+(* --- Figure 5: sub-optimality ----------------------------------------------------------- *)
+
+let fig5 () =
+  section "Figure 5" "compiler pre/post-optimisation around management";
+  let build () =
+    let g = Dfg.create () in
+    let x = Dfg.input g ~level:0 "x" in
+    let x2 = Dfg.mul_cc g x x in
+    let x3 = Dfg.mul_cc g x2 x in
+    let y = Dfg.mul_cp g x3 (Dfg.const g "a3") in
+    let a1x = Dfg.mul_cp g x (Dfg.const g "a1") in
+    let a1x2 = Dfg.mul_cc g a1x a1x in
+    let y2 = Dfg.mul_cc g y y in
+    let y4 = Dfg.mul_cc g y2 y2 in
+    Dfg.set_outputs g [ Dfg.mul_cp g (Dfg.add_cc g a1x2 y4) (Dfg.const g "a4") ];
+    g
+  in
+  let p = { Ckks.Params.fig1 with input_level = 0 } in
+  let naive = build () in
+  let _, rn = Resbm.Driver.compile p naive in
+  let opt = build () in
+  let folds = Passes.Const_fold.run opt in
+  let merged = Passes.Cse.run opt in
+  ignore (Passes.Dce.run opt);
+  let managed, _ = Resbm.Driver.compile p opt in
+  ignore (Passes.Cse.run managed);
+  ignore (Passes.Dce.run managed);
+  Format.printf "  naive:     latency %8.1f ms, %d bootstraps@." rn.Resbm.Report.latency_ms
+    rn.Resbm.Report.stats.Stats.bootstrap_count;
+  Format.printf
+    "  optimised: latency %8.1f ms after %d folds + %d CSE merges (pre-management)@."
+    (Latency.total p managed) folds merged
+
+(* --- Figure 6: encrypted inference efficiency --------------------------------------------- *)
+
+let fig6 () =
+  section "Figure 6" "inference latency by manager, normalised to ReSBM (l_max = 16)";
+  Format.printf "  %-11s" "Model";
+  List.iter (fun m -> Format.printf "%11s" m.Resbm.Variants.name) Resbm.Variants.figure6;
+  Format.printf "%13s@." "vs Fhelipe";
+  let improvements = ref [] in
+  List.iter
+    (fun model ->
+      Format.printf "  %-11s" model.Nn.Model.name;
+      let base =
+        let _, r = compile Resbm.Variants.resbm model in
+        r.Resbm.Report.latency_ms
+      in
+      List.iter
+        (fun mgr ->
+          let _, r = compile mgr model in
+          Format.printf "%10.2fx" (r.Resbm.Report.latency_ms /. base))
+        Resbm.Variants.figure6;
+      let _, f = compile Resbm.Variants.fhelipe model in
+      let gain = 100.0 *. (1.0 -. (base /. f.Resbm.Report.latency_ms)) in
+      improvements := gain :: !improvements;
+      Format.printf "%11.1f%%@." gain)
+    models;
+  let avg =
+    List.fold_left ( +. ) 0.0 !improvements /. float_of_int (List.length !improvements)
+  in
+  Format.printf "  average improvement over Fhelipe: %.1f%% (paper: 12.1%%)@." avg
+
+(* --- Figure 7: l_max sweep on ResNet-110 ---------------------------------------------------- *)
+
+let fig7 () =
+  section "Figure 7" "ResNet-110 latency and bootstrap count at varying l_max";
+  Format.printf "  %5s %14s %14s %9s %8s %8s@." "l_max" "ReSBM(ms)" "Fhelipe(ms)" "gain"
+    "bts-R" "bts-F";
+  List.iter
+    (fun l_max ->
+      let p = Ckks.Params.with_l_max { prm with input_level = l_max } l_max in
+      let _, r = compile ~params:p Resbm.Variants.resbm Nn.Model.resnet110 in
+      let _, f = compile ~params:p Resbm.Variants.fhelipe Nn.Model.resnet110 in
+      Format.printf "  %5d %14.0f %14.0f %8.1f%% %8d %8d@." l_max
+        r.Resbm.Report.latency_ms f.Resbm.Report.latency_ms
+        (100.0 *. (1.0 -. (r.Resbm.Report.latency_ms /. f.Resbm.Report.latency_ms)))
+        r.Resbm.Report.stats.Stats.bootstrap_count
+        f.Resbm.Report.stats.Stats.bootstrap_count)
+    [ 16; 14; 12; 10 ];
+  Format.printf "  (paper: 110/112/174/217 bootstraps; gains 8.8/5.0/26.0/36.6%%)@."
+
+(* --- Ablations: the design choices DESIGN.md calls out ---------------------------------------- *)
+
+let ablation () =
+  section "Ablations"
+    "disable individual ReSBM design choices and measure the damage";
+  let compile_with ~sink ~price_transits model =
+    let g = (lowered model).Nn.Lowering.dfg in
+    let regioned = Resbm.Region.build ~sink g in
+    let config = { Resbm.Btsmgr.resbm_config with price_transits } in
+    let plan = Resbm.Btsmgr.plan ~config regioned prm in
+    let outcome = Resbm.Plan.apply regioned prm plan in
+    let managed = outcome.Resbm.Plan.dfg in
+    let stats = Stats.collect managed in
+    (Latency.total prm managed, stats.Stats.bootstrap_count, outcome.Resbm.Plan.repair_bootstraps)
+  in
+  Format.printf "  %-11s %-22s %14s %6s %8s %9s@." "Model" "configuration" "latency(ms)"
+    "bts" "repairs" "overhead";
+  List.iter
+    (fun model ->
+      let full, full_bts, full_rep = compile_with ~sink:true ~price_transits:true model in
+      let rows =
+        [
+          ("full ReSBM", full, full_bts, full_rep);
+          (let l, b, r = compile_with ~sink:false ~price_transits:true model in
+           ("no region sinking", l, b, r));
+          (let l, b, r = compile_with ~sink:true ~price_transits:false model in
+           ("no transit pricing", l, b, r));
+        ]
+      in
+      List.iter
+        (fun (name, l, b, r) ->
+          Format.printf "  %-11s %-22s %14.0f %6d %8d %+8.1f%%@." model.Nn.Model.name name
+            l b r
+            (100.0 *. ((l /. full) -. 1.0)))
+        rows)
+    [ Nn.Model.resnet20; Nn.Model.mobilenet ]
+
+(* --- Memory: the working-set sizes behind the paper's 512 GB machine ------------------------- *)
+
+let memory () =
+  section "Memory" "ciphertext working sets of the managed programs (N = 2^16)";
+  Format.printf "  %-11s %8s %10s %14s %12s@." "Model" "cts" "peak live" "peak MiB"
+    "per-ct MiB";
+  List.iter
+    (fun model ->
+      let managed, _ = compile Resbm.Variants.resbm model in
+      let r = Liveness.analyse prm managed in
+      Format.printf "  %-11s %8d %10d %14.1f %12.1f@." model.Nn.Model.name
+        r.Liveness.total_ciphertexts r.Liveness.peak_live
+        (r.Liveness.peak_bytes /. 1024.0 /. 1024.0)
+        (Liveness.ciphertext_bytes prm ~level:prm.Ckks.Params.l_max /. 1024.0 /. 1024.0))
+    models;
+  Format.printf
+    "  (one level-16 ciphertext is ~17 MiB; the paper's evaluation machine has 512 GB)@."
+
+(* --- Bechamel micro-benchmarks ----------------------------------------------------------------- *)
+
+let micro () =
+  section "Micro-benchmarks" "wall-clock costs of the compiler itself (Bechamel)";
+  let open Bechamel in
+  let g20 = (lowered Nn.Model.resnet20).Nn.Lowering.dfg in
+  let galex = (lowered Nn.Model.alexnet).Nn.Lowering.dfg in
+  let tests =
+    [
+      Test.make ~name:"region-partition resnet20"
+        (Staged.stage (fun () -> ignore (Resbm.Region.build g20)));
+      Test.make ~name:"resbm-compile resnet20"
+        (Staged.stage (fun () -> ignore (Resbm.Driver.compile prm g20)));
+      Test.make ~name:"resbm-compile alexnet"
+        (Staged.stage (fun () -> ignore (Resbm.Driver.compile prm galex)));
+      Test.make ~name:"fhelipe-compile resnet20"
+        (Staged.stage (fun () ->
+             ignore (Resbm.Variants.compile Resbm.Variants.fhelipe prm g20)));
+      Test.make ~name:"scale-check resnet20"
+        (Staged.stage (fun () -> ignore (Scale_check.infer prm g20)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "  %-28s %12.3f ms/run@." name (est /. 1e6)
+          | _ -> Format.printf "  %-28s (no estimate)@." name)
+        stats)
+    tests
+
+(* --- driver --------------------------------------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("fig1", fig1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("ablation", ablation);
+    ("memory", memory);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_experiments
+  in
+  Format.printf "ReSBM benchmark harness — every table and figure of the evaluation@.";
+  Format.printf "parameters: %a@." Ckks.Params.pp prm;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+          Format.printf "unknown experiment %s (known: %s)@." name
+            (String.concat " " (List.map fst all_experiments)))
+    requested

@@ -1,0 +1,259 @@
+(* resbm — command-line front end for the ReSBM reproduction.
+
+   Subcommands:
+     list                      models and managers
+     compile                   compile a model and print the plan report
+     run                       simulated encrypted inference + fidelity
+     regions                   show the region partition of a model
+     sweep                     l_max sweep for one model (Figure 7 style)
+
+   Examples:
+     resbm compile --model resnet20 --manager fhelipe
+     resbm run --model tiny --samples 10 --dim 32
+     resbm sweep --model resnet20 --l-max 16,14,12,10 *)
+
+open Cmdliner
+
+let model_arg =
+  let doc =
+    "Model to operate on (resnet20/44/110, alexnet, vgg16, squeezenet, mobilenet, \
+     lenet5, tiny)."
+  in
+  Arg.(value & opt string "resnet20" & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let manager_arg =
+  let doc = "Manager: resbm, resbm_max, resbm_eva, resbm_pm, fhelipe, dacapo-like." in
+  Arg.(value & opt string "resbm" & info [ "manager" ] ~docv:"MANAGER" ~doc)
+
+let l_max_arg =
+  let doc = "Maximum bootstrapping level." in
+  Arg.(value & opt int 16 & info [ "l-max" ] ~docv:"L" ~doc)
+
+let resolve_model name =
+  match Nn.Model.by_name name with
+  | Some m -> Ok m
+  | None -> Error (`Msg (Printf.sprintf "unknown model %S" name))
+
+let resolve_manager name =
+  let canon s =
+    String.lowercase_ascii (String.map (function '_' | '-' -> '-' | c -> c) s)
+  in
+  match
+    List.find_opt (fun m -> canon m.Resbm.Variants.name = canon name) Resbm.Variants.all
+  with
+  | Some m -> Ok m
+  | None -> Error (`Msg (Printf.sprintf "unknown manager %S" name))
+
+let params_for l_max =
+  Ckks.Params.with_l_max { Ckks.Params.default with input_level = l_max } l_max
+
+let or_die = function
+  | Ok v -> v
+  | Error (`Msg m) ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "models:@.";
+    List.iter
+      (fun m ->
+        Format.printf "  %-12s depth %4d, %d classes@." m.Nn.Model.name (Nn.Model.depth m)
+          m.Nn.Model.classes)
+      (Nn.Model.paper_models @ [ Nn.Model.lenet5; Nn.Model.tiny ]);
+    Format.printf "@.managers:@.";
+    List.iter (fun m -> Format.printf "  %s@." m.Resbm.Variants.name) Resbm.Variants.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available models and managers.")
+    Term.(const run $ const ())
+
+(* --- compile --------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run model manager l_max verbose emit_path =
+    let model = or_die (resolve_model model) in
+    let manager = or_die (resolve_manager manager) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let managed, report = Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg in
+    (match Fhe_ir.Scale_check.run prm managed with
+    | Ok _ -> ()
+    | Error (v :: _) ->
+        Format.eprintf "warning: managed graph is illegal: %a@."
+          Fhe_ir.Scale_check.pp_violation v
+    | Error [] -> ());
+    Format.printf "%a@." Resbm.Report.pp report;
+    if verbose then begin
+      Format.printf "@.latency by operation kind:@.";
+      List.iter
+        (fun (op, ms) -> Format.printf "  %-16s %14.1f ms@." (Ckks.Cost_model.op_name op) ms)
+        (Fhe_ir.Latency.by_kind prm managed);
+      let const_magnitude name =
+        Array.fold_left
+          (fun acc v -> Float.max acc (Float.abs v))
+          0.0
+          (Nn.Lowering.resolver lowered ~dim:8 name)
+      in
+      let worst = Fhe_ir.Noise_check.analyse ~const_magnitude prm managed in
+      let typical =
+        Fhe_ir.Noise_check.analyse ~const_magnitude ~magnitude_cap:0.5 prm managed
+      in
+      Format.printf
+        "@.predicted output precision: %.1f bits (typical activations), %.1f bits \
+         (worst case)@."
+        typical.Fhe_ir.Noise_check.output_precision_bits
+        worst.Fhe_ir.Noise_check.output_precision_bits;
+      Format.printf "memory: %a@." Fhe_ir.Liveness.pp (Fhe_ir.Liveness.analyse prm managed)
+    end;
+    match emit_path with
+    | Some path ->
+        Fhe_ir.Emit.write_file ~program_name:model.Nn.Model.name prm ~path managed;
+        Format.printf "emitted C program to %s@." path
+    | None -> ()
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print latency/noise/memory analyses.")
+  in
+  let emit_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"FILE" ~doc:"Emit the managed program as C against the ACElib-style API.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ verbose $ emit_path)
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run model manager l_max samples dim =
+    let model = or_die (resolve_model model) in
+    let manager = or_die (resolve_manager manager) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let managed, report = Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg in
+    Format.printf "compiled %s with %s in %.1f ms@." model.Nn.Model.name
+      manager.Resbm.Variants.name report.Resbm.Report.compile_ms;
+    let fid = Nn.Inference.fidelity ~samples ~dim prm lowered ~managed in
+    Format.printf "%a@." Nn.Inference.pp_fidelity fid;
+    Format.printf "mean simulated latency per inference: %.1f s@."
+      (fid.Nn.Inference.mean_latency_ms /. 1000.0)
+  in
+  let samples = Arg.(value & opt int 10 & info [ "samples" ] ~docv:"N" ~doc:"Samples.") in
+  let dim = Arg.(value & opt int 64 & info [ "dim" ] ~docv:"D" ~doc:"Slots per image.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run simulated encrypted inference and report fidelity.")
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ samples $ dim)
+
+(* --- regions ------------------------------------------------------------------ *)
+
+let regions_cmd =
+  let run model limit =
+    let model = or_die (resolve_model model) in
+    let lowered = Nn.Lowering.lower model in
+    let regioned = Resbm.Region.build lowered.Nn.Lowering.dfg in
+    Format.printf "%s: %d regions (multiplicative depth %d)@." model.Nn.Model.name
+      regioned.Resbm.Region.count
+      (Fhe_ir.Depth.max_depth lowered.Nn.Lowering.dfg);
+    for r = 0 to min (limit - 1) (regioned.Resbm.Region.count - 1) do
+      let members = Resbm.Region.members regioned r in
+      Format.printf "  R%-4d %3d nodes, %d muls, %d live-outs@." r (Array.length members)
+        (List.length (Resbm.Region.muls regioned r))
+        (List.length (Resbm.Region.live_out regioned r))
+    done;
+    if regioned.Resbm.Region.count > limit then
+      Format.printf "  ... (%d more regions)@." (regioned.Resbm.Region.count - limit)
+  in
+  let limit = Arg.(value & opt int 24 & info [ "limit" ] ~docv:"N" ~doc:"Regions to show.") in
+  Cmd.v
+    (Cmd.info "regions" ~doc:"Show the region partition of a model's DFG.")
+    Term.(const run $ model_arg $ limit)
+
+(* --- export ---------------------------------------------------------------------- *)
+
+let export_cmd =
+  let run model manager l_max managed_flag output =
+    let model = or_die (resolve_model model) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let g = lowered.Nn.Lowering.dfg in
+    let regioned = Resbm.Region.build g in
+    let graph, annotate =
+      if managed_flag then begin
+        let manager = or_die (resolve_manager manager) in
+        let managed, _ = Resbm.Variants.compile manager prm g in
+        let info = Fhe_ir.Scale_check.infer prm managed in
+        let annotate id =
+          if id < Array.length info && info.(id).Fhe_ir.Scale_check.is_ct then
+            Some
+              (Printf.sprintf "L%d, 2^%d" info.(id).Fhe_ir.Scale_check.level
+                 info.(id).Fhe_ir.Scale_check.scale_bits)
+          else None
+        in
+        (managed, annotate)
+      end
+      else (g, fun _ -> None)
+    in
+    let cluster id =
+      if id < Array.length regioned.Resbm.Region.region_of then
+        Some regioned.Resbm.Region.region_of.(id)
+      else None
+    in
+    Fhe_ir.Dot.write_file ~name:model.Nn.Model.name ~cluster ~annotate ~path:output graph;
+    Format.printf "wrote %s (%d nodes); render with: dot -Tsvg %s -o graph.svg@." output
+      (List.length (Fhe_ir.Dfg.live_nodes graph))
+      output
+  in
+  let managed_flag =
+    Arg.(value & flag & info [ "managed" ] ~doc:"Export the managed graph with levels.")
+  in
+  let output =
+    Arg.(value & opt string "dfg.dot" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a model's DFG as Graphviz, clustered by region.")
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ managed_flag $ output)
+
+(* --- sweep ----------------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run model levels =
+    let model = or_die (resolve_model model) in
+    let lowered = Nn.Lowering.lower model in
+    let g = lowered.Nn.Lowering.dfg in
+    let levels =
+      String.split_on_char ',' levels
+      |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+    in
+    Format.printf "%5s %14s %14s %8s %7s %7s@." "l_max" "ReSBM(ms)" "Fhelipe(ms)" "gain"
+      "bts-R" "bts-F";
+    List.iter
+      (fun l_max ->
+        let prm = params_for l_max in
+        let _, r = Resbm.Variants.(compile resbm) prm g in
+        let _, f = Resbm.Variants.(compile fhelipe) prm g in
+        Format.printf "%5d %14.0f %14.0f %7.1f%% %7d %7d@." l_max
+          r.Resbm.Report.latency_ms f.Resbm.Report.latency_ms
+          (100.0 *. (1.0 -. (r.Resbm.Report.latency_ms /. f.Resbm.Report.latency_ms)))
+          r.Resbm.Report.stats.Fhe_ir.Stats.bootstrap_count
+          f.Resbm.Report.stats.Fhe_ir.Stats.bootstrap_count)
+      levels
+  in
+  let levels =
+    Arg.(
+      value & opt string "16,14,12,10" & info [ "l-max" ] ~docv:"L1,L2,.." ~doc:"Levels.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep l_max for one model (Figure 7 style).")
+    Term.(const run $ model_arg $ levels)
+
+let () =
+  let info =
+    Cmd.info "resbm" ~version:"1.0.0"
+      ~doc:"Region-based scale and minimal-level bootstrapping management for RNS-CKKS."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; run_cmd; regions_cmd; sweep_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/compare_managers.ml: Array Ckks Fhe_ir Format List Nn Printexc Printf Resbm String Sys

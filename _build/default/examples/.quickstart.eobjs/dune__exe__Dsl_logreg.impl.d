@@ -1,0 +1,1 @@
+examples/dsl_logreg.ml: Array Ckks Fhe_ir Fhe_lang Float Format Hashtbl Int64 List Nn Resbm

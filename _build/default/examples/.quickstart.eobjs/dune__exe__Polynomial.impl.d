@@ -1,0 +1,1 @@
+examples/polynomial.ml: Array Ckks Dfg Fhe_ir Float Format Latency List Nn Op Passes Resbm

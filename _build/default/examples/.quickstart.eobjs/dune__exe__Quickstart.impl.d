@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ckks Depth Dfg Fhe_ir Float Format Hashtbl Int64 Interp List Nn Printf Resbm Result Scale_check Stats String

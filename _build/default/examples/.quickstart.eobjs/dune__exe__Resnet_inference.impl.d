@@ -1,0 +1,1 @@
+examples/resnet_inference.ml: Array Ckks Fhe_ir Format List Nn Printf Resbm String

@@ -1,0 +1,113 @@
+(* Quickstart: the motivating example of the paper (Figure 1).
+
+   Builds the simplified ResNet block — Conv1, a cubic approximate ReLU,
+   Conv2, and a final ciphertext-ciphertext multiplication with the input
+   — under the Figure 1 parameters (q = q_w = 2^40, l_max = 3, input at
+   level 1 with scale 2^40), then:
+
+   1. shows that the unmanaged program cannot execute (scale overflow and
+      scale/level mismatches, Figure 1a);
+   2. compiles it with ReSBM and the three manager configurations the
+      paper compares against (Figures 1b-1d);
+   3. runs the ReSBM-managed program through the simulated RNS-CKKS
+      evaluator and checks the result against exact plain arithmetic.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fhe_ir
+
+let build_block () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let conv name v =
+    let tap k w =
+      let src = if k = 0 then v else Dfg.rotate g v k in
+      Dfg.mul_cp g src (Dfg.const g (Printf.sprintf "%s_w%s" name w))
+    in
+    let t0 = tap 0 "0" and t1 = tap (-1) "1" and t2 = tap 1 "2" in
+    Dfg.add_cp g (Dfg.add_cc g (Dfg.add_cc g t0 t1) t2) (Dfg.const g (name ^ "_b"))
+  in
+  let u = conv "conv1" x in
+  (* ReLU ~ c3*u^3 + c1*u *)
+  let u2 = Dfg.mul_cc g u u in
+  let u3 = Dfg.mul_cc g u2 u in
+  let relu =
+    Dfg.add_cc g
+      (Dfg.mul_cp g u3 (Dfg.const g "c3"))
+      (Dfg.mul_cp g u (Dfg.const g "c1"))
+  in
+  let y = conv "conv2" relu in
+  let out = Dfg.mul_cc g y x in
+  Dfg.set_outputs g [ out ];
+  g
+
+let consts ~dim name =
+  let rng = Ckks.Prng.create (Int64.of_int (Hashtbl.hash name)) in
+  match name with
+  | "c3" -> Array.make dim (-0.5)
+  | "c1" -> Array.make dim 0.75
+  | _ -> Array.init dim (fun _ -> Ckks.Prng.uniform rng ~lo:(-0.3) ~hi:0.3)
+
+let () =
+  let prm = Ckks.Params.fig1 in
+  let g = build_block () in
+  Format.printf "=== The Figure 1 ResNet block under %a ===@.@." Ckks.Params.pp prm;
+
+  (* Figure 1a: without management, the program is not executable. *)
+  Format.printf "--- Without scale and bootstrapping management (Figure 1a)@.";
+  (match Scale_check.run prm g with
+  | Ok _ -> Format.printf "unexpectedly legal?!@."
+  | Error violations ->
+      Format.printf "the scale checker rejects the program with %d violations, e.g.:@."
+        (List.length violations);
+      List.iteri
+        (fun i v -> if i < 3 then Format.printf "  - %a@." Scale_check.pp_violation v)
+        violations);
+
+  (* Region partition (the backbone of Figure 1d). *)
+  let regioned = Resbm.Region.build g in
+  Format.printf "@.--- Region partition: %d regions for multiplicative depth %d@."
+    regioned.Resbm.Region.count (Depth.max_depth g);
+
+  (* Compile under every manager. *)
+  Format.printf "@.--- Managed plans (compare with Figures 1b-1d)@.";
+  Format.printf "%-12s %12s %6s %-14s %9s %5s@." "manager" "latency(ms)" "bts"
+    "bts levels" "rescales" "ms";
+  List.iter
+    (fun mgr ->
+      let managed, report = Resbm.Variants.compile mgr prm g in
+      assert (Result.is_ok (Scale_check.run prm managed));
+      let stats = report.Resbm.Report.stats in
+      Format.printf "%-12s %12.1f %6d %-14s %9d %5d@." mgr.Resbm.Variants.name
+        report.Resbm.Report.latency_ms stats.Stats.bootstrap_count
+        (String.concat ","
+           (List.map (fun (l, c) -> Printf.sprintf "L%d:%d" l c) stats.Stats.bootstrap_levels))
+        stats.Stats.executed_rescales stats.Stats.executed_modswitches)
+    Resbm.Variants.all;
+
+  (* Execute the ReSBM plan on the simulated evaluator. *)
+  Format.printf "@.--- Executing the ReSBM-managed block homomorphically@.";
+  let managed, report = Resbm.Variants.(compile resbm) prm g in
+  let dim = 16 in
+  let rng = Ckks.Prng.create 2024L in
+  let input = Array.init dim (fun _ -> Ckks.Prng.uniform rng ~lo:(-0.5) ~hi:0.5) in
+  let env = { Interp.inputs = [ ("x", input) ]; consts = consts ~dim } in
+  let ev = Ckks.Evaluator.create prm in
+  let result = Interp.run ev managed env in
+  let plain = Nn.Plain_eval.run managed ~input:(fun _ -> input) ~consts:(consts ~dim) in
+  (match (result.Interp.outputs, plain) with
+  | [ ct ], [ expected ] ->
+      let decrypted = Ckks.Evaluator.decrypt ev ct in
+      let max_err =
+        Array.mapi (fun i v -> Float.abs (v -. expected.(i))) decrypted
+        |> Array.fold_left Float.max 0.0
+      in
+      Format.printf "executed %d homomorphic operations, simulated latency %.1f ms@."
+        result.Interp.op_count result.Interp.latency_ms;
+      Format.printf "max |encrypted - plain| over %d slots: %.3g@." dim max_err;
+      Format.printf "output ciphertext: %a@." Ckks.Ciphertext.pp ct
+  | _ -> assert false);
+  Format.printf "@.compiled in %.2f ms; bootstrap segments: %s@."
+    report.Resbm.Report.compile_ms
+    (String.concat " "
+       (List.map (fun (s, d) -> Printf.sprintf "[R%d -> R%d]" s d) report.Resbm.Report.segments))

@@ -1,0 +1,1 @@
+lib/ckks/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/ckks/evaluator.ml: Array Ciphertext Format Option Params Plaintext Prng

@@ -1,0 +1,1 @@
+lib/ckks/evaluator.mli: Ciphertext Params Plaintext

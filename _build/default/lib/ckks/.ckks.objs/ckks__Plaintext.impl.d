@@ -1,0 +1,1 @@
+lib/ckks/plaintext.ml: Array Float Format

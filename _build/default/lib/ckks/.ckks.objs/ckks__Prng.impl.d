@@ -1,0 +1,1 @@
+lib/ckks/prng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/ckks/rns_poly.ml: Array Float Modarith Ntt Prng

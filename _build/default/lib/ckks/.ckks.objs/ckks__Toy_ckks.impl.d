@@ -1,0 +1,1 @@
+lib/ckks/toy_ckks.ml: Array Complex Float Printf Prng Rns_poly

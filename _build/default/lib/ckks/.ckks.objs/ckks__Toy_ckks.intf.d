@@ -1,0 +1,1 @@
+lib/ckks/toy_ckks.mli: Rns_poly

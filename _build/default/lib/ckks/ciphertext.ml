@@ -1,0 +1,19 @@
+type t = {
+  slots : float array;
+  scale_bits : int;
+  level : int;
+  size : int;
+  err : float;
+}
+
+let make ~slots ~scale_bits ~level ~size ~err =
+  if scale_bits <= 0 then invalid_arg "Ciphertext.make: scale must be positive";
+  if level < 0 then invalid_arg "Ciphertext.make: negative level";
+  if size < 2 then invalid_arg "Ciphertext.make: size below 2";
+  { slots; scale_bits; level; size; err }
+
+let max_abs ct = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 ct.slots
+
+let pp ppf ct =
+  Format.fprintf ppf "@[<h>ct(%d slots, scale 2^%d, L%d, size %d, err %.3g)@]"
+    (Array.length ct.slots) ct.scale_bits ct.level ct.size ct.err

@@ -1,0 +1,23 @@
+(** Simulated RNS-CKKS ciphertexts.
+
+    A ciphertext carries the decoded slot values, the scale (in bits), the
+    level, the number of polynomial components ([size] — 2 normally, 3
+    right after a ciphertext-ciphertext multiplication until
+    relinearisation), and a running absolute-error bound standing in for
+    cryptographic noise.  The evaluator is the only producer of
+    ciphertexts with interesting states. *)
+
+type t = {
+  slots : float array;
+  scale_bits : int;
+  level : int;
+  size : int;
+  err : float;  (** Absolute per-slot error bound (noise estimate). *)
+}
+
+val make :
+  slots:float array -> scale_bits:int -> level:int -> size:int -> err:float -> t
+
+val max_abs : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+exception Fhe_error of string
+
+type t = { prm : Params.t; rng : Prng.t; mutable ops : int }
+
+let create ?(seed = 0x5EEDL) prm =
+  (match Params.validate prm with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Evaluator.create: " ^ msg));
+  { prm; rng = Prng.create seed; ops = 0 }
+
+let params t = t.prm
+let op_count t = t.ops
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Fhe_error msg)) fmt
+
+let capacity_ok prm ~scale_bits ~level =
+  (* ct.level >= ceil(log(ct.scale)/log(q)) - 1, in bits *)
+  let q = prm.Params.scale_bits in
+  level >= ((scale_bits + q - 1) / q) - 1
+
+let check_capacity t ~what ~scale_bits ~level =
+  if not (capacity_ok t.prm ~scale_bits ~level) then
+    fail "%s: scale overflow (scale 2^%d exceeds capacity at level %d)" what scale_bits
+      level
+
+let check_size ~what (ct : Ciphertext.t) =
+  if ct.size <> 2 then fail "%s: operand not relinearised (size %d)" what ct.size
+
+(* Perturb a value by a deterministic pseudo-random amount bounded by
+   [bound]; this turns the error *bound* bookkeeping into an actual
+   end-to-end error measurable at decryption. *)
+let jitter t ~bound v = v +. Prng.uniform t.rng ~lo:(-.bound) ~hi:bound
+
+let fresh_noise_bits = 10.0
+let rotate_noise_bits = 12.0
+let bootstrap_precision_bits = 22.0
+
+let pow2 bits = 2.0 ** bits
+
+let encode t ?scale_bits slots =
+  let scale_bits = Option.value scale_bits ~default:t.prm.Params.waterline_bits in
+  Plaintext.encode ~scale_bits slots
+
+let encrypt t ?level ?scale_bits slots =
+  t.ops <- t.ops + 1;
+  let level = Option.value level ~default:t.prm.Params.input_level
+  and scale_bits = Option.value scale_bits ~default:t.prm.Params.input_scale_bits in
+  if level < 0 then fail "encrypt: negative level";
+  check_capacity t ~what:"encrypt" ~scale_bits ~level;
+  let err = pow2 (fresh_noise_bits -. float_of_int scale_bits) in
+  let slots = Array.map (jitter t ~bound:err) slots in
+  Ciphertext.make ~slots ~scale_bits ~level ~size:2 ~err
+
+let decrypt _t (ct : Ciphertext.t) =
+  if ct.size <> 2 then fail "decrypt: ciphertext not relinearised";
+  Array.copy ct.slots
+
+(* The error estimate is a root-mean-square propagation, not a worst-case
+   interval bound: the operands' errors are already embodied in the slot
+   values (they propagate through the arithmetic automatically), so only
+   the *fresh* noise of each operation is injected into the slots, and the
+   [err] field combines contributions in quadrature as independent noise
+   does.  A worst-case bound would grow exponentially with the
+   multiplicative depth and say nothing about real behaviour. *)
+let rms2 a b = sqrt ((a *. a) +. (b *. b))
+
+let binary_slots ~what a b f =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then fail "%s: slot count mismatch (%d vs %d)" what la lb;
+  Array.init la (fun i -> f a.(i) b.(i))
+
+let add_cc t (a : Ciphertext.t) (b : Ciphertext.t) =
+  t.ops <- t.ops + 1;
+  check_size ~what:"add_cc" a;
+  check_size ~what:"add_cc" b;
+  if a.level <> b.level then fail "add_cc: level mismatch (%d vs %d)" a.level b.level;
+  if a.scale_bits <> b.scale_bits then
+    fail "add_cc: scale mismatch (2^%d vs 2^%d)" a.scale_bits b.scale_bits;
+  let slots = binary_slots ~what:"add_cc" a.slots b.slots ( +. ) in
+  Ciphertext.make ~slots ~scale_bits:a.scale_bits ~level:a.level ~size:2
+    ~err:(rms2 a.err b.err)
+
+let add_cp t (a : Ciphertext.t) (pt : Plaintext.t) =
+  t.ops <- t.ops + 1;
+  check_size ~what:"add_cp" a;
+  if a.scale_bits <> pt.scale_bits then
+    fail "add_cp: scale mismatch (ct 2^%d vs pt 2^%d)" a.scale_bits pt.scale_bits;
+  let slots = binary_slots ~what:"add_cp" a.slots pt.slots ( +. ) in
+  Ciphertext.make ~slots ~scale_bits:a.scale_bits ~level:a.level ~size:2
+    ~err:(rms2 a.err pt.err)
+
+let mul_err ~a_max ~b_max ~a_err ~b_err ~fresh =
+  rms2 (rms2 (a_max *. b_err) (b_max *. a_err)) fresh
+
+let mul_cc t (a : Ciphertext.t) (b : Ciphertext.t) =
+  t.ops <- t.ops + 1;
+  check_size ~what:"mul_cc" a;
+  check_size ~what:"mul_cc" b;
+  if a.level <> b.level then fail "mul_cc: level mismatch (%d vs %d)" a.level b.level;
+  let scale_bits = a.scale_bits + b.scale_bits in
+  check_capacity t ~what:"mul_cc" ~scale_bits ~level:a.level;
+  let fresh = pow2 (fresh_noise_bits -. float_of_int scale_bits) in
+  let err =
+    mul_err ~a_max:(Ciphertext.max_abs a) ~b_max:(Ciphertext.max_abs b) ~a_err:a.err
+      ~b_err:b.err ~fresh
+  in
+  let slots =
+    binary_slots ~what:"mul_cc" a.slots b.slots (fun x y -> jitter t ~bound:fresh (x *. y))
+  in
+  Ciphertext.make ~slots ~scale_bits ~level:a.level ~size:3 ~err
+
+let mul_cp t (a : Ciphertext.t) (pt : Plaintext.t) =
+  t.ops <- t.ops + 1;
+  check_size ~what:"mul_cp" a;
+  let scale_bits = a.scale_bits + pt.scale_bits in
+  check_capacity t ~what:"mul_cp" ~scale_bits ~level:a.level;
+  let fresh = pow2 (fresh_noise_bits -. float_of_int scale_bits) in
+  let err =
+    mul_err ~a_max:(Ciphertext.max_abs a) ~b_max:(Plaintext.max_abs pt) ~a_err:a.err
+      ~b_err:pt.err ~fresh
+  in
+  let slots =
+    binary_slots ~what:"mul_cp" a.slots pt.slots (fun x y -> jitter t ~bound:fresh (x *. y))
+  in
+  Ciphertext.make ~slots ~scale_bits ~level:a.level ~size:2 ~err
+
+let rotate t (ct : Ciphertext.t) k =
+  t.ops <- t.ops + 1;
+  check_size ~what:"rotate" ct;
+  let n = Array.length ct.slots in
+  if n = 0 then fail "rotate: empty ciphertext";
+  let k = ((k mod n) + n) mod n in
+  let extra = pow2 (rotate_noise_bits -. float_of_int ct.scale_bits) in
+  let slots = Array.init n (fun i -> jitter t ~bound:extra ct.slots.((i + k) mod n)) in
+  Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level ~size:2
+    ~err:(rms2 ct.err extra)
+
+let relin t (ct : Ciphertext.t) =
+  t.ops <- t.ops + 1;
+  if ct.size <> 3 then fail "relin: expected size-3 ciphertext (got %d)" ct.size;
+  let extra = pow2 (rotate_noise_bits -. float_of_int ct.scale_bits) in
+  let slots = Array.map (jitter t ~bound:extra) ct.slots in
+  Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level ~size:2
+    ~err:(rms2 ct.err extra)
+
+let rescale t (ct : Ciphertext.t) =
+  t.ops <- t.ops + 1;
+  check_size ~what:"rescale" ct;
+  let q = t.prm.Params.scale_bits and qw = t.prm.Params.waterline_bits in
+  if ct.level < 1 then fail "rescale: no level to spend (level %d)" ct.level;
+  if ct.scale_bits < q + qw then
+    fail "rescale: scale 2^%d below q*q_w = 2^%d" ct.scale_bits (q + qw);
+  let scale_bits = ct.scale_bits - q in
+  let extra = pow2 (fresh_noise_bits -. float_of_int scale_bits) in
+  let slots = Array.map (jitter t ~bound:extra) ct.slots in
+  Ciphertext.make ~slots ~scale_bits ~level:(ct.level - 1) ~size:2 ~err:(rms2 ct.err extra)
+
+let modswitch t (ct : Ciphertext.t) =
+  t.ops <- t.ops + 1;
+  check_size ~what:"modswitch" ct;
+  if ct.level < 1 then fail "modswitch: no level to drop (level %d)" ct.level;
+  check_capacity t ~what:"modswitch" ~scale_bits:ct.scale_bits ~level:(ct.level - 1);
+  Ciphertext.make ~slots:(Array.copy ct.slots) ~scale_bits:ct.scale_bits
+    ~level:(ct.level - 1) ~size:2 ~err:ct.err
+
+let bootstrap t (ct : Ciphertext.t) ~target_level =
+  t.ops <- t.ops + 1;
+  check_size ~what:"bootstrap" ct;
+  if target_level < 1 || target_level > t.prm.Params.l_max then
+    fail "bootstrap: target level %d outside [1, %d]" target_level t.prm.Params.l_max;
+  let extra = pow2 (-.bootstrap_precision_bits) in
+  let slots = Array.map (jitter t ~bound:extra) ct.slots in
+  Ciphertext.make ~slots ~scale_bits:t.prm.Params.scale_bits ~level:target_level ~size:2
+    ~err:(rms2 ct.err extra)

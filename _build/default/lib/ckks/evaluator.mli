@@ -1,0 +1,53 @@
+(** Simulated homomorphic evaluator for RNS-CKKS.
+
+    Implements exactly the operation semantics of Table 1 and enforces the
+    operation constraints of Section 2.2:
+
+    - levels are non-negative and match for binary operations;
+    - scales match for additions;
+    - the scale stays within the modulus capacity
+      [level >= ceil(scale / q) - 1];
+    - rescaling requires [scale >= q * q_w] and a level to spend;
+    - bootstrapping targets a level in [1, l_max] and resets the scale
+      to [q].
+
+    A violated constraint raises {!Fhe_error} — this is how the test suite
+    proves that unmanaged programs fail (Figure 1a) while compiled ones
+    run.  The evaluator also injects deterministic noise so the Table 6
+    fidelity experiment measures a real end-to-end error. *)
+
+exception Fhe_error of string
+
+type t
+
+val create : ?seed:int64 -> Params.t -> t
+
+val params : t -> Params.t
+
+val op_count : t -> int
+(** Number of homomorphic operations executed so far. *)
+
+val encode : t -> ?scale_bits:int -> float array -> Plaintext.t
+(** Encode at [scale_bits] (default: the waterline, as EVA encodes weights
+    and biases). *)
+
+val encrypt : t -> ?level:int -> ?scale_bits:int -> float array -> Ciphertext.t
+(** Fresh ciphertext (defaults from the parameters' input level/scale). *)
+
+val decrypt : t -> Ciphertext.t -> float array
+
+val add_cc : t -> Ciphertext.t -> Ciphertext.t -> Ciphertext.t
+val add_cp : t -> Ciphertext.t -> Plaintext.t -> Ciphertext.t
+val mul_cc : t -> Ciphertext.t -> Ciphertext.t -> Ciphertext.t
+(** Result has [size = 3]; relinearise before using it elsewhere. *)
+
+val mul_cp : t -> Ciphertext.t -> Plaintext.t -> Ciphertext.t
+val rotate : t -> Ciphertext.t -> int -> Ciphertext.t
+val relin : t -> Ciphertext.t -> Ciphertext.t
+val rescale : t -> Ciphertext.t -> Ciphertext.t
+val modswitch : t -> Ciphertext.t -> Ciphertext.t
+val bootstrap : t -> Ciphertext.t -> target_level:int -> Ciphertext.t
+
+val capacity_ok : Params.t -> scale_bits:int -> level:int -> bool
+(** The paper's capacity constraint
+    [level >= ceil(scale_bits / q_bits) - 1]. *)

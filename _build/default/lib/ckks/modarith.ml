@@ -1,0 +1,118 @@
+let check_q q = if q < 2 then invalid_arg "Modarith: modulus below 2"
+
+let add_mod a b ~q =
+  let s = a + b in
+  if s >= q then s - q else s
+
+let sub_mod a b ~q =
+  let d = a - b in
+  if d < 0 then d + q else d
+
+(* q < 2^31 keeps products inside the native 63-bit range. *)
+let mul_mod a b ~q = a * b mod q
+
+let neg_mod a ~q = if a = 0 then 0 else q - a
+
+let pow_mod b e ~q =
+  check_q q;
+  if e < 0 then invalid_arg "Modarith.pow_mod: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul_mod acc b ~q else acc in
+      go acc (mul_mod b b ~q) (e lsr 1)
+  in
+  go 1 (((b mod q) + q) mod q) e
+
+let inv_mod a ~q =
+  let a = ((a mod q) + q) mod q in
+  if a = 0 then invalid_arg "Modarith.inv_mod: zero";
+  pow_mod a (q - 2) ~q
+
+let centered a ~q =
+  let a = ((a mod q) + q) mod q in
+  if a > q / 2 then a - q else a
+
+(* Deterministic Miller–Rabin with the witness set that covers the 64-bit
+   range.  Modular products use a doubling ladder to avoid overflow for
+   bases close to 2^31 (we only call this on q < 2^31 anyway, where the
+   direct product is safe, but the ladder keeps the function general). *)
+let is_prime n =
+  if n < 2 then false
+  else if n mod 2 = 0 then n = 2
+  else begin
+    let mulm a b m =
+      if m < 1 lsl 31 then a * b mod m
+      else begin
+        (* double-and-add ladder *)
+        let rec go acc a b =
+          if b = 0 then acc
+          else
+            let acc = if b land 1 = 1 then (acc + a) mod m else acc in
+            go acc (a * 2 mod m) (b lsr 1)
+        in
+        go 0 (a mod m) b
+      end
+    in
+    let powm b e m =
+      let rec go acc b e =
+        if e = 0 then acc
+        else
+          let acc = if e land 1 = 1 then mulm acc b m else acc in
+          go acc (mulm b b m) (e lsr 1)
+      in
+      go 1 (b mod m) e
+    in
+    let d = ref (n - 1) and r = ref 0 in
+    while !d mod 2 = 0 do
+      d := !d / 2;
+      incr r
+    done;
+    let witness a =
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (powm a !d n) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let composite = ref true in
+          (try
+             for _ = 1 to !r - 1 do
+               x := mulm !x !x n;
+               if !x = n - 1 then begin
+                 composite := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !composite
+        end
+      end
+    in
+    not (List.exists witness [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ])
+  end
+
+let find_ntt_prime ~bits ~order =
+  if bits < 2 || bits > 31 then invalid_arg "Modarith.find_ntt_prime: bits in [2, 31]";
+  let top = (1 lsl bits) - 1 in
+  (* candidates are 1 mod order *)
+  let start = (top - 1) / order * order + 1 in
+  let rec scan c = if c <= order then raise Not_found else if is_prime c then c else scan (c - order) in
+  scan start
+
+let primitive_root_of_unity ~order ~q =
+  if (q - 1) mod order <> 0 then
+    invalid_arg "Modarith.primitive_root_of_unity: order does not divide q-1";
+  let cofactor = (q - 1) / order in
+  (* try small generator candidates until g^cofactor has exact order *)
+  let has_exact_order w =
+    pow_mod w order ~q = 1
+    && pow_mod w (order / 2) ~q <> 1
+  in
+  let rec search g =
+    if g >= q then invalid_arg "Modarith.primitive_root_of_unity: none found"
+    else
+      let w = pow_mod g cofactor ~q in
+      if w <> 1 && (order = 1 || has_exact_order w) then w else search (g + 1)
+  in
+  if order = 1 then 1 else search 2

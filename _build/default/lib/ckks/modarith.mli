@@ -1,0 +1,34 @@
+(** Modular arithmetic over word-sized primes.
+
+    The exact CKKS core ({!Toy_ckks}) works in rings [Z_q[X]/(X^N + 1)]
+    with primes [q < 2^31], so all products fit in OCaml's native 63-bit
+    integers with no big-number dependency.  NTT-friendly primes satisfy
+    [q = 1 (mod 2N)], giving a primitive [2N]-th root of unity for the
+    negacyclic transform. *)
+
+val add_mod : int -> int -> q:int -> int
+val sub_mod : int -> int -> q:int -> int
+val mul_mod : int -> int -> q:int -> int
+val neg_mod : int -> q:int -> int
+
+val pow_mod : int -> int -> q:int -> int
+(** [pow_mod b e ~q] is [b^e mod q] by square-and-multiply; [e >= 0]. *)
+
+val inv_mod : int -> q:int -> int
+(** Multiplicative inverse modulo a prime (Fermat).
+    @raise Invalid_argument on 0. *)
+
+val centered : int -> q:int -> int
+(** Representative in [(-q/2, q/2]] — for decoding and noise measurement. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, valid for the 63-bit range. *)
+
+val find_ntt_prime : bits:int -> order:int -> int
+(** Largest prime below [2^bits] congruent to [1 (mod order)].
+    @raise Not_found if none exists above [order]. *)
+
+val primitive_root_of_unity : order:int -> q:int -> int
+(** A primitive [order]-th root of unity modulo the prime [q] ([order]
+    must divide [q - 1]).
+    @raise Invalid_argument otherwise. *)

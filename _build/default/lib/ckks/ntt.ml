@@ -1,0 +1,106 @@
+type plan = {
+  n : int;
+  q : int;
+  psi_rev : int array;  (* powers of psi (2n-th root), bit-reversed *)
+  psi_inv_rev : int array;
+  n_inv : int;
+}
+
+let n p = p.n
+let q p = p.q
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse ~bits i =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+let make_plan ~n ~q =
+  if not (is_pow2 n) then invalid_arg "Ntt.make_plan: n must be a power of two";
+  if (q - 1) mod (2 * n) <> 0 || not (Modarith.is_prime q) then
+    invalid_arg "Ntt.make_plan: q must be a prime with q = 1 (mod 2n)";
+  let psi = Modarith.primitive_root_of_unity ~order:(2 * n) ~q in
+  let psi_inv = Modarith.inv_mod psi ~q in
+  let bits =
+    let rec go b v = if v = 1 then b else go (b + 1) (v lsr 1) in
+    go 0 n
+  in
+  let table root =
+    let t = Array.make n 1 in
+    let pow = ref 1 in
+    let linear = Array.make n 1 in
+    for i = 0 to n - 1 do
+      linear.(i) <- !pow;
+      pow := Modarith.mul_mod !pow root ~q
+    done;
+    for i = 0 to n - 1 do
+      t.(i) <- linear.(bit_reverse ~bits i)
+    done;
+    t
+  in
+  {
+    n;
+    q;
+    psi_rev = table psi;
+    psi_inv_rev = table psi_inv;
+    n_inv = Modarith.inv_mod n ~q;
+  }
+
+(* Cooley–Tukey forward, decimation in time, merged psi twisting (the
+   standard "NTT with psi powers in bit-reversed order" formulation). *)
+let forward p a =
+  if Array.length a <> p.n then invalid_arg "Ntt.forward: wrong length";
+  let q = p.q in
+  let t = ref p.n and m = ref 1 in
+  while !m < p.n do
+    t := !t / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !t in
+      let j2 = j1 + !t - 1 in
+      let s = p.psi_rev.(!m + i) in
+      for j = j1 to j2 do
+        let u = a.(j) in
+        let v = Modarith.mul_mod a.(j + !t) s ~q in
+        a.(j) <- Modarith.add_mod u v ~q;
+        a.(j + !t) <- Modarith.sub_mod u v ~q
+      done
+    done;
+    m := !m * 2
+  done
+
+(* Gentleman–Sande inverse with inverse psi powers and final 1/n scaling. *)
+let inverse p a =
+  if Array.length a <> p.n then invalid_arg "Ntt.inverse: wrong length";
+  let q = p.q in
+  let t = ref 1 and m = ref p.n in
+  while !m > 1 do
+    let j1 = ref 0 in
+    let h = !m / 2 in
+    for i = 0 to h - 1 do
+      let j2 = !j1 + !t - 1 in
+      let s = p.psi_inv_rev.(h + i) in
+      for j = !j1 to j2 do
+        let u = a.(j) in
+        let v = a.(j + !t) in
+        a.(j) <- Modarith.add_mod u v ~q;
+        a.(j + !t) <- Modarith.mul_mod (Modarith.sub_mod u v ~q) s ~q
+      done;
+      j1 := !j1 + (2 * !t)
+    done;
+    t := !t * 2;
+    m := h
+  done;
+  for i = 0 to p.n - 1 do
+    a.(i) <- Modarith.mul_mod a.(i) p.n_inv ~q
+  done
+
+let multiply p a b =
+  let fa = Array.copy a and fb = Array.copy b in
+  forward p fa;
+  forward p fb;
+  let c = Array.init p.n (fun i -> Modarith.mul_mod fa.(i) fb.(i) ~q:p.q) in
+  inverse p c;
+  c

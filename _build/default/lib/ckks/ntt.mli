@@ -1,0 +1,27 @@
+(** Negacyclic number-theoretic transform over [Z_q[X]/(X^N + 1)].
+
+    [N] is a power of two and [q] an NTT-friendly prime
+    ([q = 1 (mod 2N)]).  Forward/inverse transforms implement the standard
+    twisted (psi-powered) Cooley–Tukey / Gentleman–Sande pair, so pointwise
+    products of transformed coefficient vectors realise polynomial products
+    modulo [X^N + 1] in [O(N log N)].  This is the multiplication kernel of
+    the exact CKKS core. *)
+
+type plan
+
+val make_plan : n:int -> q:int -> plan
+(** @raise Invalid_argument if [n] is not a power of two or [q] is not a
+    prime with [q = 1 (mod 2n)]. *)
+
+val n : plan -> int
+val q : plan -> int
+
+val forward : plan -> int array -> unit
+(** In-place negacyclic NTT of a length-[n] coefficient vector (entries in
+    [[0, q)]). *)
+
+val inverse : plan -> int array -> unit
+(** In-place inverse transform; [inverse p (forward p a)] is the identity. *)
+
+val multiply : plan -> int array -> int array -> int array
+(** Negacyclic product of two coefficient vectors (inputs unchanged). *)

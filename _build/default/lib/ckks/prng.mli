@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Everything stochastic in the reproduction — synthetic weights, the
+    synthetic dataset, noise injection in the simulated evaluator — draws
+    from this generator so every run is bit-reproducible. *)
+
+type t
+
+val create : int64 -> t
+
+val split : t -> t
+(** An independent stream derived from the current state. *)
+
+val int64 : t -> int64
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound).  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)

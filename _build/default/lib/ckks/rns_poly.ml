@@ -1,0 +1,199 @@
+type basis = { n : int; moduli : int array; plans : Ntt.plan array }
+
+let make_basis ~n ~bits ~levels =
+  if levels < 0 then invalid_arg "Rns_poly.make_basis: negative levels";
+  let count = levels + 1 in
+  let moduli = Array.make count 0 in
+  let found = ref 0 in
+  let candidate = ref ((1 lsl bits) - 1) in
+  let order = 2 * n in
+  (* walk downwards through primes = 1 (mod 2n) *)
+  candidate := (!candidate - 1) / order * order + 1;
+  while !found < count do
+    if !candidate <= order then invalid_arg "Rns_poly.make_basis: ran out of primes";
+    if Modarith.is_prime !candidate then begin
+      moduli.(!found) <- !candidate;
+      incr found
+    end;
+    candidate := !candidate - order
+  done;
+  { n; moduli; plans = Array.map (fun q -> Ntt.make_plan ~n ~q) moduli }
+
+let basis_n b = b.n
+let basis_moduli b = Array.copy b.moduli
+
+let modulus_product b =
+  Array.fold_left (fun acc q -> acc *. float_of_int q) 1.0 b.moduli
+
+type t = { basis : basis; level : int; residues : int array array }
+
+let check_level basis level =
+  if level < 0 || level >= Array.length basis.moduli then
+    invalid_arg "Rns_poly: level out of range"
+
+let zero basis ~level =
+  check_level basis level;
+  { basis; level; residues = Array.init (level + 1) (fun _ -> Array.make basis.n 0) }
+
+let of_coeffs basis ~level coeffs =
+  check_level basis level;
+  if Array.length coeffs <> basis.n then invalid_arg "Rns_poly.of_coeffs: wrong length";
+  {
+    basis;
+    level;
+    residues =
+      Array.init (level + 1) (fun i ->
+          let q = basis.moduli.(i) in
+          Array.map (fun c -> ((c mod q) + q) mod q) coeffs);
+  }
+
+let to_centered_coeffs p =
+  let moduli = Array.sub p.basis.moduli 0 (p.level + 1) in
+  let product = Array.fold_left ( * ) 1 moduli in
+  if
+    Array.fold_left (fun acc q -> acc *. float_of_int q) 1.0 moduli
+    > 0.45 *. float_of_int max_int
+  then invalid_arg "Rns_poly.to_centered_coeffs: modulus product too large";
+  (* CRT: x = sum_i r_i * (P/q_i) * ((P/q_i)^-1 mod q_i)  (mod P).  The
+     modulus product can approach 2^60, so products use a double-and-add
+     ladder instead of native multiplication. *)
+  let mulm a b =
+    let rec go acc a b =
+      if b = 0 then acc
+      else
+        let acc = if b land 1 = 1 then (acc + a) mod product else acc in
+        go acc (a * 2 mod product) (b lsr 1)
+    in
+    go 0 (a mod product) b
+  in
+  let weights =
+    Array.mapi
+      (fun i q ->
+        let pi = product / q in
+        let inv = Modarith.inv_mod (pi mod q) ~q in
+        ignore i;
+        (pi, inv))
+      moduli
+  in
+  Array.init p.basis.n (fun j ->
+      let acc = ref 0 in
+      Array.iteri
+        (fun i (pi, inv) ->
+          let q = moduli.(i) in
+          let term = mulm pi (p.residues.(i).(j) * inv mod q) in
+          acc := (!acc + term) mod product)
+        weights;
+      let v = !acc in
+      if v > product / 2 then v - product else v)
+
+let map2 name f a b =
+  if a.basis != b.basis then invalid_arg (name ^ ": different bases");
+  if a.level <> b.level then invalid_arg (name ^ ": level mismatch");
+  {
+    a with
+    residues =
+      Array.init (a.level + 1) (fun i ->
+          let q = a.basis.moduli.(i) in
+          Array.init a.basis.n (fun j -> f ~q a.residues.(i).(j) b.residues.(i).(j)));
+  }
+
+let add = map2 "Rns_poly.add" (fun ~q x y -> Modarith.add_mod x y ~q)
+let sub = map2 "Rns_poly.sub" (fun ~q x y -> Modarith.sub_mod x y ~q)
+
+let neg a =
+  {
+    a with
+    residues =
+      Array.init (a.level + 1) (fun i ->
+          Array.map (fun x -> Modarith.neg_mod x ~q:a.basis.moduli.(i)) a.residues.(i));
+  }
+
+let mul a b =
+  if a.basis != b.basis then invalid_arg "Rns_poly.mul: different bases";
+  if a.level <> b.level then invalid_arg "Rns_poly.mul: level mismatch";
+  {
+    a with
+    residues =
+      Array.init (a.level + 1) (fun i ->
+          Ntt.multiply a.basis.plans.(i) a.residues.(i) b.residues.(i));
+  }
+
+let scalar_mul k a =
+  {
+    a with
+    residues =
+      Array.init (a.level + 1) (fun i ->
+          let q = a.basis.moduli.(i) in
+          let kq = ((k mod q) + q) mod q in
+          Array.map (fun x -> Modarith.mul_mod x kq ~q) a.residues.(i));
+  }
+
+let automorphism p ~g =
+  let n = p.basis.n in
+  let two_n = 2 * n in
+  let g = ((g mod two_n) + two_n) mod two_n in
+  if g land 1 = 0 then invalid_arg "Rns_poly.automorphism: even exponent";
+  {
+    p with
+    residues =
+      Array.init (p.level + 1) (fun i ->
+          let q = p.basis.moduli.(i) in
+          let src = p.residues.(i) in
+          let dst = Array.make n 0 in
+          for j = 0 to n - 1 do
+            let e = j * g mod two_n in
+            if e < n then dst.(e) <- src.(j)
+            else dst.(e - n) <- Modarith.neg_mod src.(j) ~q
+          done;
+          dst);
+  }
+
+(* Exact RNS rescale by the last active prime q_L with centered rounding:
+   x' = (x - [x]_{q_L}) / q_L computed per remaining residue as
+   (x_i - centered(x_L)) * q_L^{-1} (mod q_i). *)
+let rescale p =
+  if p.level < 1 then invalid_arg "Rns_poly.rescale: level 0";
+  let ql = p.basis.moduli.(p.level) in
+  let last = p.residues.(p.level) in
+  {
+    p with
+    level = p.level - 1;
+    residues =
+      Array.init p.level (fun i ->
+          let q = p.basis.moduli.(i) in
+          let ql_inv = Modarith.inv_mod (ql mod q) ~q in
+          Array.init p.basis.n (fun j ->
+              let centered_last = Modarith.centered last.(j) ~q:ql in
+              let shifted =
+                Modarith.sub_mod p.residues.(i).(j) (((centered_last mod q) + q) mod q) ~q
+              in
+              Modarith.mul_mod shifted ql_inv ~q));
+  }
+
+let mod_drop p =
+  if p.level < 1 then invalid_arg "Rns_poly.mod_drop: level 0";
+  { p with level = p.level - 1; residues = Array.sub p.residues 0 p.level }
+
+let sample_uniform basis ~level rng =
+  check_level basis level;
+  {
+    basis;
+    level;
+    residues =
+      Array.init (level + 1) (fun i ->
+          let q = basis.moduli.(i) in
+          Array.init basis.n (fun _ -> Prng.int rng ~bound:q));
+  }
+
+let sample_ternary basis ~level rng =
+  check_level basis level;
+  let coeffs = Array.init basis.n (fun _ -> Prng.int rng ~bound:3 - 1) in
+  of_coeffs basis ~level coeffs
+
+let sample_error basis ~level ~sigma rng =
+  check_level basis level;
+  let coeffs =
+    Array.init basis.n (fun _ ->
+        int_of_float (Float.round (sigma *. Prng.gaussian rng)))
+  in
+  of_coeffs basis ~level coeffs

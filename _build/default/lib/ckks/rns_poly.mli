@@ -1,0 +1,65 @@
+(** Polynomials of [Z_Q[X]/(X^N + 1)] in residue-number-system form.
+
+    [Q = q_0 * q_1 * ... * q_L] is a chain of NTT-friendly word-sized
+    primes; a polynomial is stored as one residue vector per prime, which
+    is exactly the RNS-CKKS representation (Section 2.2 of the paper:
+    "RNS decomposes each polynomial into level+1 smaller ones").  The
+    [level] of a value is the number of moduli it still carries minus one;
+    {!rescale} performs the standard exact RNS division by the last prime,
+    dropping one modulus — the operation Table 1 calls Rescale. *)
+
+type basis
+
+val make_basis : n:int -> bits:int -> levels:int -> basis
+(** A chain of [levels + 1] distinct NTT-friendly primes of roughly
+    [bits] bits for ring degree [n]. *)
+
+val basis_n : basis -> int
+val basis_moduli : basis -> int array
+val modulus_product : basis -> float
+(** Approximate [Q] as a float (for capacity reasoning in tests). *)
+
+type t = private {
+  basis : basis;
+  level : int;  (** Number of active moduli minus one. *)
+  residues : int array array;  (** One row per active modulus. *)
+}
+
+val zero : basis -> level:int -> t
+
+val of_coeffs : basis -> level:int -> int array -> t
+(** Embed signed integer coefficients (centered representatives). *)
+
+val to_centered_coeffs : t -> int array
+(** CRT-reconstruct each coefficient into the centered range.  Requires
+    the active modulus product to fit comfortably in 62 bits — true for
+    the toy parameter sets; tests enforce it.
+    @raise Invalid_argument when the product overflows. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Negacyclic product via per-modulus NTT. *)
+
+val scalar_mul : int -> t -> t
+
+val automorphism : t -> g:int -> t
+(** The ring automorphism [X -> X^g] for odd [g] (negacyclic sign rule:
+    [X^(n+j) = -X^j]).  Rotating CKKS slots by [k] applies [g = 5^k].
+    @raise Invalid_argument on even [g]. *)
+
+val rescale : t -> t
+(** Exact RNS rescale: divides by the last active prime (with rounding)
+    and drops it, lowering the level by one.
+    @raise Invalid_argument at level 0. *)
+
+val mod_drop : t -> t
+(** Drop the last modulus without dividing (Table 1's Modswitch). *)
+
+val sample_uniform : basis -> level:int -> Prng.t -> t
+val sample_ternary : basis -> level:int -> Prng.t -> t
+(** Coefficients in [{-1, 0, 1}] (secret keys). *)
+
+val sample_error : basis -> level:int -> sigma:float -> Prng.t -> t
+(** Discrete-Gaussian-ish error: rounded [sigma]-scaled normals. *)

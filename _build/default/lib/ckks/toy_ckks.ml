@@ -1,0 +1,224 @@
+type params = {
+  n : int;
+  prime_bits : int;
+  levels : int;
+  scale : float;
+  sigma : float;
+}
+
+let default_params = { n = 64; prime_bits = 20; levels = 2; scale = 524288.0; sigma = 3.2 }
+
+type secret_key = { s_coeffs : int array }
+type public_key = { pk0 : Rns_poly.t; pk1 : Rns_poly.t }
+type plaintext = { pt_poly : Rns_poly.t; pt_scale : float }
+
+type ciphertext = { parts : Rns_poly.t array; ct_scale : float; ct_level : int; galois : int }
+
+let scale ct = ct.ct_scale
+let level ct = ct.ct_level
+
+type ctx = {
+  prm : params;
+  basis : Rns_poly.basis;
+  rng : Prng.t;
+  roots : Complex.t array;  (* primitive 2n-th roots used for the slots *)
+}
+
+let create ?(seed = 0xC0FFEEL) prm =
+  if prm.n < 4 || prm.n land (prm.n - 1) <> 0 then
+    invalid_arg "Toy_ckks.create: n must be a power of two >= 4";
+  let basis = Rns_poly.make_basis ~n:prm.n ~bits:prm.prime_bits ~levels:prm.levels in
+  (* slot j evaluates at zeta^(5^j), zeta = exp(i*pi/n) *)
+  let slots = prm.n / 2 in
+  let roots =
+    let rot = ref 1 in
+    Array.init slots (fun _ ->
+        let angle = Float.pi *. float_of_int !rot /. float_of_int prm.n in
+        rot := !rot * 5 mod (2 * prm.n);
+        Complex.polar 1.0 angle)
+  in
+  { prm; basis; rng = Prng.create seed; roots }
+
+(* --- canonical embedding ------------------------------------------------- *)
+
+let decode_poly ctx coeffs ~at_scale =
+  let n = ctx.prm.n in
+  Array.map
+    (fun root ->
+      let acc = ref Complex.zero in
+      let power = ref Complex.one in
+      for k = 0 to n - 1 do
+        acc :=
+          Complex.add !acc (Complex.mul !power { Complex.re = float_of_int coeffs.(k); im = 0.0 });
+        power := Complex.mul !power root
+      done;
+      !acc.Complex.re /. at_scale)
+    ctx.roots
+
+let encode ctx values =
+  let n = ctx.prm.n in
+  let slots = n / 2 in
+  if Array.length values <> slots then
+    invalid_arg (Printf.sprintf "Toy_ckks.encode: expected %d values" slots);
+  (* m_k = round(scale * (2/n) * sum_j Re(z_j * conj(root_j)^k)) *)
+  let acc = Array.make n 0.0 in
+  Array.iteri
+    (fun j root ->
+      let conj_root = Complex.conj root in
+      let power = ref Complex.one in
+      for k = 0 to n - 1 do
+        acc.(k) <- acc.(k) +. (values.(j) *. !power.Complex.re);
+        power := Complex.mul !power conj_root
+      done)
+    ctx.roots;
+  let coeffs =
+    Array.map
+      (fun a -> int_of_float (Float.round (ctx.prm.scale *. 2.0 /. float_of_int n *. a)))
+      acc
+  in
+  {
+    pt_poly = Rns_poly.of_coeffs ctx.basis ~level:ctx.prm.levels coeffs;
+    pt_scale = ctx.prm.scale;
+  }
+
+let decode ctx pt =
+  decode_poly ctx (Rns_poly.to_centered_coeffs pt.pt_poly) ~at_scale:pt.pt_scale
+
+(* --- keys and encryption --------------------------------------------------- *)
+
+let keygen ctx =
+  let level = ctx.prm.levels in
+  let s = Rns_poly.sample_ternary ctx.basis ~level ctx.rng in
+  let s_coeffs = Rns_poly.to_centered_coeffs s in
+  let a = Rns_poly.sample_uniform ctx.basis ~level ctx.rng in
+  let e = Rns_poly.sample_error ctx.basis ~level ~sigma:ctx.prm.sigma ctx.rng in
+  let pk0 = Rns_poly.add (Rns_poly.neg (Rns_poly.mul a s)) e in
+  ({ s_coeffs }, { pk0; pk1 = a })
+
+let encrypt ctx pk pt =
+  let level = ctx.prm.levels in
+  let u = Rns_poly.sample_ternary ctx.basis ~level ctx.rng in
+  let e0 = Rns_poly.sample_error ctx.basis ~level ~sigma:ctx.prm.sigma ctx.rng in
+  let e1 = Rns_poly.sample_error ctx.basis ~level ~sigma:ctx.prm.sigma ctx.rng in
+  let c0 = Rns_poly.add (Rns_poly.add (Rns_poly.mul pk.pk0 u) e0) pt.pt_poly in
+  let c1 = Rns_poly.add (Rns_poly.mul pk.pk1 u) e1 in
+  { parts = [| c0; c1 |]; ct_scale = pt.pt_scale; ct_level = level; galois = 1 }
+
+let secret_at ctx sk ~level = Rns_poly.of_coeffs ctx.basis ~level sk.s_coeffs
+
+let decrypt ctx sk ct =
+  let s =
+    let base = secret_at ctx sk ~level:ct.ct_level in
+    if ct.galois = 1 then base else Rns_poly.automorphism base ~g:ct.galois
+  in
+  (* m = sum_i parts_i * s^i *)
+  let acc = ref (Rns_poly.zero ctx.basis ~level:ct.ct_level) in
+  let s_pow = ref None in
+  Array.iter
+    (fun part ->
+      (match !s_pow with
+      | None -> acc := Rns_poly.add !acc part
+      | Some p -> acc := Rns_poly.add !acc (Rns_poly.mul part p));
+      s_pow := Some (match !s_pow with None -> s | Some p -> Rns_poly.mul p s))
+    ct.parts;
+  { pt_poly = !acc; pt_scale = ct.ct_scale }
+
+(* --- homomorphic operations --------------------------------------------------- *)
+
+let close_scales a b = Float.abs (a -. b) <= 1e-6 *. Float.max a b
+
+let check_galois name a b =
+  if a.galois <> b.galois then
+    invalid_arg (name ^ ": operands under different automorphisms (needs key switching)")
+
+let add a b =
+  check_galois "Toy_ckks.add" a b;
+  if a.ct_level <> b.ct_level then invalid_arg "Toy_ckks.add: level mismatch";
+  if not (close_scales a.ct_scale b.ct_scale) then
+    invalid_arg "Toy_ckks.add: scale mismatch";
+  let size = max (Array.length a.parts) (Array.length b.parts) in
+  let part i =
+    match
+      ( (if i < Array.length a.parts then Some a.parts.(i) else None),
+        if i < Array.length b.parts then Some b.parts.(i) else None )
+    with
+    | Some x, Some y -> Rns_poly.add x y
+    | Some x, None | None, Some x -> x
+    | None, None -> assert false
+  in
+  { a with parts = Array.init size part }
+
+let drop_pt_to pt ~level =
+  let rec go p =
+    if p.Rns_poly.level <= level then p else go (Rns_poly.mod_drop p)
+  in
+  go pt.pt_poly
+
+let add_plain _ctx ct pt =
+  if not (close_scales ct.ct_scale pt.pt_scale) then
+    invalid_arg "Toy_ckks.add_plain: scale mismatch";
+  let m = drop_pt_to pt ~level:ct.ct_level in
+  let parts = Array.copy ct.parts in
+  parts.(0) <- Rns_poly.add parts.(0) m;
+  { ct with parts }
+
+let mul a b =
+  check_galois "Toy_ckks.mul" a b;
+  if a.ct_level <> b.ct_level then invalid_arg "Toy_ckks.mul: level mismatch";
+  if Array.length a.parts <> 2 || Array.length b.parts <> 2 then
+    invalid_arg "Toy_ckks.mul: operands must have two components";
+  let c0 = Rns_poly.mul a.parts.(0) b.parts.(0) in
+  let c1 =
+    Rns_poly.add (Rns_poly.mul a.parts.(0) b.parts.(1)) (Rns_poly.mul a.parts.(1) b.parts.(0))
+  in
+  let c2 = Rns_poly.mul a.parts.(1) b.parts.(1) in
+  {
+    parts = [| c0; c1; c2 |];
+    ct_scale = a.ct_scale *. b.ct_scale;
+    ct_level = a.ct_level;
+    galois = a.galois;
+  }
+
+let mul_plain _ctx ct pt =
+  let m = drop_pt_to pt ~level:ct.ct_level in
+  {
+    ct with
+    parts = Array.map (fun p -> Rns_poly.mul p m) ct.parts;
+    ct_scale = ct.ct_scale *. pt.pt_scale;
+  }
+
+let dropped_prime_of_basis basis ~level = (Rns_poly.basis_moduli basis).(level)
+
+let rescale ct =
+  if ct.ct_level < 1 then invalid_arg "Toy_ckks.rescale: level 0";
+  let parts = Array.map Rns_poly.rescale ct.parts in
+  let dropped =
+    match parts with
+    | [||] -> assert false
+    | _ -> dropped_prime_of_basis ct.parts.(0).Rns_poly.basis ~level:ct.ct_level
+  in
+  {
+    ct with
+    parts;
+    ct_scale = ct.ct_scale /. float_of_int dropped;
+    ct_level = ct.ct_level - 1;
+  }
+
+let mod_drop ct =
+  if ct.ct_level < 1 then invalid_arg "Toy_ckks.mod_drop: level 0";
+  { ct with parts = Array.map Rns_poly.mod_drop ct.parts; ct_level = ct.ct_level - 1 }
+
+let rotate ctx ct k =
+  let two_n = 2 * ctx.prm.n in
+  (* g = 5^k mod 2n; negative rotations reduce modulo the slot count *)
+  let rec pow acc e = if e = 0 then acc else pow (acc * 5 mod two_n) (e - 1) in
+  let slots = ctx.prm.n / 2 in
+  let k = ((k mod slots) + slots) mod slots in
+  let g = pow 1 k in
+  {
+    ct with
+    parts = Array.map (fun p -> Rns_poly.automorphism p ~g) ct.parts;
+    galois = ct.galois * g mod two_n;
+  }
+
+let dropped_prime ctx ~level = dropped_prime_of_basis ctx.basis ~level

@@ -1,0 +1,86 @@
+(** An exact CKKS instance over small parameters — the ground-truth oracle
+    for the simulated evaluator.
+
+    This is a real, working RLWE scheme in pure OCaml: ring
+    [Z_Q[X]/(X^N + 1)] with an RNS prime chain ({!Rns_poly}), canonical
+    embedding encode/decode, ternary secret keys, public-key encryption,
+    and the homomorphic operations the paper's Table 1 describes —
+    ciphertext/plaintext addition and multiplication, exact RNS rescale
+    and modulus drop.  Products are kept as three-component ciphertexts
+    and decrypted against [(1, s, s^2)], which sidesteps relinearisation
+    keys while exercising the identical scale/level algebra
+    (relinearisation only re-compresses the ciphertext; it does not change
+    scales or levels).  Rotations (Galois automorphisms with key
+    switching) are out of scope.
+
+    Parameters are toy-sized ([N] up to ~256, ~20-bit primes): large
+    enough to validate semantics bit-for-bit against the simulator, far
+    too small for security.  Tests cross-check Table 1's scale/level rules
+    and the value trajectories of the simulated evaluator against this
+    implementation. *)
+
+type params = {
+  n : int;  (** Ring degree (power of two); [n/2] slots. *)
+  prime_bits : int;  (** Size of the chain primes. *)
+  levels : int;  (** Initial level (chain length minus one). *)
+  scale : float;  (** Encoding scale (e.g. [2^12]). *)
+  sigma : float;  (** Error width. *)
+}
+
+val default_params : params
+(** [n = 64], 20-bit primes, 2 levels, scale [2^19] (roughly the prime
+    size, as in real RNS-CKKS parameter sets). *)
+
+type secret_key
+type public_key
+
+type plaintext = { pt_poly : Rns_poly.t; pt_scale : float }
+
+type ciphertext = private {
+  parts : Rns_poly.t array;  (** 2 components, or 3 after multiplication. *)
+  ct_scale : float;
+  ct_level : int;
+  galois : int;  (** Accumulated automorphism exponent (1 = identity). *)
+}
+
+val scale : ciphertext -> float
+val level : ciphertext -> int
+
+type ctx
+
+val create : ?seed:int64 -> params -> ctx
+val keygen : ctx -> secret_key * public_key
+
+val encode : ctx -> float array -> plaintext
+(** Encode [n/2] reals at the context scale via the inverse canonical
+    embedding. *)
+
+val decode : ctx -> plaintext -> float array
+
+val encrypt : ctx -> public_key -> plaintext -> ciphertext
+val decrypt : ctx -> secret_key -> ciphertext -> plaintext
+
+val add : ciphertext -> ciphertext -> ciphertext
+(** Requires equal scales and levels (Table 1, AddCC). *)
+
+val add_plain : ctx -> ciphertext -> plaintext -> ciphertext
+val mul : ciphertext -> ciphertext -> ciphertext
+(** Result has three components and the product scale (Table 1, MulCC). *)
+
+val mul_plain : ctx -> ciphertext -> plaintext -> ciphertext
+val rescale : ciphertext -> ciphertext
+(** Divides the scale by the dropped prime and lowers the level by one. *)
+
+val mod_drop : ciphertext -> ciphertext
+(** Table 1's Modswitch: lower the level, keep the scale. *)
+
+val rotate : ctx -> ciphertext -> int -> ciphertext
+(** Slot rotation by [k] positions via the Galois automorphism
+    [X -> X^(5^k)].  Without key-switching keys (out of scope — they need
+    multi-precision arithmetic), the automorphism is tracked on the
+    ciphertext and resolved against the transformed secret at decryption;
+    combining ciphertexts under different automorphisms is rejected, which
+    is precisely the restriction key switching lifts. *)
+
+val dropped_prime : ctx -> level:int -> int
+(** The prime removed when rescaling from [level]. *)

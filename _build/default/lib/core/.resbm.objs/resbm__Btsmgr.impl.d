@@ -1,0 +1,1 @@
+lib/core/btsmgr.ml: Array Ckks Cut Fhe_ir List Printf Region Region_eval Scalemgr

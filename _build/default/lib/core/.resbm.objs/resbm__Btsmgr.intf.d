@@ -1,0 +1,1 @@
+lib/core/btsmgr.mli: Ckks Cut Region Region_eval

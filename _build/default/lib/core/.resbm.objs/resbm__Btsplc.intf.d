@@ -1,0 +1,1 @@
+lib/core/btsplc.mli: Ckks Cut Region

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Btsmgr Fhe_ir Passes Plan Region Report Unix

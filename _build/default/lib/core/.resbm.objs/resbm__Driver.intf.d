@@ -1,0 +1,1 @@
+lib/core/driver.mli: Btsmgr Ckks Fhe_ir Report

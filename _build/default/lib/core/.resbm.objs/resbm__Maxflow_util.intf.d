@@ -1,0 +1,1 @@
+lib/core/maxflow_util.mli: Graphlib

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Btsmgr Ckks Cut Dfg Fhe_ir Format Hashtbl Legalize List Op Option Region Scale_check Sys

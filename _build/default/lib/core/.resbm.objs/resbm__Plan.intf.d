@@ -1,0 +1,1 @@
+lib/core/plan.mli: Btsmgr Ckks Fhe_ir Region

@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Depth Dfg Fhe_ir Format List Op Printf String

@@ -1,0 +1,1 @@
+lib/core/region_eval.ml: Array Btsplc Ckks Cut Dfg Fhe_ir Format Hashtbl List Op Region Smoplc

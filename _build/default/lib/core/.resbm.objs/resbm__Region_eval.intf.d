@@ -1,0 +1,1 @@
+lib/core/region_eval.mli: Ckks Cut Region

@@ -1,0 +1,1 @@
+lib/core/report.ml: Fhe_ir Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/scalemgr.ml: Array Ckks List Region

@@ -1,0 +1,1 @@
+lib/core/scalemgr.mli: Ckks Region

@@ -1,0 +1,1 @@
+lib/core/smoplc.ml: Array Ckks Cut Dfg Fhe_ir Graphlib Hashtbl List Maxflow_util Op Option Region

@@ -1,0 +1,1 @@
+lib/core/smoplc.mli: Ckks Cut Region

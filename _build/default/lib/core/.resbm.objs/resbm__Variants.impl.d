@@ -1,0 +1,1 @@
+lib/core/variants.ml: Btsmgr Driver List Region_eval String

@@ -1,0 +1,1 @@
+lib/core/variants.mli: Btsmgr Ckks Fhe_ir Report

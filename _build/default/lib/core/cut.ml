@@ -1,0 +1,18 @@
+type edge =
+  | Internal of { tail : int; head : int }
+  | Boundary_in of { head : int }
+  | Boundary_out of { tail : int }
+
+type t = { edges : edge list; value : float; sink_side : int list }
+
+let pp_edge ppf = function
+  | Internal { tail; head } -> Format.fprintf ppf "%%%d->%%%d" tail head
+  | Boundary_in { head } -> Format.fprintf ppf "in->%%%d" head
+  | Boundary_out { tail } -> Format.fprintf ppf "%%%d->out" tail
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>cut(%.3f ms): %a@]" t.value
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_edge)
+    t.edges
+
+let sink_side_mem t id = List.mem id t.sink_side

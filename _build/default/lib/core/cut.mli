@@ -1,0 +1,27 @@
+(** Cuts produced by the placement algorithms.
+
+    A cut is a set of DFG edges on which an operation (rescale or
+    bootstrap) will be inserted.  Edges are classified by which side of the
+    region boundary they touch:
+
+    - [Internal]: both endpoints are region members;
+    - [Boundary_in]: the insertion point is on [head]'s incoming edges from
+      outside the analysed subgraph (e.g. a bootstrap placed directly after
+      the rescale that opens a source region);
+    - [Boundary_out]: the insertion point is on [tail]'s edges to consumers
+      outside the region (or on its way to the program outputs). *)
+
+type edge =
+  | Internal of { tail : int; head : int }
+  | Boundary_in of { head : int }
+  | Boundary_out of { tail : int }
+
+type t = {
+  edges : edge list;
+  value : float;  (** Total weight of the minimum cut. *)
+  sink_side : int list;  (** Region members strictly below the cut. *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val sink_side_mem : t -> int -> bool

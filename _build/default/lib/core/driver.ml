@@ -1,0 +1,19 @@
+let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false) prm g =
+  let t0 = Unix.gettimeofday () in
+  let regioned = Region.build g in
+  let plan = Btsmgr.plan ~config regioned prm in
+  let outcome = Plan.apply regioned prm plan in
+  let managed = outcome.Plan.dfg in
+  if ms_opt then ignore (Passes.Ms_opt.run prm managed);
+  let compile_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let report =
+    {
+      Report.manager = name;
+      compile_ms;
+      latency_ms = Fhe_ir.Latency.total prm managed;
+      stats = Fhe_ir.Stats.collect managed;
+      segments = plan.Btsmgr.segments;
+      repair_bootstraps = outcome.Plan.repair_bootstraps;
+    }
+  in
+  (managed, report)

@@ -1,0 +1,22 @@
+(** The ReSBM compiler driver — Algorithm 1.
+
+    [compile prm g] partitions the DFG of the FHE program [g] into regions
+    ({!Region}), has {!Btsmgr} derive a rescaling and minimal-level
+    bootstrapping plan with {!Scalemgr}, {!Smoplc} and {!Btsplc}, and
+    applies the plan ({!Plan}), returning a managed graph that satisfies
+    every RNS-CKKS scale and level constraint, plus a {!Report}.
+
+    The input graph must contain no SMOs or bootstraps yet. *)
+
+val compile :
+  ?config:Btsmgr.config ->
+  ?name:string ->
+  ?ms_opt:bool ->
+  Ckks.Params.t ->
+  Fhe_ir.Dfg.t ->
+  Fhe_ir.Dfg.t * Report.t
+(** [ms_opt] (default false) runs {!Passes.Ms_opt} after legalisation —
+    the modswitch optimisation the paper grants the max-level managers for
+    lowering excessively bootstrapped ciphertexts.
+    @raise Btsmgr.No_plan when no feasible plan exists for [l_max].
+    @raise Plan.Apply_error when plan materialisation fails. *)

@@ -1,0 +1,3 @@
+let add_with_reverse net ~src ~dst ~cap =
+  Graphlib.Maxflow.add_edge net ~src ~dst ~cap;
+  if cap < infinity then Graphlib.Maxflow.add_edge net ~src:dst ~dst:src ~cap:infinity

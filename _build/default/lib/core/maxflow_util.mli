@@ -1,0 +1,6 @@
+(** Shared helper for the placement algorithms: add a finite arc together
+    with the infinite reverse arc that keeps the cut's source side closed
+    under predecessors (so each path crosses the cut exactly once).
+    Infinite arcs get no companion. *)
+
+val add_with_reverse : Graphlib.Maxflow.t -> src:int -> dst:int -> cap:float -> unit

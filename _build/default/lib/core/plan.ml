@@ -1,0 +1,291 @@
+open Fhe_ir
+
+type outcome = { dfg : Dfg.t; repair_bootstraps : int }
+
+exception Apply_error of string
+
+let apply_error fmt = Format.kasprintf (fun m -> raise (Apply_error m)) fmt
+
+(* Group cut edges by insertion tail.  Returns
+   [(tail, internal_heads, boundary_out)] and the boundary-in heads. *)
+let group_cut cut =
+  let tails : (int, int list * bool) Hashtbl.t = Hashtbl.create 8 in
+  let boundary_in = ref [] in
+  List.iter
+    (fun edge ->
+      match edge with
+      | Cut.Internal { tail; head } ->
+          let heads, out = Option.value (Hashtbl.find_opt tails tail) ~default:([], false) in
+          Hashtbl.replace tails tail (head :: heads, out)
+      | Cut.Boundary_out { tail } ->
+          let heads, _ = Option.value (Hashtbl.find_opt tails tail) ~default:([], false) in
+          Hashtbl.replace tails tail (heads, true)
+      | Cut.Boundary_in { head } -> boundary_in := head :: !boundary_in)
+    cut.Cut.edges;
+  (Hashtbl.fold (fun tail (heads, out) acc -> (tail, heads, out) :: acc) tails [], !boundary_in)
+
+let apply regioned prm (plan : Btsmgr.plan) =
+  let g = Dfg.copy regioned.Region.dfg in
+  let orig_count = Dfg.node_count g in
+  let region_of id = if id < orig_count then Some regioned.Region.region_of.(id) else None in
+  let replace_output old_id new_id =
+    Dfg.set_outputs g
+      (List.map (fun o -> if o = old_id then new_id else o) (Dfg.outputs g))
+  in
+  (* Users of [tail] that live outside region [r] (crossing edges). *)
+  let outside_users r tail =
+    List.filter
+      (fun u -> match region_of u with Some ru -> ru <> r | None -> true)
+      (Dfg.succs g tail)
+  in
+  let insert_chain ~kind_of ~count ~tail ~heads ~fix_output =
+    let cur = ref tail in
+    for i = 0 to count - 1 do
+      cur := Dfg.insert_after g ~tail:!cur ~heads (kind_of i)
+    done;
+    if fix_output then replace_output tail !cur;
+    !cur
+  in
+  Array.iteri
+    (fun r (act : Btsmgr.region_action) ->
+      (* 1. Rescale chains on the SMO cut. *)
+      let rs_tips = ref [] in
+      (match act.Btsmgr.smo_cut with
+      | Some cut when act.Btsmgr.rescales >= 1 ->
+          let groups, boundary_in = group_cut cut in
+          if boundary_in <> [] then apply_error "region %d: SMO cut has boundary-in edges" r;
+          List.iter
+            (fun (tail, heads, out) ->
+              let heads = if out then heads @ outside_users r tail else heads in
+              let is_out = out && List.mem tail (Dfg.outputs g) in
+              let tip =
+                insert_chain
+                  ~kind_of:(fun _ -> Op.Rescale)
+                  ~count:act.Btsmgr.rescales ~tail ~heads ~fix_output:is_out
+              in
+              rs_tips := tip :: !rs_tips)
+            groups
+      | _ -> ());
+      (* 2. Bootstrap insertion.  All insertions share one bootstrap node
+         per tail: a boundary branch and a boundary-in group landing on
+         the same rescale tip must not bootstrap it twice. *)
+      match act.Btsmgr.bts with
+      | None -> ()
+      | Some { Btsmgr.target; cut; subgraph } -> (
+          let kind_of _ = Op.Bootstrap target in
+          let bootstrap_after ~tail ~heads ~fix_output =
+            let existing =
+              List.find_opt
+                (fun u ->
+                  let un = Dfg.node g u in
+                  un.Dfg.kind = Op.Bootstrap target && un.Dfg.args = [| tail |])
+                (Dfg.succs g tail)
+            in
+            match existing with
+            | Some b ->
+                List.iter
+                  (fun h ->
+                    let hn = Dfg.node g h in
+                    Array.iteri
+                      (fun i a -> if a = tail then Dfg.set_arg g ~user:h ~arg_index:i b)
+                      hn.Dfg.args)
+                  heads;
+                if fix_output then replace_output tail b;
+                b
+            | None -> insert_chain ~kind_of ~count:1 ~tail ~heads ~fix_output
+          in
+          (* Live-out branches of the rescale tips that leave the region
+             without passing the level-0 subgraph (a source-side live-out
+             rescaled on its boundary edge) still need a bootstrap: the
+             bootstrap cut below only covers subgraph paths. *)
+          let bootstrap_boundary_branches () =
+            List.iter
+              (fun tip ->
+                let heads =
+                  List.filter
+                    (fun u ->
+                      (match (Dfg.node g u).Dfg.kind with
+                      | Op.Bootstrap _ -> false
+                      | _ -> true)
+                      && match region_of u with Some ru -> ru <> r | None -> true)
+                    (Dfg.succs g tip)
+                in
+                let is_out = List.mem tip (Dfg.outputs g) in
+                if heads <> [] || is_out then
+                  ignore (bootstrap_after ~tail:tip ~heads ~fix_output:is_out))
+              !rs_tips
+          in
+          match cut with
+          | Some cut ->
+              let groups, boundary_in = group_cut cut in
+              List.iter
+                (fun (tail, heads, out) ->
+                  let heads = if out then heads @ outside_users r tail else heads in
+                  let is_out = out && List.mem tail (Dfg.outputs g) in
+                  ignore (bootstrap_after ~tail ~heads ~fix_output:is_out))
+                groups;
+              (* Boundary-in: bootstrap the external producers feeding the
+                 cut heads (typically the freshly inserted rescale). *)
+              if boundary_in <> [] then begin
+                let in_sub = Hashtbl.create 16 in
+                List.iter (fun id -> Hashtbl.add in_sub id ()) subgraph;
+                let producer_heads = Hashtbl.create 8 in
+                List.iter
+                  (fun head ->
+                    List.iter
+                      (fun p ->
+                        if Op.produces_ct (Dfg.node g p).Dfg.kind && not (Hashtbl.mem in_sub p)
+                        then
+                          Hashtbl.replace producer_heads p
+                            (head
+                            :: Option.value (Hashtbl.find_opt producer_heads p) ~default:[]))
+                      (Dfg.preds g head))
+                  boundary_in;
+                Hashtbl.iter
+                  (fun p heads -> ignore (bootstrap_after ~tail:p ~heads ~fix_output:false))
+                  producer_heads
+              end;
+              bootstrap_boundary_branches ()
+          | None ->
+              (* Bootstrap directly after the rescale chains; with no
+                 rescales either (an unrescaled source region whose
+                 multiplications are its live-outs), bootstrap the
+                 region's live-out edges. *)
+              let tips =
+                if !rs_tips <> [] then !rs_tips
+                else
+                  List.filter
+                    (fun id ->
+                      List.mem id (Dfg.outputs g)
+                      || List.exists
+                           (fun u ->
+                             match region_of u with Some ru -> ru <> r | None -> true)
+                           (Dfg.succs g id))
+                    (Region.ct_members regioned r)
+              in
+              List.iter
+                (fun tip ->
+                  let heads =
+                    List.filter
+                      (fun u ->
+                        (match (Dfg.node g u).Dfg.kind with
+                        | Op.Bootstrap _ -> false
+                        | _ -> true)
+                        && match region_of u with Some ru -> ru <> r | None -> true)
+                      (Dfg.succs g tip)
+                  in
+                  let is_out = List.mem tip (Dfg.outputs g) in
+                  if heads <> [] || is_out then
+                    ignore (bootstrap_after ~tail:tip ~heads ~fix_output:is_out))
+                tips))
+    plan.Btsmgr.actions;
+  (* 3. Level-deficit repair: operands arriving below the planned level of
+     their consuming join are bootstrapped up to exactly that level. *)
+  let intended_level id =
+    match region_of id with
+    | None -> None
+    | Some r ->
+        let act = plan.Btsmgr.actions.(r) in
+        let below_smo =
+          match act.Btsmgr.smo_cut with Some c -> Cut.sink_side_mem c id | None -> false
+        in
+        let below_bts =
+          match act.Btsmgr.bts with
+          | Some { Btsmgr.cut = Some c; _ } -> Cut.sink_side_mem c id
+          | _ -> false
+        in
+        let l =
+          if below_bts then
+            match act.Btsmgr.bts with Some b -> b.Btsmgr.target | None -> assert false
+          else if below_smo then act.Btsmgr.entry_level - act.Btsmgr.rescales
+          else act.Btsmgr.entry_level
+        in
+        Some l
+  in
+  (* Single forward pass: propagate (level, scale) incrementally so each
+     repair is visible to everything downstream — otherwise one genuine
+     deficit cascades into spurious repairs against stale levels. *)
+  let repair_count = ref 0 in
+  let repair_cache = Hashtbl.create 8 in
+  let levels : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let scales : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let level_of id = Option.value (Hashtbl.find_opt levels id) ~default:0 in
+  let scale_of id =
+    Option.value (Hashtbl.find_opt scales id) ~default:prm.Ckks.Params.scale_bits
+  in
+  let q = prm.Ckks.Params.scale_bits and qw = prm.Ckks.Params.waterline_bits in
+  let snapshot = Dfg.topo_order g in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      (* Repair deficient operands against the planned level: joins need
+         matching levels, and multiplications additionally need capacity
+         for their product scale. *)
+      (match node.Dfg.kind with
+      | Op.Add_cc | Op.Mul_cc | Op.Mul_cp -> (
+          match intended_level id with
+          | Some want when want >= 1 && want <= prm.Ckks.Params.l_max ->
+              Array.iteri
+                (fun i a ->
+                  if
+                    Op.produces_ct (Dfg.node g a).Dfg.kind
+                    && level_of a < want
+                    && scale_of a = q
+                  then begin
+                    let bts =
+                      match Hashtbl.find_opt repair_cache (a, want) with
+                      | Some b -> b
+                      | None ->
+                          let b = Dfg.insert_after g ~tail:a ~heads:[] (Op.Bootstrap want) in
+                          Hashtbl.add repair_cache (a, want) b;
+                          Hashtbl.replace levels b want;
+                          Hashtbl.replace scales b q;
+                          incr repair_count;
+                          if Sys.getenv_opt "RESBM_DEBUG" <> None then
+                            Format.eprintf
+                              "repair: %%%d (%s, region %s, have L%d) -> L%d for join %%%d \
+                               (region %s)@."
+                              a
+                              (Op.name (Dfg.node g a).Dfg.kind)
+                              (match region_of a with
+                              | Some r -> string_of_int r
+                              | None -> "?")
+                              (level_of a) want id
+                              (match region_of id with
+                              | Some r -> string_of_int r
+                              | None -> "?");
+                          b
+                    in
+                    Dfg.set_arg g ~user:id ~arg_index:i bts
+                  end)
+                node.Dfg.args
+          | _ -> ())
+      | _ -> ());
+      (* Propagate level and scale through this node. *)
+      let arg i = node.Dfg.args.(i) in
+      let l, s =
+        match node.Dfg.kind with
+        | Op.Input { level; scale_bits; _ } ->
+            ( Option.value level ~default:prm.Ckks.Params.input_level,
+              Option.value scale_bits ~default:prm.Ckks.Params.input_scale_bits )
+        | Op.Const _ -> (max_int, qw)
+        | Op.Add_cc -> (min (level_of (arg 0)) (level_of (arg 1)), scale_of (arg 0))
+        | Op.Add_cp -> (level_of (arg 0), scale_of (arg 0))
+        | Op.Mul_cc ->
+            (min (level_of (arg 0)) (level_of (arg 1)), scale_of (arg 0) + scale_of (arg 1))
+        | Op.Mul_cp -> (level_of (arg 0), scale_of (arg 0) + qw)
+        | Op.Rotate _ | Op.Relin -> (level_of (arg 0), scale_of (arg 0))
+        | Op.Rescale -> (max (level_of (arg 0) - 1) 0, max (scale_of (arg 0) - q) 1)
+        | Op.Modswitch -> (max (level_of (arg 0) - 1) 0, scale_of (arg 0))
+        | Op.Bootstrap target -> (target, q)
+      in
+      Hashtbl.replace levels id l;
+      Hashtbl.replace scales id s)
+    snapshot;
+  (* 4. Close the remaining (downward) mismatches with modswitch chains. *)
+  (match Legalize.run prm g with
+  | Ok () -> ()
+  | Error (v :: _) ->
+      apply_error "managed graph is not legal: %a" Scale_check.pp_violation v
+  | Error [] -> assert false);
+  { dfg = g; repair_bootstraps = !repair_count }

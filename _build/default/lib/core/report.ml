@@ -1,0 +1,17 @@
+type t = {
+  manager : string;
+  compile_ms : float;
+  latency_ms : float;
+  stats : Fhe_ir.Stats.t;
+  segments : (int * int) list;
+  repair_bootstraps : int;
+}
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: compiled in %.3f ms, estimated latency %.1f ms@,%a@,segments: %s%s@]"
+    t.manager t.compile_ms t.latency_ms Fhe_ir.Stats.pp t.stats
+    (String.concat " " (List.map (fun (s, d) -> Printf.sprintf "[%d,%d]" s d) t.segments))
+    (if t.repair_bootstraps > 0 then
+       Printf.sprintf " (+%d repair bootstraps)" t.repair_bootstraps
+     else "")

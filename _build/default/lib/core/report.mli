@@ -1,0 +1,13 @@
+(** Compilation report — the measurements behind Tables 3–5 and Figures
+    6–7. *)
+
+type t = {
+  manager : string;
+  compile_ms : float;  (** Wall-clock time of the management passes. *)
+  latency_ms : float;  (** Static Table 2 latency of the managed graph. *)
+  stats : Fhe_ir.Stats.t;
+  segments : (int * int) list;  (** Chosen bootstrap segments. *)
+  repair_bootstraps : int;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** SMOPLC — optimal intra-region SMO placement via min-cut (Algorithm 4).
+
+    Given a region whose multiplications execute at [level], SMOPLC finds
+    where to insert the rescale so that the region's total latency is
+    minimal.  Every region edge [(n, m)] is weighted with the rescale cost
+    after [n] plus the cumulative latency increase of running [n] and its
+    in-region predecessors at [level] instead of [level - 1], divided by
+    [n]'s out-degree (one shared rescale node serves all of [n]'s cut
+    successors).  A super-source feeds the region's entry nodes (the
+    multiplications) with infinite capacity; live-out producers connect to
+    a super-sink with finite capacity so that rescaling at the region's
+    end remains a candidate.  Infinite reverse arcs force the source side
+    to be closed under predecessors, guaranteeing that every path from a
+    multiplication to a live-out crosses the cut exactly once.
+
+    Edges from [Mul_cc] to its mandatory [Relin] are uncuttable. *)
+
+val run : Region.t -> Ckks.Params.t -> region:int -> level:int -> Cut.t
+(** @raise Invalid_argument on an empty region or [level < 1]. *)
+
+val region_latency_terms :
+  Region.t -> Ckks.Params.t -> region:int -> level:int -> (int * float) list
+(** Per-node latency (node id, ms) of the region at a uniform [level] —
+    exposed for tests and the examples that reproduce Figure 4. *)

@@ -1,0 +1,1 @@
+lib/graphlib/stoer_wagner.mli:

@@ -1,0 +1,1 @@
+lib/graphlib/topo.ml: Array Digraph List Queue

@@ -1,0 +1,144 @@
+(* Dinic's algorithm with adjacency lists of arc records.  Each arc stores
+   its residual capacity; the paired reverse arc is at [rev] in the
+   destination's list.  Float capacities terminate because each phase
+   saturates at least one arc on a shortest path and the level graph depth
+   strictly increases across phases (at most [n] phases). *)
+
+type arc = {
+  dst : int;
+  mutable cap : float;
+  rev : int;  (* index of the reverse arc in [adj.(dst)] *)
+  original : bool;  (* true for arcs added by the user with finite cap *)
+  init_cap : float;
+}
+
+type t = {
+  mutable adj : arc array array;  (* built lazily from [pending] *)
+  mutable pending : arc list array;
+  mutable n : int;
+  mutable built : bool;
+}
+
+let eps = 1e-9
+
+let create n =
+  if n < 0 then invalid_arg "Maxflow.create";
+  { adj = [||]; pending = Array.make (max n 1) []; n; built = false }
+
+let add_node net =
+  if net.built then invalid_arg "Maxflow.add_node: network already built";
+  if net.n >= Array.length net.pending then begin
+    let pending' = Array.make ((2 * net.n) + 1) [] in
+    Array.blit net.pending 0 pending' 0 net.n;
+    net.pending <- pending'
+  end;
+  let id = net.n in
+  net.n <- net.n + 1;
+  id
+
+let add_edge net ~src ~dst ~cap =
+  if net.built then invalid_arg "Maxflow.add_edge: network already built";
+  if cap < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if src < 0 || src >= net.n || dst < 0 || dst >= net.n then
+    invalid_arg "Maxflow.add_edge: node out of range";
+  let fwd_pos = List.length net.pending.(src)
+  and bwd_pos = List.length net.pending.(dst) in
+  let fwd =
+    { dst; cap; rev = bwd_pos; original = cap < infinity; init_cap = cap }
+  and bwd = { dst = src; cap = 0.0; rev = fwd_pos; original = false; init_cap = 0.0 } in
+  net.pending.(src) <- net.pending.(src) @ [ fwd ];
+  net.pending.(dst) <- net.pending.(dst) @ [ bwd ]
+
+let build net =
+  if not net.built then begin
+    net.adj <- Array.map Array.of_list (Array.sub net.pending 0 net.n);
+    net.built <- true
+  end
+
+let bfs net ~source ~sink level =
+  Array.fill level 0 net.n (-1);
+  level.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun a ->
+        if a.cap > eps && level.(a.dst) < 0 then begin
+          level.(a.dst) <- level.(u) + 1;
+          Queue.add a.dst queue
+        end)
+      net.adj.(u)
+  done;
+  level.(sink) >= 0
+
+let rec dfs net level iter u sink pushed =
+  if u = sink then pushed
+  else begin
+    let res = ref 0.0 in
+    while !res = 0.0 && iter.(u) < Array.length net.adj.(u) do
+      let a = net.adj.(u).(iter.(u)) in
+      if a.cap > eps && level.(a.dst) = level.(u) + 1 then begin
+        let d = dfs net level iter a.dst sink (min pushed a.cap) in
+        if d > eps then begin
+          a.cap <- a.cap -. d;
+          let back = net.adj.(a.dst).(a.rev) in
+          back.cap <- back.cap +. d;
+          res := d
+        end
+        else iter.(u) <- iter.(u) + 1
+      end
+      else iter.(u) <- iter.(u) + 1
+    done;
+    !res
+  end
+
+let max_flow net ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  build net;
+  let level = Array.make net.n (-1) in
+  let flow = ref 0.0 in
+  (try
+     while bfs net ~source ~sink level do
+       let iter = Array.make net.n 0 in
+       let pushed = ref (dfs net level iter source sink infinity) in
+       while !pushed > eps do
+         flow := !flow +. !pushed;
+         if !flow = infinity then raise Exit;
+         pushed := dfs net level iter source sink infinity
+       done
+     done
+   with Exit -> ());
+  !flow
+
+type cut = {
+  value : float;
+  source_side : bool array;
+  edges : (int * int) list;
+}
+
+let min_cut net ~source ~sink =
+  let value = max_flow net ~source ~sink in
+  (* Residual reachability from the source identifies the source side. *)
+  let side = Array.make net.n false in
+  side.(source) <- true;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun a ->
+        if a.cap > eps && not side.(a.dst) then begin
+          side.(a.dst) <- true;
+          Queue.add a.dst queue
+        end)
+      net.adj.(u)
+  done;
+  let edges = ref [] in
+  for u = 0 to net.n - 1 do
+    if side.(u) then
+      Array.iter
+        (fun a -> if a.original && not side.(a.dst) then edges := (u, a.dst) :: !edges)
+        net.adj.(u)
+  done;
+  { value; source_side = side; edges = List.rev !edges }

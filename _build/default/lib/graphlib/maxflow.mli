@@ -1,0 +1,33 @@
+(** Maximum flow / minimum s-t cut with real-valued capacities (Dinic).
+
+    This is the min-cut engine behind the paper's SMOPLC (Algorithm 4) and
+    BTSPLC (Algorithm 5).  Capacities are floats; [infinity] is a legal
+    capacity and is used both for super-source/super-sink arcs and for the
+    reverse arcs that make the source side of the cut closed under
+    predecessors (so every source-to-sink path crosses the cut exactly
+    once — the property SMO/bootstrap insertion relies on). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty flow network over nodes [0 .. n-1]. *)
+
+val add_node : t -> int
+(** Allocate a fresh node (useful for super source/sink). *)
+
+val add_edge : t -> src:int -> dst:int -> cap:float -> unit
+(** Add a directed arc.  Negative capacities raise [Invalid_argument]. *)
+
+val max_flow : t -> source:int -> sink:int -> float
+(** Run Dinic's algorithm and return the max-flow value.  Consumes the
+    capacities; call at most once per network. *)
+
+type cut = {
+  value : float;  (** Total capacity crossing the cut. *)
+  source_side : bool array;  (** [source_side.(v)] iff [v] is on the source side. *)
+  edges : (int * int) list;  (** Saturated arcs from source side to sink side. *)
+}
+
+val min_cut : t -> source:int -> sink:int -> cut
+(** Max-flow followed by a residual-graph reachability pass.  Only arcs
+    that were added with a finite capacity are reported in [edges]. *)

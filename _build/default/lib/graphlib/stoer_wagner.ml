@@ -1,0 +1,63 @@
+type t = { n : int; w : float array array }
+
+let create n =
+  if n < 0 then invalid_arg "Stoer_wagner.create";
+  { n; w = Array.make_matrix n n 0.0 }
+
+let add_edge g u v weight =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Stoer_wagner.add_edge";
+  if u <> v then begin
+    g.w.(u).(v) <- g.w.(u).(v) +. weight;
+    g.w.(v).(u) <- g.w.(v).(u) +. weight
+  end
+
+(* Classic O(n^3) implementation with vertex merging.  [group.(v)] tracks
+   the original vertices merged into representative [v] so we can report a
+   side of the best cut-of-the-phase. *)
+let min_cut g =
+  if g.n < 2 then invalid_arg "Stoer_wagner.min_cut: need at least 2 nodes";
+  let n = g.n in
+  let w = Array.map Array.copy g.w in
+  let group = Array.init n (fun v -> [ v ]) in
+  let active = Array.make n true in
+  let best = ref infinity in
+  let best_side = Array.make n false in
+  let remaining = ref n in
+  while !remaining > 1 do
+    (* One maximum-adjacency search ("minimum cut phase"). *)
+    let in_a = Array.make n false in
+    let weight_to_a = Array.make n 0.0 in
+    let prev = ref (-1) and last = ref (-1) in
+    for _ = 1 to !remaining do
+      let sel = ref (-1) in
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) then
+          if !sel < 0 || weight_to_a.(v) > weight_to_a.(!sel) then sel := v
+      done;
+      let s = !sel in
+      in_a.(s) <- true;
+      prev := !last;
+      last := s;
+      for v = 0 to n - 1 do
+        if active.(v) && not in_a.(v) then weight_to_a.(v) <- weight_to_a.(v) +. w.(s).(v)
+      done
+    done;
+    let s = !last and t = !prev in
+    let cut_of_phase = weight_to_a.(s) in
+    if cut_of_phase < !best then begin
+      best := cut_of_phase;
+      Array.fill best_side 0 n false;
+      List.iter (fun v -> best_side.(v) <- true) group.(s)
+    end;
+    (* Merge s into t. *)
+    group.(t) <- group.(s) @ group.(t);
+    active.(s) <- false;
+    for v = 0 to n - 1 do
+      if active.(v) && v <> t then begin
+        w.(t).(v) <- w.(t).(v) +. w.(s).(v);
+        w.(v).(t) <- w.(t).(v)
+      end
+    done;
+    decr remaining
+  done;
+  (!best, best_side)

@@ -1,0 +1,18 @@
+(** Stoer–Wagner global minimum cut on undirected weighted graphs.
+
+    This is the "simple min cut algorithm" the paper cites as its min-cut
+    reference [29].  ReSBM's placement problems are s-t cuts on DAGs (we
+    solve those with {!Maxflow}), but the global variant is provided both
+    for completeness and as an independent oracle in tests. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty undirected graph over nodes [0 .. n-1]. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** Add weight to the undirected edge between two nodes (accumulating). *)
+
+val min_cut : t -> float * bool array
+(** The weight of a global minimum cut and one side of it.
+    @raise Invalid_argument on graphs with fewer than 2 nodes. *)

@@ -1,0 +1,37 @@
+exception Cycle of int
+
+(* Kahn's algorithm; deterministic because nodes enter the queue in
+   ascending identifier order among equals. *)
+let sort g =
+  let n = Digraph.node_count g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges g (fun _ v -> indeg.(v) <- indeg.(v) + 1);
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr seen;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      (Digraph.succs g u)
+  done;
+  if !seen <> n then begin
+    let witness = ref (-1) in
+    for v = n - 1 downto 0 do
+      if indeg.(v) > 0 then witness := v
+    done;
+    raise (Cycle !witness)
+  end;
+  List.rev !order
+
+let reverse_sort g = List.rev (sort g)
+
+let is_dag g =
+  match sort g with _ -> true | exception Cycle _ -> false

@@ -1,0 +1,13 @@
+(** Topological ordering of directed acyclic graphs. *)
+
+exception Cycle of int
+(** Raised (carrying a witness node) when the graph has a directed cycle. *)
+
+val sort : Digraph.t -> int list
+(** Nodes in a topological order (every edge goes forward in the list).
+    @raise Cycle if the graph is not acyclic. *)
+
+val reverse_sort : Digraph.t -> int list
+(** Nodes in a reverse topological order (every edge goes backward). *)
+
+val is_dag : Digraph.t -> bool

@@ -1,0 +1,1 @@
+lib/ir/depth.ml: Array Dfg List Op

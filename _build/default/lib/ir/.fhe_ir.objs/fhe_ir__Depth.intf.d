@@ -1,0 +1,1 @@
+lib/ir/depth.mli: Dfg

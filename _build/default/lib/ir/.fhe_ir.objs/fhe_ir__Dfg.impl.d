@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Format Graphlib Hashtbl List Op Printf String

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Dfg Fun Hashtbl List Op Option Printf String

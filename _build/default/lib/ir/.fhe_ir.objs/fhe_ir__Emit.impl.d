@@ -1,0 +1,1 @@
+lib/ir/emit.ml: Array Buffer Dfg Fun Hashtbl List Op Printf Scale_check String

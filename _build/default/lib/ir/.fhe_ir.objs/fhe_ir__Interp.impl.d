@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ckks Dfg Format Hashtbl Latency List Op Scale_check

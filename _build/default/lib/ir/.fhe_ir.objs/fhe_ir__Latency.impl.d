@@ -1,0 +1,1 @@
+lib/ir/latency.ml: Array Ckks Dfg Hashtbl List Op Option Scale_check

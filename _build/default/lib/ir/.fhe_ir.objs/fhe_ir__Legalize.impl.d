@@ -1,0 +1,1 @@
+lib/ir/legalize.ml: Array Dfg Hashtbl List Op Scale_check

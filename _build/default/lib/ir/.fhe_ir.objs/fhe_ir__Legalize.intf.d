@@ -1,0 +1,1 @@
+lib/ir/legalize.mli: Ckks Dfg Scale_check

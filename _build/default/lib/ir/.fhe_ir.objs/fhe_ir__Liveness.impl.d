@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Ckks Dfg Format Hashtbl List Op Scale_check

@@ -1,0 +1,1 @@
+lib/ir/noise_check.ml: Array Dfg Float List Op Scale_check

@@ -1,0 +1,1 @@
+lib/ir/noise_check.mli: Ckks Dfg

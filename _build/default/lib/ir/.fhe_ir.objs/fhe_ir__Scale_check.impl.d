@@ -1,0 +1,1 @@
+lib/ir/scale_check.ml: Array Ckks Dfg Format Hashtbl List Op Option

@@ -1,0 +1,1 @@
+lib/ir/scale_check.mli: Ckks Dfg Format

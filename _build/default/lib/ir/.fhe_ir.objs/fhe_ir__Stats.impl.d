@@ -1,0 +1,1 @@
+lib/ir/stats.ml: Ckks Depth Dfg Format Hashtbl List Op Option

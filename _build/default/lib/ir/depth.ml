@@ -1,0 +1,15 @@
+let per_node g =
+  let depth = Array.make (Dfg.node_count g) 0 in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      let from_args =
+        Array.fold_left (fun acc a -> max acc depth.(a)) 0 node.Dfg.args
+      in
+      depth.(id) <- (if Op.is_mul node.Dfg.kind then from_args + 1 else from_args))
+    (Dfg.topo_order g);
+  depth
+
+let max_depth g =
+  let depth = per_node g in
+  List.fold_left (fun acc n -> max acc depth.(n.Dfg.id)) 0 (Dfg.live_nodes g)

@@ -1,0 +1,11 @@
+(** Multiplicative-depth analysis.
+
+    The depth of a node is the largest number of multiplications on any
+    path from an input to it (inclusive).  SMOs and bootstraps are
+    transparent.  The region partition (Section 4.1) keys off this: the
+    multiplication nodes at depth [i] open region [i]. *)
+
+val per_node : Dfg.t -> int array
+(** Depth per node id (0 for dead nodes). *)
+
+val max_depth : Dfg.t -> int

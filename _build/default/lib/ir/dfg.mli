@@ -1,0 +1,97 @@
+(** Data-flow graphs of FHE programs.
+
+    Nodes are numbered densely in creation order; edges are implied by the
+    [args] arrays (use-def) with maintained use lists (def-use).  As in the
+    FHE compilers the paper builds on, the graph is a static circuit: no
+    control flow, but a node may carry a [freq] multiplier standing for a
+    rolled loop with a compile-time trip count (Section 4.1 keeps loops of
+    multiplicative depth one rolled and scales their latency by the trip
+    count). *)
+
+type node = private {
+  id : int;
+  mutable kind : Op.kind;
+  mutable args : int array;
+  mutable users : int list;  (** def-use: ids of nodes consuming this one. *)
+  mutable freq : int;
+  mutable dead : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val node_count : t -> int
+(** Total ids allocated, including dead nodes. *)
+
+val node : t -> int -> node
+
+val live_nodes : t -> node list
+(** All non-dead nodes in id order. *)
+
+val outputs : t -> int list
+val set_outputs : t -> int list -> unit
+
+(** {1 Builders}
+
+    All builders return the id of the created node.  Binary builders check
+    ciphertext/plaintext positions.  [mul_cc] appends the mandatory
+    relinearisation and returns the relin node. *)
+
+val input : t -> ?level:int -> ?scale_bits:int -> string -> int
+val const : t -> string -> int
+val add_cc : t -> ?freq:int -> int -> int -> int
+val add_cp : t -> ?freq:int -> int -> int -> int
+val mul_cc : t -> ?freq:int -> int -> int -> int
+val mul_cc_raw : t -> ?freq:int -> int -> int -> int
+(** [Mul_cc] without the relin — for tests that exercise the validator. *)
+
+val mul_cp : t -> ?freq:int -> int -> int -> int
+val rotate : t -> ?freq:int -> int -> int -> int
+val relin : t -> ?freq:int -> int -> int
+val rescale : t -> ?freq:int -> int -> int
+val modswitch : t -> ?freq:int -> int -> int
+val bootstrap : t -> ?freq:int -> target_level:int -> int -> int
+
+(** {1 Mutation} *)
+
+val insert_after : t -> tail:int -> heads:int list -> Op.kind -> int
+(** [insert_after g ~tail ~heads kind] creates a node [n'] with argument
+    [tail] and frequency [tail.freq], and rewires every occurrence of
+    [tail] in the [args] of each node in [heads] to [n'].  If [heads] is
+    empty the node is created as a new user of [tail] without rewiring
+    (used to tap live-out edges).  Returns [n']. *)
+
+val wrap_operand : t -> user:int -> arg_index:int -> Op.kind -> int
+(** Interpose a new node on one specific operand position of [user]. *)
+
+val set_arg : t -> user:int -> arg_index:int -> int -> unit
+(** Retarget one operand of [user], maintaining use lists. *)
+
+val replace_uses : t -> old_id:int -> new_id:int -> unit
+(** Redirect every use of [old_id] (args and outputs) to [new_id]. *)
+
+val kill : t -> int -> unit
+(** Mark a node dead.  It must have no remaining users and not be an
+    output. *)
+
+(** {1 Queries} *)
+
+val preds : t -> int -> int list
+(** Unique argument ids, in argument order. *)
+
+val succs : t -> int -> int list
+(** Unique user ids. *)
+
+val topo_order : t -> int list
+(** Live nodes in topological (def-before-use) order.
+    @raise Graphlib.Topo.Cycle on malformed graphs. *)
+
+val validate : t -> (unit, string list) result
+(** Structural well-formedness: args in range and alive, ct/pt positions
+    respected, outputs alive and ciphertext, acyclic, [Mul_cc] consumed
+    only by [Relin]. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

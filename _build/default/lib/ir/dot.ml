@@ -1,0 +1,67 @@
+let node_style kind =
+  match kind with
+  | Op.Input _ -> "shape=invhouse, style=filled, fillcolor=\"#d5e8d4\""
+  | Op.Const _ -> "shape=note, style=filled, fillcolor=\"#f5f5f5\""
+  | Op.Mul_cc | Op.Mul_cp -> "shape=box, style=filled, fillcolor=\"#dae8fc\""
+  | Op.Rescale -> "shape=diamond, style=filled, fillcolor=\"#ffe6cc\""
+  | Op.Modswitch -> "shape=diamond, style=filled, fillcolor=\"#fff2cc\""
+  | Op.Bootstrap _ -> "shape=doubleoctagon, style=filled, fillcolor=\"#f8cecc\""
+  | Op.Add_cc | Op.Add_cp | Op.Rotate _ | Op.Relin -> "shape=ellipse"
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_string ?(name = "dfg") ?(cluster = fun _ -> None) ?(annotate = fun _ -> None) g =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph %s {\n  rankdir=TB;\n  node [fontsize=10];\n" name;
+  (* bucket nodes by cluster *)
+  let clusters : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let free = ref [] in
+  List.iter
+    (fun n ->
+      let id = n.Dfg.id in
+      match cluster id with
+      | Some c ->
+          Hashtbl.replace clusters c (id :: Option.value (Hashtbl.find_opt clusters c) ~default:[])
+      | None -> free := id :: !free)
+    (Dfg.live_nodes g);
+  let emit_node id =
+    let n = Dfg.node g id in
+    let label =
+      let base = Op.name n.Dfg.kind in
+      let base = if n.Dfg.freq > 1 then Printf.sprintf "%s x%d" base n.Dfg.freq else base in
+      match annotate id with
+      | Some extra -> Printf.sprintf "%%%d %s\\n%s" id base extra
+      | None -> Printf.sprintf "%%%d %s" id base
+    in
+    pf "    n%d [label=\"%s\", %s];\n" id (escape label) (node_style n.Dfg.kind)
+  in
+  Hashtbl.fold (fun c ids acc -> (c, ids) :: acc) clusters []
+  |> List.sort compare
+  |> List.iter (fun (c, ids) ->
+         pf "  subgraph cluster_%d {\n    label=\"region %d\";\n    color=gray;\n" c c;
+         List.iter emit_node (List.rev ids);
+         pf "  }\n");
+  List.iter emit_node (List.rev !free);
+  List.iter
+    (fun n ->
+      Array.iter (fun a -> pf "  n%d -> n%d;\n" a n.Dfg.id) n.Dfg.args)
+    (Dfg.live_nodes g);
+  (* mark outputs *)
+  List.iteri
+    (fun i o ->
+      pf "  out%d [label=\"output %d\", shape=plaintext];\n  n%d -> out%d [style=dashed];\n"
+        i i o i)
+    (Dfg.outputs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?name ?cluster ?annotate ~path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?cluster ?annotate g))

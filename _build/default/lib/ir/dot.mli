@@ -1,0 +1,24 @@
+(** Graphviz export of FHE data-flow graphs.
+
+    Nodes are labelled with their operation (and frequency when rolled);
+    management operations get distinctive shapes/colours so inserted
+    rescales, modswitches and bootstraps stand out in a managed graph.  An
+    optional [cluster] function groups nodes into subgraphs — pass the
+    region assignment to render the paper's region boxes. *)
+
+val to_string :
+  ?name:string ->
+  ?cluster:(int -> int option) ->
+  ?annotate:(int -> string option) ->
+  Dfg.t ->
+  string
+(** [cluster id] returns the cluster index of node [id] (e.g. its region);
+    [annotate id] appends an extra label line (e.g. "L3, 2^56"). *)
+
+val write_file :
+  ?name:string ->
+  ?cluster:(int -> int option) ->
+  ?annotate:(int -> string option) ->
+  path:string ->
+  Dfg.t ->
+  unit

@@ -1,0 +1,26 @@
+(** C code emission against ACElib-style FHE APIs.
+
+    The paper's pipeline compiles each managed FHE program "to C using
+    ACElib's FHE APIs" and builds it with GCC.  This module reproduces the
+    code-generation step: a legalised DFG becomes a self-contained C
+    translation unit whose body is one API call per node (AddCC, MulCP,
+    Rescale, Bootstrap, ...), with rolled loops re-emitted as `for`
+    annotations on their frequency groups, ciphertexts freed at their
+    last use (liveness-based), and the constants declared as named
+    plaintext handles.
+
+    The target API is a small ACElib-flavoured header (`CIPHER`, `PLAIN`,
+    [Add_ciph], [Mul_plain], [Rescale_ciph], [Bootstrap_ciph], ...)
+    emitted alongside the program so the artefact is compilable against
+    any backend that implements it (a no-op stub suffices to type-check
+    with [gcc -fsyntax-only]). *)
+
+val to_string : ?program_name:string -> Ckks.Params.t -> Dfg.t -> string
+(** @raise Invalid_argument if the graph fails {!Scale_check.run} (code is
+    only generated for legal programs, as in the paper). *)
+
+val write_file : ?program_name:string -> Ckks.Params.t -> path:string -> Dfg.t -> unit
+
+val declared_variables : string -> int
+(** Number of ciphertext variables the emitted program declares — used by
+    tests to check the liveness-based reuse. *)

@@ -1,0 +1,71 @@
+type env = { inputs : (string * float array) list; consts : string -> float array }
+
+type result = {
+  outputs : Ckks.Ciphertext.t list;
+  latency_ms : float;
+  op_count : int;
+}
+
+exception Missing_input of string
+
+type value = Ct of Ckks.Ciphertext.t | Pt of Ckks.Plaintext.t
+
+let run ev g env =
+  let prm = Ckks.Evaluator.params ev in
+  let info =
+    match Scale_check.run prm g with
+    | Ok info -> info
+    | Error vs ->
+        let msg =
+          Format.asprintf "Interp.run: graph not legal:@ %a"
+            (Format.pp_print_list Scale_check.pp_violation)
+            (match vs with v :: _ -> [ v ] | [] -> [])
+        in
+        raise (Ckks.Evaluator.Fhe_error msg)
+  in
+  let values = Hashtbl.create (Dfg.node_count g) in
+  let ct id =
+    match Hashtbl.find_opt values id with
+    | Some (Ct c) -> c
+    | _ -> invalid_arg "Interp: expected ciphertext value"
+  in
+  let pt id =
+    match Hashtbl.find_opt values id with
+    | Some (Pt p) -> p
+    | _ -> invalid_arg "Interp: expected plaintext value"
+  in
+  let latency = ref 0.0 and ops = ref 0 in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      let v =
+        match node.Dfg.kind with
+        | Op.Input { name; level; scale_bits } ->
+            let data =
+              match List.assoc_opt name env.inputs with
+              | Some d -> d
+              | None -> raise (Missing_input name)
+            in
+            Ct (Ckks.Evaluator.encrypt ev ?level ?scale_bits data)
+        | Op.Const { name } ->
+            let scale_bits = info.(id).Scale_check.scale_bits in
+            Pt (Ckks.Evaluator.encode ev ~scale_bits (env.consts name))
+        | Op.Add_cc -> Ct (Ckks.Evaluator.add_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
+        | Op.Add_cp -> Ct (Ckks.Evaluator.add_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
+        | Op.Mul_cc -> Ct (Ckks.Evaluator.mul_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
+        | Op.Mul_cp -> Ct (Ckks.Evaluator.mul_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
+        | Op.Rotate k -> Ct (Ckks.Evaluator.rotate ev (ct node.Dfg.args.(0)) k)
+        | Op.Relin -> Ct (Ckks.Evaluator.relin ev (ct node.Dfg.args.(0)))
+        | Op.Rescale -> Ct (Ckks.Evaluator.rescale ev (ct node.Dfg.args.(0)))
+        | Op.Modswitch -> Ct (Ckks.Evaluator.modswitch ev (ct node.Dfg.args.(0)))
+        | Op.Bootstrap target_level ->
+            Ct (Ckks.Evaluator.bootstrap ev (ct node.Dfg.args.(0)) ~target_level)
+      in
+      (match node.Dfg.kind with
+      | Op.Input _ | Op.Const _ -> ()
+      | _ ->
+          latency := !latency +. Latency.node_cost prm g info id;
+          ops := !ops + node.Dfg.freq);
+      Hashtbl.replace values id v)
+    (Dfg.topo_order g);
+  { outputs = List.map ct (Dfg.outputs g); latency_ms = !latency; op_count = !ops }

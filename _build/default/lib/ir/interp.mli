@@ -1,0 +1,28 @@
+(** DFG interpreter over the simulated CKKS evaluator.
+
+    Runs a (legalised) DFG end to end: inputs are encrypted, constants are
+    encoded at the scales resolved by the scale checker, and each node
+    executes on {!Ckks.Evaluator}, enforcing every runtime constraint and
+    accumulating simulated latency from the Table 2 cost model.
+
+    Nodes with [freq > 1] (rolled loops) execute once as a representative
+    iteration; their latency is charged [freq] times, exactly as the
+    paper's cost model does for rolled loops. *)
+
+type env = {
+  inputs : (string * float array) list;
+  consts : string -> float array;  (** Resolver for constant payloads. *)
+}
+
+type result = {
+  outputs : Ckks.Ciphertext.t list;
+  latency_ms : float;  (** Simulated execution latency. *)
+  op_count : int;  (** Freq-weighted number of executed FHE operations. *)
+}
+
+exception Missing_input of string
+
+val run : Ckks.Evaluator.t -> Dfg.t -> env -> result
+(** @raise Ckks.Evaluator.Fhe_error when the program violates a runtime
+    constraint (e.g. an unmanaged program as in Figure 1a).
+    @raise Missing_input when [env] lacks a named input. *)

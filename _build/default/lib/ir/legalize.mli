@@ -1,0 +1,15 @@
+(** Level legalisation.
+
+    After a management plan has inserted rescales and bootstraps, edges
+    that cross regions (e.g. residual connections) can connect ciphertexts
+    at different levels.  Following the compilers in the paper (the
+    modswitch chains visible in Figures 1b–1d), this pass drops the
+    higher-level operand of every binary operation down to the lower level
+    with [Modswitch] nodes, sharing chains between uses.
+
+    Scale mismatches are not repairable by modswitch and are reported as
+    errors. *)
+
+val run : Ckks.Params.t -> Dfg.t -> (unit, Scale_check.violation list) result
+(** Mutates the graph in place.  On success the graph passes
+    {!Scale_check.run}. *)

@@ -1,0 +1,67 @@
+type report = {
+  total_ciphertexts : int;
+  peak_live : int;
+  peak_bytes : float;
+  final_live : int;
+}
+
+let ciphertext_bytes prm ~level =
+  let n = float_of_int (1 lsl prm.Ckks.Params.log2_degree) in
+  2.0 *. float_of_int (level + 1) *. n *. 8.0
+
+let analyse prm g =
+  let info = Scale_check.infer prm g in
+  let order = Dfg.topo_order g in
+  let position = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.add position id i) order;
+  let outputs = Dfg.outputs g in
+  (* last use per ciphertext value; outputs stay live to the end *)
+  let last_use = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      Array.iter
+        (fun a -> Hashtbl.replace last_use a (Hashtbl.find position id))
+        node.Dfg.args)
+    order;
+  List.iter (fun o -> Hashtbl.replace last_use o max_int) outputs;
+  let live = Hashtbl.create 64 in
+  let live_bytes = ref 0.0 and live_count = ref 0 in
+  let peak_live = ref 0 and peak_bytes = ref 0.0 and total = ref 0 in
+  List.iteri
+    (fun pos id ->
+      let node = Dfg.node g id in
+      if Op.produces_ct node.Dfg.kind then begin
+        incr total;
+        let bytes = ciphertext_bytes prm ~level:(max info.(id).Scale_check.level 0) in
+        Hashtbl.replace live id bytes;
+        live_bytes := !live_bytes +. bytes;
+        incr live_count;
+        if !live_count > !peak_live then peak_live := !live_count;
+        if !live_bytes > !peak_bytes then peak_bytes := !live_bytes
+      end;
+      (* free operands at their last use *)
+      List.iter
+        (fun a ->
+          if Hashtbl.find_opt last_use a = Some pos then
+            match Hashtbl.find_opt live a with
+            | Some bytes ->
+                Hashtbl.remove live a;
+                live_bytes := !live_bytes -. bytes;
+                decr live_count
+            | None -> ())
+        (Dfg.preds g id))
+    order;
+  {
+    total_ciphertexts = !total;
+    peak_live = !peak_live;
+    peak_bytes = !peak_bytes;
+    final_live = !live_count;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<h>%d ciphertexts allocated, peak %d live (%.1f MiB working set), %d at exit@]"
+    r.total_ciphertexts r.peak_live
+    (r.peak_bytes /. 1024.0 /. 1024.0)
+    r.final_live

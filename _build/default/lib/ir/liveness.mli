@@ -1,0 +1,23 @@
+(** Ciphertext liveness and memory-pressure analysis.
+
+    FHE ciphertexts are large — [2 * (level + 1) * N * 8] bytes in RNS
+    form — and the paper's evaluation machine carries 512 GB of RAM for a
+    reason.  This analysis walks the schedule (topological order), tracks
+    which ciphertexts are live, and reports the peak working set, sizing
+    each ciphertext at the level assigned by the scale checker.  It also
+    exposes the per-boundary live counts that DaCapo's liveness-based
+    bootstrapping keys on. *)
+
+type report = {
+  total_ciphertexts : int;  (** Ciphertext values allocated over the run. *)
+  peak_live : int;  (** Largest number of simultaneously live ciphertexts. *)
+  peak_bytes : float;  (** Working-set size at the peak (bytes). *)
+  final_live : int;  (** Live at the end (the program outputs). *)
+}
+
+val analyse : Ckks.Params.t -> Dfg.t -> report
+
+val ciphertext_bytes : Ckks.Params.t -> level:int -> float
+(** Size of one RNS ciphertext at [level]. *)
+
+val pp : Format.formatter -> report -> unit

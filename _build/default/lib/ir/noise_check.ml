@@ -1,0 +1,68 @@
+type info = { magnitude : float; noise : float }
+
+type report = {
+  per_node : info array;
+  output_noise : float;
+  output_precision_bits : float;
+}
+
+let rms2 a b = sqrt ((a *. a) +. (b *. b))
+let pow2 bits = 2.0 ** bits
+
+(* Mirrors Ckks.Evaluator's noise constants. *)
+let fresh_noise_bits = 10.0
+let rotate_noise_bits = 12.0
+let bootstrap_precision_bits = 22.0
+
+let analyse ?(input_magnitude = 1.0) ?(magnitude_cap = 1.0)
+    ?(const_magnitude = fun _ -> 1.0) prm g =
+  let scales = Scale_check.infer prm g in
+  let cap m = Float.min m magnitude_cap in
+  let per_node = Array.make (Dfg.node_count g) { magnitude = 0.0; noise = 0.0 } in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      let arg i = per_node.(node.Dfg.args.(i)) in
+      let scale_bits id = float_of_int scales.(id).Scale_check.scale_bits in
+      let fresh = pow2 (fresh_noise_bits -. scale_bits id) in
+      let v =
+        match node.Dfg.kind with
+        | Op.Input _ -> { magnitude = input_magnitude; noise = fresh }
+        | Op.Const { name } ->
+            (* encoding quantisation only *)
+            { magnitude = const_magnitude name; noise = pow2 (-.scale_bits id) }
+        | Op.Add_cc | Op.Add_cp ->
+            let a = arg 0 and b = arg 1 in
+            { magnitude = cap (a.magnitude +. b.magnitude); noise = rms2 a.noise b.noise }
+        | Op.Mul_cc | Op.Mul_cp ->
+            let a = arg 0 and b = arg 1 in
+            {
+              magnitude = cap (a.magnitude *. b.magnitude);
+              noise =
+                rms2 (rms2 (a.magnitude *. b.noise) (b.magnitude *. a.noise)) fresh;
+            }
+        | Op.Rotate _ | Op.Relin ->
+            let a = arg 0 in
+            { a with noise = rms2 a.noise (pow2 (rotate_noise_bits -. scale_bits id)) }
+        | Op.Rescale ->
+            let a = arg 0 in
+            { a with noise = rms2 a.noise fresh }
+        | Op.Modswitch -> arg 0
+        | Op.Bootstrap _ ->
+            let a = arg 0 in
+            { a with noise = rms2 a.noise (pow2 (-.bootstrap_precision_bits)) }
+      in
+      per_node.(id) <- v)
+    (Dfg.topo_order g);
+  let output_noise =
+    List.fold_left (fun acc o -> Float.max acc per_node.(o).noise) 0.0 (Dfg.outputs g)
+  in
+  {
+    per_node;
+    output_noise;
+    output_precision_bits =
+      (if output_noise > 0.0 then -.Float.log2 output_noise else Float.infinity);
+  }
+
+let predicts report ~measured =
+  measured <= report.output_noise *. 100.0

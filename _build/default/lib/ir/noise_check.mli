@@ -1,0 +1,46 @@
+(** Static noise estimation.
+
+    Propagates the same RMS error model the simulated evaluator injects at
+    run time ({!Ckks.Evaluator}) through a DFG at compile time, using
+    magnitude bounds instead of concrete slot values.  The result predicts
+    the output precision of a managed program before executing it — the
+    compile-time counterpart of the paper's RQ3 accuracy validation, and a
+    guard rail for choosing scheme parameters: a plan whose predicted
+    precision collapses (e.g. a scale too small for the multiplicative
+    depth) can be rejected without running an inference.
+
+    Magnitudes are tracked as per-node upper bounds: inputs and constants
+    are assumed bounded by a caller-provided magnitude (default 1.0, the
+    domain of the polynomial activation). *)
+
+type info = {
+  magnitude : float;  (** Upper bound on the slot values. *)
+  noise : float;  (** RMS error estimate (absolute). *)
+}
+
+type report = {
+  per_node : info array;
+  output_noise : float;  (** Worst output error estimate. *)
+  output_precision_bits : float;  (** [-log2 output_noise]. *)
+}
+
+val analyse :
+  ?input_magnitude:float ->
+  ?magnitude_cap:float ->
+  ?const_magnitude:(string -> float) ->
+  Ckks.Params.t ->
+  Dfg.t ->
+  report
+(** [magnitude_cap] (default 1.0) bounds the tracked magnitudes: FHE
+    machine-learning programs keep activations inside the domain of the
+    polynomial approximation ([-1, 1]), and without the cap a worst-case
+    sum over a deep network diverges and predicts nothing.  Pass
+    [infinity] for a sound worst-case analysis of shallow programs.
+    [const_magnitude] bounds named plaintexts (weights, masks); the model
+    lowering knows its amplitudes exactly, so passing its resolver's
+    maxima makes the prediction sharp. *)
+
+val predicts : report -> measured:float -> bool
+(** Sanity predicate used by tests: the measured end-to-end error is
+    within two orders of magnitude of the prediction (the model is an
+    estimate, not a bound). *)

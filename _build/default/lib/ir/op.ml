@@ -1,0 +1,43 @@
+type kind =
+  | Input of { name : string; level : int option; scale_bits : int option }
+  | Const of { name : string }
+  | Add_cc
+  | Add_cp
+  | Mul_cc
+  | Mul_cp
+  | Rotate of int
+  | Relin
+  | Rescale
+  | Modswitch
+  | Bootstrap of int
+
+let is_mul = function Mul_cc | Mul_cp -> true | _ -> false
+let is_smo = function Rescale | Modswitch -> true | _ -> false
+let produces_ct = function Const _ -> false | _ -> true
+
+let cost_op = function
+  | Input _ | Const _ -> None
+  | Add_cc -> Some Ckks.Cost_model.Add_cc
+  | Add_cp -> Some Ckks.Cost_model.Add_cp
+  | Mul_cc -> Some Ckks.Cost_model.Mul_cc
+  | Mul_cp -> Some Ckks.Cost_model.Mul_cp
+  | Rotate _ -> Some Ckks.Cost_model.Rotate
+  | Relin -> Some Ckks.Cost_model.Relin
+  | Rescale -> Some Ckks.Cost_model.Rescale
+  | Modswitch -> Some Ckks.Cost_model.Modswitch
+  | Bootstrap _ -> Some Ckks.Cost_model.Bootstrap
+
+let name = function
+  | Input { name; _ } -> Printf.sprintf "input:%s" name
+  | Const { name } -> Printf.sprintf "const:%s" name
+  | Add_cc -> "add_cc"
+  | Add_cp -> "add_cp"
+  | Mul_cc -> "mul_cc"
+  | Mul_cp -> "mul_cp"
+  | Rotate k -> Printf.sprintf "rotate[%d]" k
+  | Relin -> "relin"
+  | Rescale -> "rescale"
+  | Modswitch -> "modswitch"
+  | Bootstrap l -> Printf.sprintf "bootstrap[->L%d]" l
+
+let pp ppf kind = Format.pp_print_string ppf (name kind)

@@ -1,0 +1,39 @@
+(** Operation kinds of the FHE data-flow IR.
+
+    The IR mirrors the CKKS-level intermediate representation of ANT-ACE
+    that the paper implements ReSBM on: arithmetic, rotation,
+    relinearisation, the two SMOs, and bootstrapping.  [Input] produces a
+    ciphertext; [Const] produces a plaintext whose encoding scale is
+    resolved by the scale checker (waterline for multiplications, the
+    consumer's scale for additions — EVA's convention). *)
+
+type kind =
+  | Input of { name : string; level : int option; scale_bits : int option }
+      (** Fresh ciphertext; [None] fields default to the scheme parameters. *)
+  | Const of { name : string }  (** Plaintext operand. *)
+  | Add_cc
+  | Add_cp  (** args: ciphertext, plaintext. *)
+  | Mul_cc  (** Result has size 3; must be consumed by [Relin] only. *)
+  | Mul_cp  (** args: ciphertext, plaintext. *)
+  | Rotate of int
+  | Relin
+  | Rescale
+  | Modswitch
+  | Bootstrap of int  (** Target level. *)
+
+val is_mul : kind -> bool
+(** True for [Mul_cc] and [Mul_cp] — the only scale-increasing operations,
+    which anchor the region partition. *)
+
+val is_smo : kind -> bool
+(** True for [Rescale] and [Modswitch]. *)
+
+val produces_ct : kind -> bool
+(** False only for [Const]. *)
+
+val cost_op : kind -> Ckks.Cost_model.op option
+(** The Table 2 row charged for this kind ([None] for [Input]/[Const]). *)
+
+val name : kind -> string
+
+val pp : Format.formatter -> kind -> unit

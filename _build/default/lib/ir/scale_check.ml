@@ -1,0 +1,117 @@
+type info = { scale_bits : int; level : int; is_ct : bool }
+
+let pp_info ppf i =
+  if i.is_ct then Format.fprintf ppf "ct(2^%d, L%d)" i.scale_bits i.level
+  else Format.fprintf ppf "pt(2^%d)" i.scale_bits
+
+type violation = { node : int; message : string }
+
+let pp_violation ppf v = Format.fprintf ppf "node %d: %s" v.node v.message
+
+let dummy = { scale_bits = 0; level = 0; is_ct = false }
+
+(* Shared propagation engine.  In strict mode every constraint violation is
+   recorded; in lenient mode propagation continues with clamped values so
+   planners can inspect partial graphs. *)
+let analyse ~strict (prm : Ckks.Params.t) g =
+  let n = Dfg.node_count g in
+  let info = Array.make n dummy in
+  let violations = ref [] in
+  let report id fmt =
+    Format.kasprintf (fun message -> violations := { node = id; message } :: !violations) fmt
+  in
+  let q = prm.scale_bits and qw = prm.waterline_bits in
+  (* Constant scales are decided by their consumers; resolve each constant
+     from its first ciphertext-bearing use and verify the others agree. *)
+  let const_scale = Hashtbl.create 16 in
+  let resolve_const id ~wanted ~user =
+    match Hashtbl.find_opt const_scale id with
+    | None -> Hashtbl.add const_scale id wanted
+    | Some s when s = wanted -> ()
+    | Some s ->
+        if strict then
+          report id "constant needs two encoding scales (2^%d for node %d, already 2^%d)"
+            wanted user s
+  in
+  let order = Dfg.topo_order g in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      let arg i = info.((node.args).(i)) in
+      let capacity_ok ~scale_bits ~level =
+        Ckks.Evaluator.capacity_ok prm ~scale_bits ~level
+      in
+      let i =
+        match node.kind with
+        | Op.Input { level; scale_bits; _ } ->
+            let level = Option.value level ~default:prm.input_level
+            and scale_bits = Option.value scale_bits ~default:prm.input_scale_bits in
+            if strict && not (capacity_ok ~scale_bits ~level) then
+              report id "input scale 2^%d overflows capacity at level %d" scale_bits level;
+            { scale_bits; level; is_ct = true }
+        | Op.Const _ ->
+            (* Scale filled in lazily by consumers; default to waterline. *)
+            { scale_bits = qw; level = max_int; is_ct = false }
+        | Op.Add_cc ->
+            let a = arg 0 and b = arg 1 in
+            if strict && a.level <> b.level then
+              report id "add_cc level mismatch (L%d vs L%d)" a.level b.level;
+            if strict && a.scale_bits <> b.scale_bits then
+              report id "add_cc scale mismatch (2^%d vs 2^%d)" a.scale_bits b.scale_bits;
+            { scale_bits = a.scale_bits; level = min a.level b.level; is_ct = true }
+        | Op.Add_cp ->
+            let a = arg 0 in
+            resolve_const node.args.(1) ~wanted:a.scale_bits ~user:id;
+            { a with is_ct = true }
+        | Op.Mul_cc ->
+            let a = arg 0 and b = arg 1 in
+            if strict && a.level <> b.level then
+              report id "mul_cc level mismatch (L%d vs L%d)" a.level b.level;
+            let scale_bits = a.scale_bits + b.scale_bits in
+            let level = min a.level b.level in
+            if strict && not (capacity_ok ~scale_bits ~level) then
+              report id "mul_cc scale overflow (2^%d at level %d)" scale_bits level;
+            { scale_bits; level; is_ct = true }
+        | Op.Mul_cp ->
+            let a = arg 0 in
+            resolve_const node.args.(1) ~wanted:qw ~user:id;
+            let scale_bits = a.scale_bits + qw in
+            if strict && not (capacity_ok ~scale_bits ~level:a.level) then
+              report id "mul_cp scale overflow (2^%d at level %d)" scale_bits a.level;
+            { scale_bits; level = a.level; is_ct = true }
+        | Op.Rotate _ | Op.Relin -> { (arg 0) with is_ct = true }
+        | Op.Rescale ->
+            let a = arg 0 in
+            if strict && a.level < 1 then report id "rescale at level %d" a.level;
+            if strict && a.scale_bits < q + qw then
+              report id "rescale of scale 2^%d below q*q_w = 2^%d" a.scale_bits (q + qw);
+            { scale_bits = max (a.scale_bits - q) 1; level = max (a.level - 1) 0; is_ct = true }
+        | Op.Modswitch ->
+            let a = arg 0 in
+            if strict && a.level < 1 then report id "modswitch at level %d" a.level;
+            let level = max (a.level - 1) 0 in
+            if strict && not (capacity_ok ~scale_bits:a.scale_bits ~level) then
+              report id "modswitch would overflow capacity (2^%d at level %d)" a.scale_bits
+                level;
+            { a with level }
+        | Op.Bootstrap target ->
+            if strict && (target < 1 || target > prm.l_max) then
+              report id "bootstrap target %d outside [1, %d]" target prm.l_max;
+            { scale_bits = q; level = target; is_ct = true }
+      in
+      info.(id) <- i)
+    order;
+  (* Back-patch the resolved constant scales. *)
+  Hashtbl.iter
+    (fun id scale_bits -> info.(id) <- { info.(id) with scale_bits; level = max_int })
+    const_scale;
+  (info, List.rev !violations)
+
+let run prm g =
+  match Dfg.validate g with
+  | Error msgs -> Error (List.map (fun m -> { node = -1; message = m }) msgs)
+  | Ok () -> (
+      let info, violations = analyse ~strict:true prm g in
+      match violations with [] -> Ok info | vs -> Error vs)
+
+let infer prm g = fst (analyse ~strict:false prm g)

@@ -1,0 +1,32 @@
+(** Static scale and level analysis.
+
+    Propagates (scale, level) through a DFG following Table 1 and validates
+    every operation constraint of Section 2.2.  This is the compile-time
+    mirror of the simulated evaluator: a DFG that passes [run] executes on
+    {!Ckks.Evaluator} without [Fhe_error], and vice versa.
+
+    Plaintext ([Const]) scales are resolved from their uses: a constant
+    multiplied into a ciphertext is encoded at the waterline (EVA's
+    convention for weights); a constant added to a ciphertext is encoded at
+    the ciphertext's scale. *)
+
+type info = {
+  scale_bits : int;
+  level : int;
+  is_ct : bool;
+}
+
+val pp_info : Format.formatter -> info -> unit
+
+type violation = { node : int; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val run : Ckks.Params.t -> Dfg.t -> (info array, violation list) result
+(** Full validation.  On success the array is indexed by node id (dead
+    nodes carry a dummy entry). *)
+
+val infer : Ckks.Params.t -> Dfg.t -> info array
+(** Best-effort propagation that never fails: constraint violations are
+    ignored and levels are clamped at 0.  Used by planners and the latency
+    model on graphs that are not yet fully legalised. *)

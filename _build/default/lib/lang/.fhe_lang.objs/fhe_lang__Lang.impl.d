@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Array Dfg Fhe_ir Hashtbl List Option Printf String

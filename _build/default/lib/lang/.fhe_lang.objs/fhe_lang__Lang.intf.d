@@ -1,0 +1,1 @@
+lib/lang/lang.mli: Fhe_ir

@@ -1,0 +1,143 @@
+open Fhe_ir
+
+type view =
+  | Input of string
+  | Sym of string
+  | Lit of float
+  | Add of t * t
+  | Mul of t * t
+  | Rotate of t * int
+
+and t = { view : view; is_ct : bool }
+
+let input name = { view = Input name; is_ct = true }
+let sym name = { view = Sym name; is_ct = false }
+let lit v = { view = Lit v; is_ct = false }
+
+let lit_name v = Printf.sprintf "$%.17g" v
+
+let add a b =
+  match (a.view, b.view) with
+  | Lit x, Lit y -> lit (x +. y)
+  | _ ->
+      if (not a.is_ct) && not b.is_ct then
+        invalid_arg "Lang.add: plaintext-plaintext addition of symbols";
+      (* canonical order: ciphertext first *)
+      let a, b = if a.is_ct then (a, b) else (b, a) in
+      { view = Add (a, b); is_ct = true }
+
+let mul a b =
+  match (a.view, b.view) with
+  | Lit x, Lit y -> lit (x *. y)
+  | _ ->
+      if (not a.is_ct) && not b.is_ct then
+        invalid_arg "Lang.mul: plaintext-plaintext product of symbols";
+      let a, b = if a.is_ct then (a, b) else (b, a) in
+      { view = Mul (a, b); is_ct = true }
+
+let sub a b =
+  match b.view with
+  | Lit v -> add a (lit (-.v))
+  | _ ->
+      if not b.is_ct then invalid_arg "Lang.sub: cannot negate a symbol cheaply"
+      else add a (mul b (lit (-1.0)))
+
+let rotate a k =
+  if not a.is_ct then invalid_arg "Lang.rotate: plaintext rotation";
+  if k = 0 then a else { view = Rotate (a, k); is_ct = true }
+
+let square a = mul a a
+
+let sum_rotations x ~offsets =
+  List.fold_left (fun acc o -> add acc (rotate x o)) x offsets
+
+let dot x name ~taps ~stride =
+  if taps < 1 then invalid_arg "Lang.dot: taps must be positive";
+  let term i =
+    mul (rotate x (i * stride)) (sym (Printf.sprintf "%s_w%d" name i))
+  in
+  let rec go acc i = if i >= taps then acc else go (add acc (term i)) (i + 1) in
+  go (term 0) 1
+
+let poly_odd x coeffs =
+  if Array.length coeffs = 0 then invalid_arg "Lang.poly_odd: no coefficients";
+  (* shared odd power basis: x, x^3 = x^2*x, x^5 = x^2*x^3, ... *)
+  let x2 = square x in
+  let powers = Array.make (Array.length coeffs) x in
+  for i = 1 to Array.length coeffs - 1 do
+    powers.(i) <- mul x2 powers.(i - 1)
+  done;
+  let terms = Array.mapi (fun i p -> mul p (lit coeffs.(i))) powers in
+  Array.fold_left
+    (fun acc t -> match acc with None -> Some t | Some a -> Some (add a t))
+    None terms
+  |> Option.get
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( *! ) e v = mul e (lit v)
+  let ( +! ) e v = add e (lit v)
+end
+
+(* --- compilation with hash-consing ------------------------------------------ *)
+
+(* Structural keys over already-compiled children give transparent sharing
+   of identical sub-expressions (EVA's common-subexpression behaviour at
+   the frontend). *)
+type key =
+  | K_input of string
+  | K_sym of string
+  | K_add of int * int
+  | K_mul of int * int
+  | K_rotate of int * int
+
+let compile ~outputs =
+  let g = Dfg.create () in
+  let memo : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  let intern key build =
+    match Hashtbl.find_opt memo key with
+    | Some id -> id
+    | None ->
+        let id = build () in
+        Hashtbl.add memo key id;
+        id
+  in
+  let rec go e =
+    match e.view with
+    | Input name -> intern (K_input name) (fun () -> Dfg.input g name)
+    | Sym name -> intern (K_sym name) (fun () -> Dfg.const g name)
+    | Lit v -> intern (K_sym (lit_name v)) (fun () -> Dfg.const g (lit_name v))
+    | Add (a, b) ->
+        let ia = go a and ib = go b in
+        let ia, ib = if b.is_ct && not a.is_ct then (ib, ia) else (ia, ib) in
+        intern
+          (K_add (min ia ib, max ia ib))
+          (fun () -> if b.is_ct && a.is_ct then Dfg.add_cc g ia ib else Dfg.add_cp g ia ib)
+    | Mul (a, b) ->
+        let ia = go a and ib = go b in
+        let ia, ib = if b.is_ct && not a.is_ct then (ib, ia) else (ia, ib) in
+        intern
+          (K_mul (min ia ib, max ia ib))
+          (fun () -> if b.is_ct && a.is_ct then Dfg.mul_cc g ia ib else Dfg.mul_cp g ia ib)
+    | Rotate (a, k) ->
+        let ia = go a in
+        intern (K_rotate (ia, k)) (fun () -> Dfg.rotate g ia k)
+  in
+  let outs =
+    List.map
+      (fun e ->
+        if not e.is_ct then invalid_arg "Lang.compile: plaintext output";
+        go e)
+      outputs
+  in
+  Dfg.set_outputs g outs;
+  g
+
+let resolver base ~dim name =
+  if String.length name > 1 && name.[0] = '$' then
+    match float_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some v -> Array.make dim v
+    | None -> base name
+  else base name

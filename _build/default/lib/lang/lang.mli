@@ -1,0 +1,68 @@
+(** An EVA-style expression frontend for FHE programs.
+
+    The FHE compilers the paper builds on (EVA, HECATE, Fhelipe) accept a
+    small vector-arithmetic language and lower it to the ciphertext IR;
+    this module provides the same front door for the reproduction.
+    Expressions are plain OCaml values with overloaded arithmetic that
+    dispatches ciphertext/plaintext variants automatically ([x * w] turns
+    into [Mul_cp] when [w] is a plaintext symbol or literal, [Mul_cc] when
+    both sides are ciphertexts), and {!compile} hash-conses structurally
+    identical sub-expressions so shared terms lower to shared DFG nodes.
+
+    The result is an unmanaged DFG: feed it to {!Resbm.Driver.compile} (or
+    any manager variant) for SMO and bootstrap insertion. *)
+
+type t
+
+(** {1 Atoms} *)
+
+val input : string -> t
+(** A ciphertext input. *)
+
+val sym : string -> t
+(** A named plaintext (weights, masks); payload resolved at run time. *)
+
+val lit : float -> t
+(** A plaintext literal, broadcast to all slots. *)
+
+(** {1 Operators} *)
+
+val add : t -> t -> t
+val mul : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] is [add a (mul b (lit (-1.)))] when [b] is a ciphertext —
+    costing a multiplicative level, as in CKKS — and a plain literal fold
+    when both are plaintexts. *)
+
+val rotate : t -> int -> t
+val square : t -> t
+val sum_rotations : t -> offsets:int list -> t
+(** [x + rot(x, o1) + rot(x, o2) + ...] — the reduction idiom of packed
+    kernels. *)
+
+val dot : t -> string -> taps:int -> stride:int -> t
+(** Rotate-and-multiply-accumulate against symbols [name_w0 ... name_w(t-1)]
+    placed [stride] slots apart. *)
+
+val poly_odd : t -> float array -> t
+(** Odd polynomial [c.(0) x + c.(1) x^3 + c.(2) x^5 + ...] evaluated on the
+    shared power basis (depth-efficient, as the activation lowering). *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( *! ) : t -> float -> t  (** Scale by a literal. *)
+
+  val ( +! ) : t -> float -> t  (** Offset by a literal. *)
+end
+
+(** {1 Compilation} *)
+
+val compile : outputs:t list -> Fhe_ir.Dfg.t
+(** Lower to a fresh DFG with hash-consing; outputs in list order.
+    @raise Invalid_argument if an output is a plaintext expression. *)
+
+val resolver : (string -> float array) -> dim:int -> string -> float array
+(** Wrap a symbol resolver so that literal constants (named ["$<value>"])
+    resolve to their broadcast value. *)

@@ -1,0 +1,1 @@
+lib/nn/dataset.ml: Array Ckks Float Int64

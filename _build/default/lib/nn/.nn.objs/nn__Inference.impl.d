@@ -1,0 +1,1 @@
+lib/nn/inference.ml: Array Ckks Dataset Fhe_ir Float Format Int64 Lowering Model Plain_eval

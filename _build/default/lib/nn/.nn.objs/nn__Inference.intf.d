@@ -1,0 +1,1 @@
+lib/nn/inference.mli: Ckks Fhe_ir Format Lowering

@@ -1,0 +1,1 @@
+lib/nn/lowering.ml: Array Char Ckks Dfg Fhe_ir Int64 List Model Option Passes Poly_approx Printf String

@@ -1,0 +1,1 @@
+lib/nn/lowering.mli: Fhe_ir Model

@@ -1,0 +1,1 @@
+lib/nn/model.ml: List Poly_approx Printf String

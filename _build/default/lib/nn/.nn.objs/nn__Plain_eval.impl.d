@@ -1,0 +1,1 @@
+lib/nn/plain_eval.ml: Array Dfg Fhe_ir Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/nn/plain_eval.mli: Fhe_ir

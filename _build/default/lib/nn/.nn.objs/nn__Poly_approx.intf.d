@@ -1,0 +1,1 @@
+lib/nn/poly_approx.mli:

@@ -1,0 +1,79 @@
+type fidelity = {
+  model : string;
+  samples : int;
+  unencrypted_acc : float;
+  encrypted_acc : float;
+  accuracy_loss : float;
+  agreement : float;
+  max_abs_err : float;
+  mean_latency_ms : float;
+}
+
+let run_plain lowered ~dim image =
+  let consts = Lowering.resolver lowered ~dim in
+  match
+    Plain_eval.run lowered.Lowering.dfg
+      ~input:(fun _ -> image)
+      ~consts
+  with
+  | [ out ] -> out
+  | outs -> (
+      match outs with [] -> invalid_arg "Inference: no outputs" | o :: _ -> o)
+
+let run_encrypted ev lowered ~managed image =
+  let prm = Ckks.Evaluator.params ev in
+  let dim = Array.length image in
+  let consts = Lowering.resolver lowered ~dim in
+  let env =
+    { Fhe_ir.Interp.inputs = [ (lowered.Lowering.input_name, image) ]; consts }
+  in
+  ignore prm;
+  let result = Fhe_ir.Interp.run ev managed env in
+  match result.Fhe_ir.Interp.outputs with
+  | out :: _ -> (Ckks.Evaluator.decrypt ev out, result.Fhe_ir.Interp.latency_ms)
+  | [] -> invalid_arg "Inference: managed graph has no outputs"
+
+let fidelity ?(samples = 20) ?(dim = 64) ?(seed = 0x7AB1E6L) prm lowered ~managed =
+  let classes = lowered.Lowering.model.Model.classes in
+  let infer = run_plain lowered ~dim in
+  let data = Dataset.labelled ~seed ~dim ~count:samples ~classes ~infer () in
+  let correct_plain = ref 0
+  and correct_enc = ref 0
+  and agree = ref 0
+  and max_err = ref 0.0
+  and latency = ref 0.0 in
+  Array.iteri
+    (fun i sample ->
+      let plain = infer sample.Dataset.image in
+      let ev = Ckks.Evaluator.create ~seed:(Int64.add seed (Int64.of_int i)) prm in
+      let enc, lat = run_encrypted ev lowered ~managed sample.Dataset.image in
+      latency := !latency +. lat;
+      let p_pred = Dataset.argmax ~classes plain
+      and e_pred = Dataset.argmax ~classes enc in
+      if p_pred = sample.Dataset.label then incr correct_plain;
+      if e_pred = sample.Dataset.label then incr correct_enc;
+      if p_pred = e_pred then incr agree;
+      for c = 0 to min classes (Array.length enc) - 1 do
+        max_err := Float.max !max_err (Float.abs (enc.(c) -. plain.(c)))
+      done)
+    data;
+  let n = float_of_int (max samples 1) in
+  let ua = float_of_int !correct_plain /. n
+  and ea = float_of_int !correct_enc /. n in
+  {
+    model = lowered.Lowering.model.Model.name;
+    samples;
+    unencrypted_acc = ua;
+    encrypted_acc = ea;
+    accuracy_loss = ua -. ea;
+    agreement = float_of_int !agree /. n;
+    max_abs_err = !max_err;
+    mean_latency_ms = !latency /. n;
+  }
+
+let pp_fidelity ppf f =
+  Format.fprintf ppf
+    "@[<h>%s: unencrypted %.1f%%, encrypted %.1f%%, loss %+.1f%%, agreement %.1f%%, max \
+     |err| %.2e@]"
+    f.model (100.0 *. f.unencrypted_acc) (100.0 *. f.encrypted_acc)
+    (100.0 *. f.accuracy_loss) (100.0 *. f.agreement) f.max_abs_err

@@ -1,0 +1,33 @@
+(** End-to-end inference: plain reference vs simulated encrypted runs, and
+    the fidelity experiment behind Table 6. *)
+
+type fidelity = {
+  model : string;
+  samples : int;
+  unencrypted_acc : float;  (** Plain inference vs dataset labels. *)
+  encrypted_acc : float;  (** Simulated encrypted inference vs labels. *)
+  accuracy_loss : float;  (** [unencrypted_acc - encrypted_acc]. *)
+  agreement : float;  (** Fraction of samples where both predict alike. *)
+  max_abs_err : float;  (** Worst slot error across the class scores. *)
+  mean_latency_ms : float;  (** Simulated per-inference latency. *)
+}
+
+val run_plain : Lowering.t -> dim:int -> float array -> float array
+(** Reference inference of the (unmanaged) lowered model. *)
+
+val run_encrypted :
+  Ckks.Evaluator.t -> Lowering.t -> managed:Fhe_ir.Dfg.t -> float array -> float array * float
+(** Simulated encrypted inference on a managed graph; returns the
+    decrypted class scores and the simulated latency (ms). *)
+
+val fidelity :
+  ?samples:int ->
+  ?dim:int ->
+  ?seed:int64 ->
+  Ckks.Params.t ->
+  Lowering.t ->
+  managed:Fhe_ir.Dfg.t ->
+  fidelity
+(** Runs the Table 6 experiment on the synthetic dataset. *)
+
+val pp_fidelity : Format.formatter -> fidelity -> unit

@@ -1,0 +1,215 @@
+type layer =
+  | Conv of { name : string; taps : int; channels : int }
+  | Apr of { stages : int }
+  | Square
+  | Pool of { name : string; taps : int }
+  | Fc of { name : string; taps : int; blocks : int }
+  | Residual of { body : layer list; project : layer list }
+  | Concat of { name : string; branches : layer list list }
+
+type t = { name : string; layers : layer list; classes : int }
+
+let rec layer_depth = function
+  | Conv _ -> 1
+  | Apr { stages } -> Poly_approx.depth ~stages
+  | Square -> 1
+  | Pool _ -> 1
+  | Fc _ -> 1
+  | Residual { body; project } ->
+      let d b = List.fold_left (fun acc l -> acc + layer_depth l) 0 b in
+      max (d body) (d project)
+  | Concat { branches; _ } ->
+      1 + List.fold_left (fun acc b -> max acc (List.fold_left (fun a l -> a + layer_depth l) 0 b)) 0 branches
+
+let depth t = List.fold_left (fun acc l -> acc + layer_depth l) 0 t.layers
+
+let apr = Apr { stages = 2 }
+
+(* --- ResNet-(6n+2) for CIFAR-10 -------------------------------------- *)
+
+let resnet n =
+  let block stage idx channels ~project =
+    let tag = Printf.sprintf "s%d_b%d" stage idx in
+    Residual
+      {
+        body =
+          [
+            Conv { name = tag ^ "_conv1"; taps = 9; channels };
+            apr;
+            Conv { name = tag ^ "_conv2"; taps = 9; channels };
+          ];
+        project = (if project then [ Conv { name = tag ^ "_proj"; taps = 1; channels } ] else []);
+      }
+  in
+  let stage s channels ~first =
+    List.concat
+      (List.init n (fun i ->
+           [ block s i channels ~project:(first && i = 0); apr ]))
+  in
+  {
+    name = Printf.sprintf "ResNet%d" ((6 * n) + 2);
+    layers =
+      [ Conv { name = "stem"; taps = 9; channels = 16 }; apr ]
+      @ stage 1 16 ~first:false
+      @ stage 2 32 ~first:true
+      @ stage 3 64 ~first:true
+      @ [
+          Pool { name = "gap"; taps = 8 };
+          Fc { name = "fc"; taps = 16; blocks = 1 };
+        ];
+    classes = 10;
+  }
+
+let resnet20 = resnet 3
+let resnet44 = resnet 7
+let resnet110 = resnet 18
+
+(* --- AlexNet (CIFAR variant) ------------------------------------------ *)
+
+let alexnet =
+  {
+    name = "AlexNet";
+    layers =
+      [
+        Conv { name = "conv1"; taps = 25; channels = 64 };
+        apr;
+        Pool { name = "pool1"; taps = 4 };
+        Conv { name = "conv2"; taps = 25; channels = 192 };
+        apr;
+        Pool { name = "pool2"; taps = 4 };
+        Conv { name = "conv3"; taps = 9; channels = 384 };
+        apr;
+        Conv { name = "conv4"; taps = 9; channels = 256 };
+        apr;
+        Conv { name = "conv5"; taps = 9; channels = 256 };
+        apr;
+        Pool { name = "pool3"; taps = 4 };
+        Fc { name = "fc1"; taps = 16; blocks = 64 };
+        apr;
+        Fc { name = "fc2"; taps = 16; blocks = 64 };
+        apr;
+        Fc { name = "fc3"; taps = 16; blocks = 1 };
+      ];
+    classes = 10;
+  }
+
+(* --- VGG16 ------------------------------------------------------------- *)
+
+let vgg16 =
+  let conv i channels = [ Conv { name = Printf.sprintf "conv%d" i; taps = 9; channels }; apr ] in
+  let pool i = [ Pool { name = Printf.sprintf "pool%d" i; taps = 4 } ] in
+  {
+    name = "VGG16";
+    layers =
+      conv 1 64 @ conv 2 64 @ pool 1
+      @ conv 3 128 @ conv 4 128 @ pool 2
+      @ conv 5 256 @ conv 6 256 @ conv 7 256 @ pool 3
+      @ conv 8 512 @ conv 9 512 @ conv 10 512 @ pool 4
+      @ conv 11 512 @ conv 12 512 @ conv 13 512 @ pool 5
+      @ [
+          Fc { name = "fc1"; taps = 16; blocks = 128 };
+          apr;
+          Fc { name = "fc2"; taps = 16; blocks = 128 };
+          apr;
+          Fc { name = "fc3"; taps = 16; blocks = 1 };
+        ];
+    classes = 10;
+  }
+
+(* --- SqueezeNet --------------------------------------------------------- *)
+
+let squeezenet =
+  let fire i squeeze expand =
+    [
+      Conv { name = Printf.sprintf "fire%d_squeeze" i; taps = 1; channels = squeeze };
+      apr;
+      Concat
+        {
+          name = Printf.sprintf "fire%d" i;
+          branches =
+            [
+              [ Conv { name = Printf.sprintf "fire%d_e1" i; taps = 1; channels = expand } ];
+              [ Conv { name = Printf.sprintf "fire%d_e3" i; taps = 9; channels = expand } ];
+            ];
+        };
+      apr;
+    ]
+  in
+  {
+    name = "SqueezeNet";
+    layers =
+      [ Conv { name = "stem"; taps = 9; channels = 64 }; apr ]
+      @ fire 2 16 64 @ fire 3 16 64
+      @ [ Pool { name = "pool1"; taps = 4 } ]
+      @ fire 4 32 128 @ fire 5 32 128
+      @ [ Pool { name = "pool2"; taps = 4 } ]
+      @ fire 6 48 192 @ fire 7 48 192 @ fire 8 64 256
+      @ [
+          Conv { name = "conv10"; taps = 1; channels = 10 };
+          Pool { name = "gap"; taps = 8 };
+        ];
+    classes = 10;
+  }
+
+(* --- MobileNet ----------------------------------------------------------- *)
+
+let mobilenet =
+  let dw_pw i channels =
+    [
+      Conv { name = Printf.sprintf "dw%d" i; taps = 9; channels };
+      apr;
+      Conv { name = Printf.sprintf "pw%d" i; taps = 1; channels };
+      apr;
+    ]
+  in
+  {
+    name = "MobileNet";
+    layers =
+      [ Conv { name = "stem"; taps = 9; channels = 32 }; apr ]
+      @ List.concat
+          (List.mapi
+             (fun i c -> dw_pw (i + 1) c)
+             [ 64; 128; 128; 256; 256; 512; 512; 512; 512; 512; 512; 1024; 1024 ])
+      @ [
+          Pool { name = "gap"; taps = 8 };
+          Fc { name = "fc"; taps = 16; blocks = 1 };
+        ];
+    classes = 10;
+  }
+
+let paper_models =
+  [ resnet20; resnet44; resnet110; alexnet; vgg16; squeezenet; mobilenet ]
+
+let lenet5 =
+  {
+    name = "LeNet5";
+    layers =
+      [
+        Conv { name = "conv1"; taps = 25; channels = 6 };
+        Square;
+        Pool { name = "pool1"; taps = 4 };
+        Conv { name = "conv2"; taps = 25; channels = 16 };
+        Square;
+        Pool { name = "pool2"; taps = 4 };
+        Fc { name = "fc1"; taps = 16; blocks = 8 };
+        Square;
+        Fc { name = "fc2"; taps = 16; blocks = 1 };
+      ];
+    classes = 10;
+  }
+
+let tiny =
+  {
+    name = "Tiny";
+    layers =
+      [
+        Conv { name = "conv1"; taps = 3; channels = 4 };
+        apr;
+        Conv { name = "conv2"; taps = 3; channels = 4 };
+      ];
+    classes = 4;
+  }
+
+let by_name name =
+  let all = paper_models @ [ lenet5; tiny ] in
+  List.find_opt (fun m -> String.lowercase_ascii m.name = String.lowercase_ascii name) all

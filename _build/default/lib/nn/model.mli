@@ -1,0 +1,54 @@
+(** Model zoo.
+
+    Layer specifications mirror the packed single-ciphertext lowering used
+    by the paper (one CIFAR image per ciphertext): a convolution is a sum
+    of [taps] rotate-multiply terms whose per-output-channel loop stays
+    rolled with trip count [channels] (Section 4.1), an activation is the
+    composite polynomial of {!Poly_approx}, pooling and fully connected
+    layers are rotate-and-sum reductions.
+
+    The seven evaluation models (ResNet-20/44/110, AlexNet, VGG16,
+    SqueezeNet, MobileNet) reproduce the depth and layer structure that
+    drives the paper's Tables 3-5 and Figures 6-7; channel counts follow
+    the CIFAR-10 variants. *)
+
+type layer =
+  | Conv of { name : string; taps : int; channels : int }
+      (** [taps] spatial kernel positions; [channels] rolled trip count. *)
+  | Apr of { stages : int }  (** Approximate ReLU (depth [4*stages + 2]). *)
+  | Square  (** [x^2] activation (depth 1). *)
+  | Pool of { name : string; taps : int }  (** Average pooling (depth 1). *)
+  | Fc of { name : string; taps : int; blocks : int }
+      (** Rotate-and-sum matrix-vector product; [blocks] rolled count. *)
+  | Residual of { body : layer list; project : layer list }
+      (** [y = body x + project x]; empty [project] is the identity skip. *)
+  | Concat of { name : string; branches : layer list list }
+      (** Branch outputs re-packed with plaintext masks (depth 1). *)
+
+type t = { name : string; layers : layer list; classes : int }
+
+val depth : t -> int
+(** Multiplicative depth of the lowered model. *)
+
+val resnet : int -> t
+(** [resnet n] builds ResNet-(6n+2): [resnet 3] is ResNet-20, [resnet 7]
+    ResNet-44, [resnet 18] ResNet-110. *)
+
+val resnet20 : t
+val resnet44 : t
+val resnet110 : t
+val alexnet : t
+val vgg16 : t
+val squeezenet : t
+val mobilenet : t
+
+val paper_models : t list
+(** The seven models of the evaluation, in the paper's table order. *)
+
+val lenet5 : t
+(** The small model the paper quotes for HECATE/ELASM compile times. *)
+
+val tiny : t
+(** A minimal conv-APR-conv model for tests and the quickstart. *)
+
+val by_name : string -> t option

@@ -1,0 +1,29 @@
+open Fhe_ir
+
+let run g ~input ~consts =
+  let values = Hashtbl.create (Dfg.node_count g) in
+  let value id = Hashtbl.find values id in
+  let binary a b f =
+    if Array.length a <> Array.length b then invalid_arg "Plain_eval: slot mismatch";
+    Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+  in
+  List.iter
+    (fun id ->
+      let node = Dfg.node g id in
+      let arg i = value node.Dfg.args.(i) in
+      let v =
+        match node.Dfg.kind with
+        | Op.Input { name; _ } -> input name
+        | Op.Const { name } -> consts name
+        | Op.Add_cc | Op.Add_cp -> binary (arg 0) (arg 1) ( +. )
+        | Op.Mul_cc | Op.Mul_cp -> binary (arg 0) (arg 1) ( *. )
+        | Op.Rotate k ->
+            let a = arg 0 in
+            let n = Array.length a in
+            let k = ((k mod n) + n) mod n in
+            Array.init n (fun i -> a.((i + k) mod n))
+        | Op.Relin | Op.Rescale | Op.Modswitch | Op.Bootstrap _ -> arg 0
+      in
+      Hashtbl.replace values id v)
+    (Dfg.topo_order g);
+  List.map value (Dfg.outputs g)

@@ -1,0 +1,15 @@
+(** Plain (unencrypted) reference evaluation of an FHE DFG.
+
+    Executes the same vector program in exact double precision: arithmetic
+    and rotations act on the slot vectors, while relinearisation, SMOs and
+    bootstrapping are the identity.  This is the "unencrypted inference"
+    column of Table 6 — the managed and unmanaged graphs of one model
+    evaluate to the same plain result, so the fidelity comparison isolates
+    the error introduced by fixed-point scales and simulated noise. *)
+
+val run :
+  Fhe_ir.Dfg.t ->
+  input:(string -> float array) ->
+  consts:(string -> float array) ->
+  float array list
+(** Program outputs in DFG output order. *)

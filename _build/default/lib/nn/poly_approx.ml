@@ -1,0 +1,16 @@
+let f7 = [| 35.0 /. 16.0; -35.0 /. 16.0; 21.0 /. 16.0; -5.0 /. 16.0 |]
+
+let f_stage x =
+  let x2 = x *. x in
+  let x3 = x2 *. x in
+  let x5 = x2 *. x3 in
+  let x7 = x2 *. x5 in
+  (f7.(0) *. x) +. (f7.(1) *. x3) +. (f7.(2) *. x5) +. (f7.(3) *. x7)
+
+let sign ~stages x =
+  let rec go k v = if k = 0 then v else go (k - 1) (f_stage v) in
+  go (max stages 1) x
+
+let relu ~stages x = x *. ((1.0 +. sign ~stages x) /. 2.0)
+
+let depth ~stages = (4 * max stages 1) + 2

@@ -1,0 +1,24 @@
+(** Polynomial approximation of ReLU.
+
+    RNS-CKKS evaluates only polynomials, so ReLU is replaced by the
+    composite minimax construction of Lee et al. (the paper's reference
+    [25]): [relu(x) = x * (1 + sign(x)) / 2] with [sign] approximated by a
+    composition of odd degree-7 minimax polynomials
+    [f(x) = (35x - 35x^3 + 21x^5 - 5x^7) / 16].  Each stage sharpens the
+    transition around zero; the default two-stage composition has
+    multiplicative depth 10, close to the depth-11 approximation used in
+    the paper's evaluation. *)
+
+val f7 : float array
+(** Coefficients of the odd stage polynomial indexed by power:
+    [f7.(k)] multiplies [x^(2k+1)] for [k] in [0..3]. *)
+
+val sign : stages:int -> float -> float
+(** The composed sign approximation on [-1, 1]. *)
+
+val relu : stages:int -> float -> float
+(** The ReLU approximation on [-1, 1]. *)
+
+val depth : stages:int -> int
+(** Multiplicative depth of the lowered approximation
+    (4 per stage + 2 for the final blend). *)

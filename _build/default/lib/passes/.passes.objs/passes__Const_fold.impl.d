@@ -1,0 +1,1 @@
+lib/passes/const_fold.ml: Array Dfg Fhe_ir List Op Printf String

@@ -1,0 +1,1 @@
+lib/passes/const_fold.mli: Fhe_ir

@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Array Dfg Fhe_ir Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/passes/cse.mli: Fhe_ir

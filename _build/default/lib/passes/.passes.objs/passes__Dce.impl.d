@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Dfg Fhe_ir List

@@ -1,0 +1,1 @@
+lib/passes/ms_opt.ml: Array Ckks Dfg Fhe_ir List Op Scale_check

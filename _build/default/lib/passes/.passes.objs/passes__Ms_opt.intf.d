@@ -1,0 +1,1 @@
+lib/passes/ms_opt.mli: Ckks Fhe_ir

@@ -1,0 +1,101 @@
+open Fhe_ir
+
+let const_name g id =
+  match (Dfg.node g id).Dfg.kind with Op.Const { name } -> Some name | _ -> None
+
+(* Distribution: a relinearised ciphertext product of two plaintext-scaled
+   values becomes a plaintext-scaled product of the raw values. *)
+let distribute g (relin_node : Dfg.node) folds changed =
+  match relin_node.Dfg.args with
+  | [| raw |] -> (
+      let raw_node = Dfg.node g raw in
+      if raw_node.Dfg.kind = Op.Mul_cc && raw_node.Dfg.users = [ relin_node.Dfg.id ] then
+        let scaled id =
+          let n = Dfg.node g id in
+          match n.Dfg.kind with
+          | Op.Mul_cp -> (
+              match const_name g n.Dfg.args.(1) with
+              | Some c -> Some (n.Dfg.args.(0), c)
+              | None -> None)
+          | _ -> None
+        in
+        let a = raw_node.Dfg.args.(0) and b = raw_node.Dfg.args.(1) in
+        let a_ok =
+          (Dfg.node g a).Dfg.users
+          |> List.for_all (fun u -> u = raw_node.Dfg.id)
+        and b_ok =
+          (Dfg.node g b).Dfg.users
+          |> List.for_all (fun u -> u = raw_node.Dfg.id)
+        in
+        match (scaled a, scaled b) with
+        | Some (base_a, ca), Some (base_b, cb)
+          when a_ok && b_ok
+               && (not (List.mem a (Dfg.outputs g)))
+               && not (List.mem b (Dfg.outputs g)) ->
+            let product = Dfg.mul_cc g ~freq:relin_node.Dfg.freq base_a base_b in
+            let folded = Dfg.const g (Printf.sprintf "(%s*%s)" ca cb) in
+            let replacement = Dfg.mul_cp g ~freq:relin_node.Dfg.freq product folded in
+            Dfg.replace_uses g ~old_id:relin_node.Dfg.id ~new_id:replacement;
+            Dfg.kill g relin_node.Dfg.id;
+            Dfg.kill g raw;
+            if (Dfg.node g a).Dfg.users = [] then Dfg.kill g a;
+            if a <> b && (Dfg.node g b).Dfg.users = [] then Dfg.kill g b;
+            incr folds;
+            changed := true
+        | _ -> ())
+  | _ -> ()
+
+let run g =
+  let folds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun node ->
+        if (not node.Dfg.dead) && node.Dfg.kind = Op.Relin && not !changed then
+          distribute g node folds changed;
+        if (not node.Dfg.dead) && node.Dfg.kind = Op.Mul_cp then begin
+          let inner = node.Dfg.args.(0) in
+          let inner_node = Dfg.node g inner in
+          if
+            inner_node.Dfg.kind = Op.Mul_cp
+            && inner_node.Dfg.users = [ node.Dfg.id ]
+            && not (List.mem inner (Dfg.outputs g))
+          then
+            match (const_name g node.Dfg.args.(1), const_name g inner_node.Dfg.args.(0 + 1)) with
+            | Some c_outer, Some c_inner ->
+                let folded = Dfg.const g (Printf.sprintf "(%s*%s)" c_inner c_outer) in
+                Dfg.set_arg g ~user:node.Dfg.id ~arg_index:0 inner_node.Dfg.args.(0);
+                Dfg.set_arg g ~user:node.Dfg.id ~arg_index:1 folded;
+                if inner_node.Dfg.users = [] then Dfg.kill g inner;
+                incr folds;
+                changed := true
+            | _ -> ()
+        end)
+      (Dfg.live_nodes g)
+  done;
+  !folds
+
+let rec resolving base name =
+  let n = String.length name in
+  if n >= 2 && name.[0] = '(' && name.[n - 1] = ')' then begin
+    (* Find the top-level '*' separator. *)
+    let inner = String.sub name 1 (n - 2) in
+    let depth = ref 0 and split = ref (-1) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '(' -> incr depth
+        | ')' -> decr depth
+        | '*' when !depth = 0 && !split < 0 -> split := i
+        | _ -> ())
+      inner;
+    if !split < 0 then base name
+    else begin
+      let a = resolving base (String.sub inner 0 !split)
+      and b = resolving base (String.sub inner (!split + 1) (String.length inner - !split - 1)) in
+      if Array.length a <> Array.length b then base name
+      else Array.init (Array.length a) (fun i -> a.(i) *. b.(i))
+    end
+  end
+  else base name

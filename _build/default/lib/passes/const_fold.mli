@@ -1,0 +1,24 @@
+(** Constant folding for plaintext multiplier chains.
+
+    Two rewrites:
+
+    - chain folding: [Mul_cp (Mul_cp (x, c1), c2)] becomes
+      [Mul_cp (x, "(c1*c2)")], saving one multiplicative level;
+    - distribution: [Mul_cc (Mul_cp (a, c1), Mul_cp (b, c2))] becomes
+      [Mul_cp (Mul_cc (a, b), "(c1*c2)")], hoisting plaintext
+      coefficients out of ciphertext products so that CSE can share the
+      underlying power (the pre-optimisation that turns Figure 5a into
+      the optimal plan of Figure 5b: [(a1*x)^2] becomes
+      [(a1*a1) * x^2] and [x^2] merges with the power chain of [y]).
+
+    The folded constant is a fresh [Const] whose name records the
+    product; {!resolving} wraps a constant resolver so interpretation
+    evaluates folded names transparently.  Returns the number of
+    rewrites performed. *)
+
+val run : Fhe_ir.Dfg.t -> int
+
+val resolving : (string -> float array) -> string -> float array
+(** [resolving base] resolves "(a*b)" as the element-wise product of
+    [resolving base "a"] and [resolving base "b"], and defers anything
+    else to [base]. *)

@@ -1,0 +1,34 @@
+open Fhe_ir
+
+type key = { kind : Op.kind; args : int list; freq : int }
+
+let canonical_args kind args =
+  match kind with
+  | Op.Add_cc | Op.Mul_cc -> List.sort compare args
+  | _ -> args
+
+let run g =
+  let seen : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  let merged = ref 0 in
+  List.iter
+    (fun node ->
+      let id = node.Dfg.id in
+      if not node.Dfg.dead then begin
+        let key =
+          {
+            kind = node.Dfg.kind;
+            args = canonical_args node.Dfg.kind (Array.to_list node.Dfg.args);
+            freq = node.Dfg.freq;
+          }
+        in
+        match Hashtbl.find_opt seen key with
+        | Some canon when canon <> id ->
+            Dfg.replace_uses g ~old_id:id ~new_id:canon;
+            if node.Dfg.users = [] && not (List.mem id (Dfg.outputs g)) then begin
+              Dfg.kill g id;
+              incr merged
+            end
+        | _ -> Hashtbl.add seen key id
+      end)
+    (List.map (Dfg.node g) (Dfg.topo_order g));
+  !merged

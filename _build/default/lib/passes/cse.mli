@@ -1,0 +1,10 @@
+(** Common-subexpression elimination.
+
+    Structurally identical nodes (same kind, same arguments after
+    canonicalisation, same frequency) are merged, in topological order so
+    that chains collapse transitively.  Commutative operations ([Add_cc],
+    [Mul_cc]) canonicalise their argument order.  This is the
+    post-optimisation of Section 4.6 that merges the two redundant
+    bootstraps of Figure 5a.  Returns the number of nodes merged. *)
+
+val run : Fhe_ir.Dfg.t -> int

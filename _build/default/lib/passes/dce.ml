@@ -1,0 +1,19 @@
+open Fhe_ir
+
+let run g =
+  let outputs = Dfg.outputs g in
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun node ->
+        let id = node.Dfg.id in
+        if node.Dfg.users = [] && not (List.mem id outputs) then begin
+          Dfg.kill g id;
+          incr removed;
+          changed := true
+        end)
+      (Dfg.live_nodes g)
+  done;
+  !removed

@@ -1,0 +1,4 @@
+(** Dead-code elimination: iteratively kill nodes with no users that are
+    not program outputs.  Returns the number of nodes removed. *)
+
+val run : Fhe_ir.Dfg.t -> int

@@ -1,0 +1,66 @@
+open Fhe_ir
+
+(* One hoist: delete modswitch [m] and re-insert modswitches on the
+   ciphertext operands of [target] (which may be the producer itself, or
+   the mul_cc under a relin). *)
+let hoist g ~m ~producer ~target =
+  let target_node = Dfg.node g target in
+  Array.iteri
+    (fun i a ->
+      if Op.produces_ct (Dfg.node g a).Dfg.kind then
+        ignore (Dfg.wrap_operand g ~user:target ~arg_index:i Op.Modswitch))
+    target_node.Dfg.args;
+  Dfg.replace_uses g ~old_id:m ~new_id:producer;
+  Dfg.kill g m
+
+let run prm g =
+  let hoists = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let info = Scale_check.infer prm g in
+    let try_node node =
+      if (not node.Dfg.dead) && node.Dfg.kind = Op.Modswitch && not !changed then begin
+        let m = node.Dfg.id in
+        let producer = node.Dfg.args.(0) in
+        let p = Dfg.node g producer in
+        if p.Dfg.users = [ m ] && not (List.mem producer (Dfg.outputs g)) then begin
+          let level = info.(producer).Scale_check.level in
+          let ok_levels target =
+            (* Every ciphertext operand of [target] must have a level to
+               spend, and multiplications must keep capacity at the lower
+               level. *)
+            level >= 1
+            && Array.for_all
+                 (fun a ->
+                   (not (Op.produces_ct (Dfg.node g a).Dfg.kind))
+                   || info.(a).Scale_check.level >= 1)
+                 (Dfg.node g target).Dfg.args
+            && Ckks.Evaluator.capacity_ok prm
+                 ~scale_bits:info.(producer).Scale_check.scale_bits ~level:(level - 1)
+          in
+          match p.Dfg.kind with
+          | Op.Rotate _ | Op.Add_cc | Op.Add_cp | Op.Mul_cp ->
+              if ok_levels producer then begin
+                hoist g ~m ~producer ~target:producer;
+                incr hoists;
+                changed := true
+              end
+          | Op.Relin -> (
+              let mul = p.Dfg.args.(0) in
+              let mul_node = Dfg.node g mul in
+              if mul_node.Dfg.kind = Op.Mul_cc && mul_node.Dfg.users = [ producer ]
+                 && (not (List.mem mul (Dfg.outputs g)))
+                 && ok_levels mul
+              then begin
+                hoist g ~m ~producer ~target:mul;
+                incr hoists;
+                changed := true
+              end)
+          | _ -> ()
+        end
+      end
+    in
+    List.iter try_node (Dfg.live_nodes g)
+  done;
+  !hoists

@@ -1,0 +1,12 @@
+(** Modswitch hoisting.
+
+    Moves [Modswitch] nodes above their producing operation when that
+    producer has no other consumer, so the producer executes at the lower
+    level (Table 2 latencies grow with the level).  This realises the
+    Figure 3b preference — multiply first at the lower level — and the
+    "modswitch optimisation" the paper grants ReSBM_max for lowering
+    excessively bootstrapped ciphertexts.  Hoisting stops at inputs,
+    constants, bootstraps and SMOs, and respects the capacity constraint
+    when crossing multiplications.  Returns the number of hoists. *)
+
+val run : Ckks.Params.t -> Fhe_ir.Dfg.t -> int

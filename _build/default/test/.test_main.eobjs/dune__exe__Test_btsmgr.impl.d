@@ -1,0 +1,1 @@
+test/test_btsmgr.ml: Alcotest Array Ckks Depth Dfg Fhe_ir List Option Resbm Result Scale_check Test_util

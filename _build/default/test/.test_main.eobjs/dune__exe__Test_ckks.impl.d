@@ -1,0 +1,1 @@
+test/test_ckks.ml: Array Ckks Float Int64 List QCheck2 Test_util

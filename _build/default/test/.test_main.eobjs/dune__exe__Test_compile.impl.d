@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Ckks Dfg Fhe_ir Float Interp Latency List Nn Printf Resbm Result Scale_check Stats Test_util

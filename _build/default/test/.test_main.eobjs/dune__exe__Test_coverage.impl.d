@@ -1,0 +1,1 @@
+test/test_coverage.ml: Array Ckks Dfg Fhe_ir Float List Nn Op Printf Resbm Scale_check Stats Test_util

@@ -1,0 +1,1 @@
+test/test_exact_ckks.ml: Alcotest Array Ckks Float Int64 List Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ckks Depth Dfg Emit Fhe_ir Fhe_lang Filename Float Hashtbl Int64 Interp List Liveness Nn Noise_check Op Printf QCheck2 Resbm String Sys Test_util

@@ -1,0 +1,1 @@
+test/test_graphlib.ml: Alcotest Array Ckks Float Graphlib Int64 List Printf QCheck2 Test_util

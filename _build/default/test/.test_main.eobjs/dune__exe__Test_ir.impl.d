@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ckks Depth Dfg Fhe_ir Float Format Hashtbl Interp Latency Legalize List Op Option Resbm Result Scale_check Stats Test_util

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Ckks Depth Dfg Fhe_ir Float List Nn Printf QCheck2 Resbm Stats Test_util

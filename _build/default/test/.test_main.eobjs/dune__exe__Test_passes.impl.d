@@ -1,0 +1,1 @@
+test/test_passes.ml: Array Ckks Depth Dfg Fhe_ir Float Latency List Nn Op Passes Resbm Result Scale_check Test_util

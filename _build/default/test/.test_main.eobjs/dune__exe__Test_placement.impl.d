@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Ckks Dfg Fhe_ir Float Hashtbl List Op QCheck2 Resbm Test_util

@@ -1,0 +1,1 @@
+test/test_region.ml: Array Depth Dfg Fhe_ir Hashtbl List Op Resbm Test_util

@@ -1,0 +1,1 @@
+test/test_tooling.ml: Array Ckks Dfg Dot Fhe_ir Filename Format Latency List Nn Op Printf Resbm Result Scale_check String Sys Test_util

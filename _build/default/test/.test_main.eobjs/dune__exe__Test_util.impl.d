@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ckks Dfg Fhe_ir Hashtbl Int64 List Op Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_waterline.ml: Alcotest Array Ckks Dfg Fhe_ir Float Hashtbl Int64 Interp Nn Printf Resbm Result Scale_check Stats Test_util

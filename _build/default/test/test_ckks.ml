@@ -1,0 +1,319 @@
+open Test_util
+
+(* --- Params ------------------------------------------------------------ *)
+
+let params_defaults () =
+  let p = Ckks.Params.default in
+  checki "scale" 56 p.Ckks.Params.scale_bits;
+  checki "l_max" 16 p.Ckks.Params.l_max;
+  checki "slots" 32768 (Ckks.Params.slot_count p);
+  checkb "valid" true (Ckks.Params.validate p = Ok ())
+
+let params_fig1 () =
+  let p = Ckks.Params.fig1 in
+  checki "scale" 40 p.Ckks.Params.scale_bits;
+  checki "l_max" 3 p.Ckks.Params.l_max;
+  checki "input level" 1 p.Ckks.Params.input_level;
+  checkb "valid" true (Ckks.Params.validate p = Ok ())
+
+let params_with_l_max () =
+  let p = Ckks.Params.with_l_max Ckks.Params.default 10 in
+  checki "l_max replaced" 10 p.Ckks.Params.l_max;
+  checki "rest unchanged" 56 p.Ckks.Params.scale_bits
+
+let params_invalid () =
+  let bad fields = Ckks.Params.validate fields <> Ok () in
+  checkb "zero scale" true (bad { Ckks.Params.default with scale_bits = 0 });
+  checkb "waterline above q" true
+    (bad { Ckks.Params.default with waterline_bits = 100 });
+  checkb "l_max zero" true (bad { Ckks.Params.default with l_max = 0 });
+  checkb "negative input level" true (bad { Ckks.Params.default with input_level = -1 })
+
+(* --- Cost model --------------------------------------------------------- *)
+
+let table2_exact_values () =
+  let open Ckks.Cost_model in
+  (* spot-check the published grid points *)
+  check_float "AddCP L0" 0.138 (cost Add_cp ~level:0);
+  check_float "AddCC L16" 3.574 (cost Add_cc ~level:16);
+  check_float "MulCP L2" 1.175 (cost Mul_cp ~level:2);
+  check_float "MulCC L16" 15.638 (cost Mul_cc ~level:16);
+  check_float "Rotate L0" 58.422 (cost Rotate ~level:0);
+  check_float "Relin L8" 130.493 (cost Relin ~level:8);
+  check_float "Rescale L10" 33.792 (cost Rescale ~level:10);
+  check_float "Bootstrap L16" 44719.0 (cost Bootstrap ~level:16);
+  check_float "Bootstrap L2" 21005.0 (cost Bootstrap ~level:2)
+
+let table2_interpolation () =
+  let open Ckks.Cost_model in
+  (* odd levels interpolate linearly between neighbours *)
+  check_float "AddCC L1" ((0.164 +. 0.548) /. 2.0) (cost Add_cc ~level:1);
+  check_float "Rescale L3" ((9.085 +. 15.107) /. 2.0) (cost Rescale ~level:3);
+  check_float "Bootstrap L15" ((41582.0 +. 44719.0) /. 2.0) (cost Bootstrap ~level:15)
+
+let table2_modswitch_cheap () =
+  let open Ckks.Cost_model in
+  checkb "modswitch cheapest" true (cost Modswitch ~level:16 < cost Add_cp ~level:0)
+
+let table2_extrapolation () =
+  let open Ckks.Cost_model in
+  (* beyond the grid: linear with the last slope *)
+  let at16 = cost Mul_cc ~level:16 and at18 = cost Mul_cc ~level:18 in
+  checkb "grows beyond 16" true (at18 > at16);
+  check_float ~eps:1e-6 "slope" (15.638 +. (15.638 -. 13.053)) at18
+
+let table2_nonnegative =
+  qcheck ~count:200 "costs are non-negative and defined everywhere"
+    QCheck2.Gen.(pair (int_range 0 8) (int_range 0 40))
+    (fun (op_idx, level) ->
+      let op = List.nth Ckks.Cost_model.all_ops op_idx in
+      Ckks.Cost_model.cost op ~level >= 0.0)
+
+let table2_monotone_in_level =
+  qcheck ~count:200 "latency grows (weakly) with the level"
+    QCheck2.Gen.(pair (int_range 0 7) (int_range 0 20))
+    (fun (op_idx, level) ->
+      let op = List.nth Ckks.Cost_model.all_ops op_idx in
+      Ckks.Cost_model.cost op ~level:(level + 1) >= Ckks.Cost_model.cost op ~level -. 1e-9)
+
+(* --- PRNG --------------------------------------------------------------- *)
+
+let prng_deterministic () =
+  let a = Ckks.Prng.create 42L and b = Ckks.Prng.create 42L in
+  for _ = 1 to 100 do
+    check_float "same stream" (Ckks.Prng.float a) (Ckks.Prng.float b)
+  done
+
+let prng_seed_sensitivity () =
+  let a = Ckks.Prng.create 1L and b = Ckks.Prng.create 2L in
+  checkb "different seeds differ" true (Ckks.Prng.int64 a <> Ckks.Prng.int64 b)
+
+let prng_float_range =
+  qcheck ~count:200 "floats in [0,1)" QCheck2.Gen.(int_bound 1_000_000) (fun seed ->
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let v = Ckks.Prng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let prng_int_bound =
+  qcheck ~count:200 "ints below bound" QCheck2.Gen.(pair (int_bound 100_000) (int_range 1 50))
+    (fun (seed, bound) ->
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let v = Ckks.Prng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prng_mean () =
+  let rng = Ckks.Prng.create 7L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Ckks.Prng.float rng
+  done;
+  checkb "mean near 0.5" true (Float.abs ((!sum /. float_of_int n) -. 0.5) < 0.02)
+
+let prng_gaussian_moments () =
+  let rng = Ckks.Prng.create 11L in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Ckks.Prng.gaussian rng in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  checkb "mean near 0" true (Float.abs (!sum /. float_of_int n) < 0.05);
+  checkb "variance near 1" true (Float.abs ((!sq /. float_of_int n) -. 1.0) < 0.1)
+
+(* --- Plaintext ---------------------------------------------------------- *)
+
+let plaintext_quantisation () =
+  let pt = Ckks.Plaintext.encode ~scale_bits:8 [| 0.3; -0.7 |] in
+  (* quantised to multiples of 2^-8 *)
+  Array.iter
+    (fun v ->
+      let scaled = v *. 256.0 in
+      check_float ~eps:1e-9 "on grid" (Float.round scaled) scaled)
+    pt.Ckks.Plaintext.slots;
+  checkb "error bound" true (pt.Ckks.Plaintext.err <= 1.0 /. 256.0)
+
+let plaintext_re_encode () =
+  let pt = Ckks.Plaintext.encode ~scale_bits:8 [| 0.3 |] in
+  let pt' = Ckks.Plaintext.re_encode pt ~scale_bits:16 in
+  checki "new scale" 16 pt'.Ckks.Plaintext.scale_bits;
+  checkb "value close" true (Float.abs (pt'.Ckks.Plaintext.slots.(0) -. 0.3) < 0.01)
+
+(* --- Evaluator: Table 1 semantics --------------------------------------- *)
+
+let prm = Ckks.Params.default
+
+let ev () = Ckks.Evaluator.create ~seed:99L prm
+
+let close ?(eps = 1e-6) a b = Float.abs (a -. b) < eps
+
+let eval_add_cc () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 1.0; 2.0 |] in
+  let b = Ckks.Evaluator.encrypt e [| 0.5; -1.0 |] in
+  let c = Ckks.Evaluator.add_cc e a b in
+  let d = Ckks.Evaluator.decrypt e c in
+  checkb "sum" true (close d.(0) 1.5 && close d.(1) 1.0);
+  checki "scale preserved" a.Ckks.Ciphertext.scale_bits c.Ckks.Ciphertext.scale_bits;
+  checki "level preserved" a.Ckks.Ciphertext.level c.Ckks.Ciphertext.level
+
+let eval_mul_cc_scale_sum () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 0.5 |] in
+  let b = Ckks.Evaluator.encrypt e [| 0.25 |] in
+  let m = Ckks.Evaluator.mul_cc e a b in
+  checki "scales add" (2 * prm.Ckks.Params.scale_bits) m.Ckks.Ciphertext.scale_bits;
+  checki "size 3 before relin" 3 m.Ckks.Ciphertext.size;
+  let r = Ckks.Evaluator.relin e m in
+  checki "size 2 after relin" 2 r.Ckks.Ciphertext.size;
+  let d = Ckks.Evaluator.decrypt e r in
+  checkb "product" true (close ~eps:1e-4 d.(0) 0.125)
+
+let eval_mul_cp () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 0.5 |] in
+  let pt = Ckks.Evaluator.encode e [| 0.5 |] in
+  let m = Ckks.Evaluator.mul_cp e a pt in
+  checki "scale adds waterline"
+    (prm.Ckks.Params.input_scale_bits + prm.Ckks.Params.waterline_bits)
+    m.Ckks.Ciphertext.scale_bits;
+  let d = Ckks.Evaluator.decrypt e m in
+  checkb "product" true (close ~eps:1e-4 d.(0) 0.25)
+
+let eval_rotate () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 1.0; 2.0; 3.0; 4.0 |] in
+  let r = Ckks.Evaluator.rotate e a 1 in
+  let d = Ckks.Evaluator.decrypt e r in
+  checkb "rotated left" true (close ~eps:1e-4 d.(0) 2.0 && close ~eps:1e-4 d.(3) 1.0);
+  let r2 = Ckks.Evaluator.rotate e a (-1) in
+  let d2 = Ckks.Evaluator.decrypt e r2 in
+  checkb "rotated right" true (close ~eps:1e-4 d2.(0) 4.0)
+
+let eval_rescale () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 0.5 |] in
+  let pt = Ckks.Evaluator.encode e [| 0.5 |] in
+  let m = Ckks.Evaluator.mul_cp e a pt in
+  let r = Ckks.Evaluator.rescale e m in
+  checki "scale reduced by q" (m.Ckks.Ciphertext.scale_bits - prm.Ckks.Params.scale_bits)
+    r.Ckks.Ciphertext.scale_bits;
+  checki "level dropped" (m.Ckks.Ciphertext.level - 1) r.Ckks.Ciphertext.level;
+  checkb "value preserved" true
+    (close ~eps:1e-4 (Ckks.Evaluator.decrypt e r).(0) 0.25)
+
+let eval_modswitch () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 0.5 |] in
+  let m = Ckks.Evaluator.modswitch e a in
+  checki "level dropped" (a.Ckks.Ciphertext.level - 1) m.Ckks.Ciphertext.level;
+  checki "scale unchanged" a.Ckks.Ciphertext.scale_bits m.Ckks.Ciphertext.scale_bits
+
+let eval_bootstrap () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e ~level:1 [| 0.5 |] in
+  let b = Ckks.Evaluator.bootstrap e a ~target_level:12 in
+  checki "level raised" 12 b.Ckks.Ciphertext.level;
+  checki "scale reset to q" prm.Ckks.Params.scale_bits b.Ckks.Ciphertext.scale_bits;
+  checkb "value preserved" true
+    (close ~eps:1e-4 (Ckks.Evaluator.decrypt e b).(0) 0.5)
+
+(* Constraint violations: each must raise Fhe_error. *)
+let raises_fhe f =
+  match f () with
+  | _ -> false
+  | exception Ckks.Evaluator.Fhe_error _ -> true
+
+let eval_constraint_violations () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 1.0 |] in
+  let low = Ckks.Evaluator.modswitch e a in
+  checkb "add level mismatch" true (raises_fhe (fun () -> Ckks.Evaluator.add_cc e a low));
+  let pt = Ckks.Evaluator.encode e [| 1.0 |] in
+  let prod = Ckks.Evaluator.mul_cp e a pt in
+  checkb "add scale mismatch" true (raises_fhe (fun () -> Ckks.Evaluator.add_cc e a prod));
+  checkb "mul level mismatch" true (raises_fhe (fun () -> Ckks.Evaluator.mul_cc e a low));
+  checkb "rescale below waterline" true (raises_fhe (fun () -> Ckks.Evaluator.rescale e a));
+  let at0 = Ckks.Evaluator.encrypt e ~level:0 [| 1.0 |] in
+  checkb "modswitch at level 0" true (raises_fhe (fun () -> Ckks.Evaluator.modswitch e at0));
+  checkb "bootstrap target 0" true
+    (raises_fhe (fun () -> Ckks.Evaluator.bootstrap e a ~target_level:0));
+  checkb "bootstrap above l_max" true
+    (raises_fhe (fun () -> Ckks.Evaluator.bootstrap e a ~target_level:17));
+  checkb "mul at level 0 overflows" true
+    (raises_fhe (fun () -> Ckks.Evaluator.mul_cc e at0 at0));
+  let m = Ckks.Evaluator.mul_cc e a a in
+  checkb "size-3 operand rejected" true (raises_fhe (fun () -> Ckks.Evaluator.rotate e m 1));
+  checkb "relin of size-2 rejected" true (raises_fhe (fun () -> Ckks.Evaluator.relin e a))
+
+let eval_noise_grows () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 0.9 |] in
+  let m = Ckks.Evaluator.relin e (Ckks.Evaluator.mul_cc e a a) in
+  checkb "noise grows under mul" true (m.Ckks.Ciphertext.err > a.Ckks.Ciphertext.err);
+  let b = Ckks.Evaluator.bootstrap e (Ckks.Evaluator.rescale e m) ~target_level:5 in
+  checkb "bootstrap adds approximation noise" true (b.Ckks.Ciphertext.err > 1e-8)
+
+let eval_capacity_formula () =
+  checkb "56 bits at level 0" true
+    (Ckks.Evaluator.capacity_ok prm ~scale_bits:56 ~level:0);
+  checkb "112 bits at level 0" false
+    (Ckks.Evaluator.capacity_ok prm ~scale_bits:112 ~level:0);
+  checkb "112 bits at level 1" true
+    (Ckks.Evaluator.capacity_ok prm ~scale_bits:112 ~level:1);
+  checkb "168 bits at level 1" false
+    (Ckks.Evaluator.capacity_ok prm ~scale_bits:168 ~level:1)
+
+let eval_op_count () =
+  let e = ev () in
+  let a = Ckks.Evaluator.encrypt e [| 1.0 |] in
+  let b = Ckks.Evaluator.encrypt e [| 2.0 |] in
+  ignore (Ckks.Evaluator.add_cc e a b);
+  checki "three ops" 3 (Ckks.Evaluator.op_count e)
+
+let eval_mul_accuracy =
+  qcheck ~count:100 "homomorphic arithmetic tracks plain arithmetic"
+    QCheck2.Gen.(triple (float_range (-0.9) 0.9) (float_range (-0.9) 0.9) (int_bound 10_000))
+    (fun (x, y, seed) ->
+      let e = Ckks.Evaluator.create ~seed:(Int64.of_int seed) prm in
+      let a = Ckks.Evaluator.encrypt e [| x |] and b = Ckks.Evaluator.encrypt e [| y |] in
+      let sum = Ckks.Evaluator.decrypt e (Ckks.Evaluator.add_cc e a b) in
+      let prod =
+        Ckks.Evaluator.decrypt e (Ckks.Evaluator.relin e (Ckks.Evaluator.mul_cc e a b))
+      in
+      Float.abs (sum.(0) -. (x +. y)) < 1e-6 && Float.abs (prod.(0) -. (x *. y)) < 1e-6)
+
+let suite =
+  [
+    case "params: defaults" params_defaults;
+    case "params: fig1" params_fig1;
+    case "params: with_l_max" params_with_l_max;
+    case "params: validation rejects bad configs" params_invalid;
+    case "cost model: Table 2 grid values" table2_exact_values;
+    case "cost model: linear interpolation" table2_interpolation;
+    case "cost model: modswitch epsilon" table2_modswitch_cheap;
+    case "cost model: extrapolation above 16" table2_extrapolation;
+    table2_nonnegative;
+    table2_monotone_in_level;
+    case "prng: deterministic" prng_deterministic;
+    case "prng: seed sensitivity" prng_seed_sensitivity;
+    prng_float_range;
+    prng_int_bound;
+    case "prng: uniform mean" prng_mean;
+    case "prng: gaussian moments" prng_gaussian_moments;
+    case "plaintext: quantisation grid" plaintext_quantisation;
+    case "plaintext: re-encode" plaintext_re_encode;
+    case "evaluator: add_cc semantics" eval_add_cc;
+    case "evaluator: mul_cc scales add, relin" eval_mul_cc_scale_sum;
+    case "evaluator: mul_cp waterline" eval_mul_cp;
+    case "evaluator: rotate" eval_rotate;
+    case "evaluator: rescale" eval_rescale;
+    case "evaluator: modswitch" eval_modswitch;
+    case "evaluator: bootstrap" eval_bootstrap;
+    case "evaluator: constraint violations raise" eval_constraint_violations;
+    case "evaluator: noise grows" eval_noise_grows;
+    case "evaluator: capacity formula" eval_capacity_formula;
+    case "evaluator: op counting" eval_op_count;
+    eval_mul_accuracy;
+  ]

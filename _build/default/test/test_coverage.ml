@@ -1,0 +1,228 @@
+(* Breadth coverage: full Table 2 pinning, plan-structure invariants,
+   small-parameter exact CKKS, evaluator edge cases. *)
+open Test_util
+open Fhe_ir
+
+let prm = Ckks.Params.default
+
+(* --- Table 2 fully pinned ----------------------------------------------------- *)
+
+let table2_rows =
+  (* every published cell, from the paper *)
+  [
+    (Ckks.Cost_model.Add_cp, [ 0.138; 0.575; 0.886; 1.268; 1.714; 1.931; 2.295; 2.807; 3.066 ]);
+    (Ckks.Cost_model.Add_cc, [ 0.164; 0.548; 0.936; 1.344; 1.690; 2.089; 2.561; 3.089; 3.574 ]);
+    (Ckks.Cost_model.Mul_cp, [ nan; 1.175; 1.993; 2.746; 3.553; 4.354; 5.175; 5.902; 6.837 ]);
+    (Ckks.Cost_model.Mul_cc, [ nan; 2.509; 4.237; 6.021; 7.750; 9.280; 11.129; 13.053; 15.638 ]);
+    ( Ckks.Cost_model.Rotate,
+      [ 58.422; 77.521; 93.799; 111.901; 130.940; 150.321; 241.560; 243.323; 290.575 ] );
+    ( Ckks.Cost_model.Relin,
+      [ nan; 76.947; 93.617; 111.819; 130.493; 149.586; 215.768; 242.031; 262.308 ] );
+    ( Ckks.Cost_model.Rescale,
+      [ nan; 9.085; 15.107; 21.333; 27.535; 33.792; 40.068; 46.372; 52.744 ] );
+    ( Ckks.Cost_model.Bootstrap,
+      [ nan; 21005.0; 23738.0; 26229.0; 30413.0; 34556.0; 37844.0; 41582.0; 44719.0 ] );
+  ]
+
+let table2_all_cells () =
+  List.iter
+    (fun (op, cells) ->
+      List.iteri
+        (fun i expected ->
+          if not (Float.is_nan expected) then
+            check_float
+              (Printf.sprintf "%s at l=%d" (Ckks.Cost_model.op_name op) (2 * i))
+              expected
+              (Ckks.Cost_model.cost op ~level:(2 * i)))
+        cells)
+    table2_rows
+
+(* --- Plan-structure invariants -------------------------------------------------- *)
+
+let plan_actions_match_inserted_rescales =
+  qcheck ~count:20 "inserted rescale count follows the per-region plan"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:8)
+    (fun params ->
+      let g = build_random_dfg params in
+      let regioned = Resbm.Region.build g in
+      match Resbm.Btsmgr.plan regioned prm with
+      | plan ->
+          let outcome = Resbm.Plan.apply regioned prm plan in
+          let inserted =
+            List.length
+              (List.filter
+                 (fun n -> n.Dfg.kind = Op.Rescale)
+                 (Dfg.live_nodes outcome.Resbm.Plan.dfg))
+          in
+          (* each rescaling region contributes at least (rescales) nodes
+             (one chain per cut tail), and regions without rescales none *)
+          let min_expected =
+            Array.fold_left
+              (fun acc (a : Resbm.Btsmgr.region_action) -> acc + a.Resbm.Btsmgr.rescales)
+              0
+              (Array.sub plan.Resbm.Btsmgr.actions 0
+                 (Array.length plan.Resbm.Btsmgr.actions - 1))
+          in
+          inserted >= min 1 min_expected || min_expected = 0
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let bootstraps_only_in_bts_regions =
+  qcheck ~count:20 "plan bootstraps appear only where the DP placed them"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:10)
+    (fun params ->
+      let g = build_random_dfg params in
+      let regioned = Resbm.Region.build g in
+      match Resbm.Btsmgr.plan regioned prm with
+      | plan ->
+          let outcome = Resbm.Plan.apply regioned prm plan in
+          let has_bts_region =
+            Array.exists (fun a -> a.Resbm.Btsmgr.bts <> None) plan.Resbm.Btsmgr.actions
+          in
+          let has_bts_nodes =
+            List.exists
+              (fun n -> match n.Dfg.kind with Op.Bootstrap _ -> true | _ -> false)
+              (Dfg.live_nodes outcome.Resbm.Plan.dfg)
+          in
+          (* no plan bootstraps and no repairs => no bootstrap nodes *)
+          (not has_bts_nodes)
+          || has_bts_region
+          || outcome.Resbm.Plan.repair_bootstraps > 0
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let managed_levels_never_negative =
+  qcheck ~count:20 "no managed ciphertext dips below level 0"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:10)
+    (fun params ->
+      let g = build_random_dfg params in
+      match Resbm.Driver.compile prm g with
+      | managed, _ -> (
+          match Scale_check.run prm managed with
+          | Ok info ->
+              Array.for_all
+                (fun i -> (not i.Scale_check.is_ct) || i.Scale_check.level >= 0)
+                info
+          | Error _ -> false)
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let idempotent_statistics =
+  qcheck ~count:20 "collecting statistics does not mutate the graph"
+    (random_dfg_gen ~max_nodes:30 ~max_depth:5)
+    (fun params ->
+      let g = build_random_dfg params in
+      let s1 = Stats.collect g in
+      let s2 = Stats.collect g in
+      s1 = s2 && Dfg.validate g = Ok ())
+
+(* --- Exact CKKS at other parameter points ----------------------------------------- *)
+
+let toy_ckks_other_ring_sizes () =
+  List.iter
+    (fun n ->
+      let prm_toy =
+        { Ckks.Toy_ckks.default_params with n; scale = 262144.0 (* 2^18 *) }
+      in
+      let c = Ckks.Toy_ckks.create prm_toy in
+      let sk, pk = Ckks.Toy_ckks.keygen c in
+      let slots = n / 2 in
+      let rng = Ckks.Prng.create 31L in
+      let v = Array.init slots (fun _ -> Ckks.Prng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+      let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+      let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk ct) in
+      let err =
+        Array.fold_left Float.max 0.0 (Array.mapi (fun i x -> Float.abs (x -. out.(i))) v)
+      in
+      checkb (Printf.sprintf "n = %d roundtrip" n) true (err < 2e-2))
+    [ 16; 32; 128 ]
+
+let toy_ckks_deeper_chain () =
+  (* three moduli allow two rescaled multiplications in sequence *)
+  let c = Ckks.Toy_ckks.create Ckks.Toy_ckks.default_params in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let slots = 32 in
+  let rng = Ckks.Prng.create 37L in
+  let v = Array.init slots (fun _ -> Ckks.Prng.uniform rng ~lo:(-0.9) ~hi:0.9) in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  let sq = Ckks.Toy_ckks.rescale (Ckks.Toy_ckks.mul ct ct) in
+  checki "level 1 after one rescale" 1 (Ckks.Toy_ckks.level sq);
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk sq) in
+  let expect = Array.map (fun x -> x *. x) v in
+  let err =
+    Array.fold_left Float.max 0.0
+      (Array.mapi (fun i x -> Float.abs (x -. out.(i))) expect)
+  in
+  checkb "x^2 via exact arithmetic" true (err < 5e-2)
+
+(* --- Evaluator edge cases ------------------------------------------------------------ *)
+
+let evaluator_slot_mismatch () =
+  let ev = Ckks.Evaluator.create prm in
+  let a = Ckks.Evaluator.encrypt ev [| 1.0; 2.0 |] in
+  let b = Ckks.Evaluator.encrypt ev [| 1.0 |] in
+  checkb "slot mismatch raises" true
+    (match Ckks.Evaluator.add_cc ev a b with
+    | _ -> false
+    | exception Ckks.Evaluator.Fhe_error _ -> true)
+
+let evaluator_rotate_wraps () =
+  let ev = Ckks.Evaluator.create prm in
+  let a = Ckks.Evaluator.encrypt ev [| 1.0; 2.0; 3.0 |] in
+  let r = Ckks.Evaluator.rotate ev a 7 in
+  (* 7 mod 3 = 1 *)
+  let d = Ckks.Evaluator.decrypt ev r in
+  checkb "wraps modulo slots" true (Float.abs (d.(0) -. 2.0) < 1e-4)
+
+let evaluator_deterministic_with_seed () =
+  let run () =
+    let ev = Ckks.Evaluator.create ~seed:123L prm in
+    let a = Ckks.Evaluator.encrypt ev [| 0.5 |] in
+    let m = Ckks.Evaluator.relin ev (Ckks.Evaluator.mul_cc ev a a) in
+    (Ckks.Evaluator.decrypt ev m).(0)
+  in
+  check_float "bit-reproducible" (run ()) (run ())
+
+(* --- Model structure spot checks ---------------------------------------------------- *)
+
+let paper_models_depths_in_range () =
+  List.iter
+    (fun (m, lo, hi) ->
+      let d = Nn.Model.depth m in
+      checkb (Printf.sprintf "%s depth %d in [%d, %d]" m.Nn.Model.name d lo hi) true
+        (d >= lo && d <= hi))
+    [
+      (Nn.Model.resnet20, 180, 240);
+      (Nn.Model.resnet44, 420, 520);
+      (Nn.Model.resnet110, 1100, 1300);
+      (Nn.Model.alexnet, 60, 100);
+      (Nn.Model.vgg16, 140, 200);
+      (Nn.Model.squeezenet, 150, 210);
+      (Nn.Model.mobilenet, 260, 340);
+    ]
+
+let resnet_bootstraps_scale_with_depth () =
+  (* the ResNet family's bootstrap counts grow linearly with the block
+     count, as in Table 5 *)
+  let count model =
+    let _, r = Resbm.Variants.(compile resbm) prm (Nn.Lowering.lower model).Nn.Lowering.dfg in
+    r.Resbm.Report.stats.Stats.bootstrap_count
+  in
+  let c20 = count Nn.Model.resnet20
+  and c44 = count Nn.Model.resnet44 in
+  checkb "44 has ~2.4x the bootstraps of 20" true
+    (float_of_int c44 /. float_of_int c20 > 2.0
+    && float_of_int c44 /. float_of_int c20 < 3.0)
+
+let suite =
+  [
+    case "cost model: every Table 2 cell" table2_all_cells;
+    plan_actions_match_inserted_rescales;
+    bootstraps_only_in_bts_regions;
+    managed_levels_never_negative;
+    idempotent_statistics;
+    case "toy ckks: other ring sizes" toy_ckks_other_ring_sizes;
+    case "toy ckks: rescaled square" toy_ckks_deeper_chain;
+    case "evaluator: slot mismatch" evaluator_slot_mismatch;
+    case "evaluator: rotation wraps" evaluator_rotate_wraps;
+    case "evaluator: seeded determinism" evaluator_deterministic_with_seed;
+    case "models: depths in expected ranges" paper_models_depths_in_range;
+    case "resnet family: bootstraps scale with depth" resnet_bootstraps_scale_with_depth;
+  ]

@@ -1,0 +1,462 @@
+(* The exact CKKS core: modular arithmetic, negacyclic NTT, RNS
+   polynomials, and the toy RLWE scheme — plus the cross-validation of the
+   simulated evaluator's Table 1 algebra against real encrypted
+   arithmetic. *)
+open Test_util
+
+(* --- Modarith ------------------------------------------------------------- *)
+
+let modarith_basics () =
+  checki "add wrap" 1 (Ckks.Modarith.add_mod 8 10 ~q:17);
+  checki "sub wrap" 15 (Ckks.Modarith.sub_mod 8 10 ~q:17);
+  checki "mul" 12 (Ckks.Modarith.mul_mod 5 12 ~q:16);
+  checki "neg" 10 (Ckks.Modarith.neg_mod 7 ~q:17);
+  checki "neg zero" 0 (Ckks.Modarith.neg_mod 0 ~q:17);
+  checki "pow" (Ckks.Modarith.pow_mod 3 4 ~q:1000) 81;
+  checki "centered high" (-2) (Ckks.Modarith.centered 15 ~q:17);
+  checki "centered low" 5 (Ckks.Modarith.centered 5 ~q:17)
+
+let modarith_inverse =
+  qcheck ~count:200 "a * a^-1 = 1 mod p"
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun a ->
+      let q = 1_073_479_681 (* prime *) in
+      let inv = Ckks.Modarith.inv_mod a ~q in
+      Ckks.Modarith.mul_mod (a mod q) inv ~q = 1)
+
+let modarith_primality () =
+  checkb "2" true (Ckks.Modarith.is_prime 2);
+  checkb "97" true (Ckks.Modarith.is_prime 97);
+  checkb "1" false (Ckks.Modarith.is_prime 1);
+  checkb "91 = 7*13" false (Ckks.Modarith.is_prime 91);
+  checkb "2^31 - 1" true (Ckks.Modarith.is_prime 2147483647);
+  checkb "Carmichael 561" false (Ckks.Modarith.is_prime 561)
+
+let modarith_primality_matches_trial_division =
+  qcheck ~count:200 "Miller-Rabin agrees with trial division"
+    QCheck2.Gen.(int_range 2 20_000)
+    (fun n ->
+      let trial =
+        let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+        go 2
+      in
+      Ckks.Modarith.is_prime n = trial)
+
+let modarith_ntt_prime () =
+  let q = Ckks.Modarith.find_ntt_prime ~bits:20 ~order:128 in
+  checkb "prime" true (Ckks.Modarith.is_prime q);
+  checki "congruence" 1 (q mod 128);
+  checkb "below 2^20" true (q < 1 lsl 20)
+
+let modarith_root_of_unity () =
+  let order = 64 in
+  let q = Ckks.Modarith.find_ntt_prime ~bits:20 ~order in
+  let w = Ckks.Modarith.primitive_root_of_unity ~order ~q in
+  checki "w^order = 1" 1 (Ckks.Modarith.pow_mod w order ~q);
+  checkb "w^(order/2) = -1" true (Ckks.Modarith.pow_mod w (order / 2) ~q = q - 1)
+
+(* --- NTT --------------------------------------------------------------------- *)
+
+let ntt_plan n =
+  let q = Ckks.Modarith.find_ntt_prime ~bits:20 ~order:(2 * n) in
+  Ckks.Ntt.make_plan ~n ~q
+
+let ntt_roundtrip =
+  qcheck ~count:100 "inverse . forward = id"
+    QCheck2.Gen.(pair (int_range 0 2) (int_bound 100_000))
+    (fun (log_extra, seed) ->
+      let n = 8 lsl log_extra in
+      let plan = ntt_plan n in
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let a = Array.init n (fun _ -> Ckks.Prng.int rng ~bound:(Ckks.Ntt.q plan)) in
+      let b = Array.copy a in
+      Ckks.Ntt.forward plan b;
+      Ckks.Ntt.inverse plan b;
+      a = b)
+
+(* Schoolbook negacyclic product: X^n = -1. *)
+let schoolbook_negacyclic ~q a b =
+  let n = Array.length a in
+  let c = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let prod = Ckks.Modarith.mul_mod a.(i) b.(j) ~q in
+      if k < n then c.(k) <- Ckks.Modarith.add_mod c.(k) prod ~q
+      else c.(k - n) <- Ckks.Modarith.sub_mod c.(k - n) prod ~q
+    done
+  done;
+  c
+
+let ntt_multiply_matches_schoolbook =
+  qcheck ~count:100 "NTT product = schoolbook negacyclic product"
+    QCheck2.Gen.(pair (int_range 0 2) (int_bound 100_000))
+    (fun (log_extra, seed) ->
+      let n = 4 lsl log_extra in
+      let plan = ntt_plan n in
+      let q = Ckks.Ntt.q plan in
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let a = Array.init n (fun _ -> Ckks.Prng.int rng ~bound:q) in
+      let b = Array.init n (fun _ -> Ckks.Prng.int rng ~bound:q) in
+      Ckks.Ntt.multiply plan a b = schoolbook_negacyclic ~q a b)
+
+let ntt_x_times_xn1 () =
+  (* X * X^(n-1) = X^n = -1 *)
+  let n = 8 in
+  let plan = ntt_plan n in
+  let q = Ckks.Ntt.q plan in
+  let x = Array.make n 0 and xn1 = Array.make n 0 in
+  x.(1) <- 1;
+  xn1.(n - 1) <- 1;
+  let p = Ckks.Ntt.multiply plan x xn1 in
+  checki "constant term is -1" (q - 1) p.(0);
+  for i = 1 to n - 1 do
+    checki "other terms zero" 0 p.(i)
+  done
+
+(* --- Rns_poly --------------------------------------------------------------------- *)
+
+let basis () = Ckks.Rns_poly.make_basis ~n:8 ~bits:20 ~levels:2
+
+let rns_roundtrip =
+  qcheck ~count:100 "of_coeffs . to_centered_coeffs = id for small coefficients"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let b = basis () in
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let coeffs = Array.init 8 (fun _ -> Ckks.Prng.int rng ~bound:2_000_001 - 1_000_000) in
+      let p = Ckks.Rns_poly.of_coeffs b ~level:2 coeffs in
+      Ckks.Rns_poly.to_centered_coeffs p = coeffs)
+
+let rns_ring_arithmetic () =
+  let b = basis () in
+  let p1 = Ckks.Rns_poly.of_coeffs b ~level:2 [| 1; 2; 3; 4; 0; 0; 0; 0 |] in
+  let p2 = Ckks.Rns_poly.of_coeffs b ~level:2 [| 5; -1; 0; 0; 0; 0; 0; 0 |] in
+  let sum = Ckks.Rns_poly.to_centered_coeffs (Ckks.Rns_poly.add p1 p2) in
+  check (Alcotest.list Alcotest.int) "sum" [ 6; 1; 3; 4; 0; 0; 0; 0 ]
+    (Array.to_list sum);
+  let diff = Ckks.Rns_poly.to_centered_coeffs (Ckks.Rns_poly.sub p1 p2) in
+  check (Alcotest.list Alcotest.int) "diff" [ -4; 3; 3; 4; 0; 0; 0; 0 ]
+    (Array.to_list diff);
+  (* (1 + 2X)(5 - X) = 5 + 9X - 2X^2 *)
+  let q1 = Ckks.Rns_poly.of_coeffs b ~level:2 [| 1; 2; 0; 0; 0; 0; 0; 0 |] in
+  let prod = Ckks.Rns_poly.to_centered_coeffs (Ckks.Rns_poly.mul q1 p2) in
+  check (Alcotest.list Alcotest.int) "product" [ 5; 9; -2; 0; 0; 0; 0; 0 ]
+    (Array.to_list prod)
+
+let rns_negacyclic_wraparound () =
+  let b = basis () in
+  (* X^7 * X = -1 *)
+  let x7 = Ckks.Rns_poly.of_coeffs b ~level:2 [| 0; 0; 0; 0; 0; 0; 0; 1 |] in
+  let x = Ckks.Rns_poly.of_coeffs b ~level:2 [| 0; 1; 0; 0; 0; 0; 0; 0 |] in
+  let p = Ckks.Rns_poly.to_centered_coeffs (Ckks.Rns_poly.mul x7 x) in
+  check (Alcotest.list Alcotest.int) "X^8 = -1" [ -1; 0; 0; 0; 0; 0; 0; 0 ]
+    (Array.to_list p)
+
+let rns_rescale_divides () =
+  let b = basis () in
+  let ql = (Ckks.Rns_poly.basis_moduli b).(2) in
+  (* a polynomial with coefficients divisible by the dropped prime *)
+  let coeffs = Array.init 8 (fun i -> i * ql) in
+  let p = Ckks.Rns_poly.of_coeffs b ~level:2 coeffs in
+  let r = Ckks.Rns_poly.rescale p in
+  checki "level dropped" 1 r.Ckks.Rns_poly.level;
+  check (Alcotest.list Alcotest.int) "exact division"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Array.to_list (Ckks.Rns_poly.to_centered_coeffs r))
+
+let rns_rescale_rounds =
+  qcheck ~count:100 "rescale is division by q_last with bounded rounding"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let b = basis () in
+      let ql = (Ckks.Rns_poly.basis_moduli b).(2) in
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let coeffs = Array.init 8 (fun _ -> Ckks.Prng.int rng ~bound:2_000_000_001 - 1_000_000_000) in
+      let p = Ckks.Rns_poly.of_coeffs b ~level:2 coeffs in
+      let r = Ckks.Rns_poly.to_centered_coeffs (Ckks.Rns_poly.rescale p) in
+      Array.for_all2
+        (fun before after ->
+          Float.abs (float_of_int after -. (float_of_int before /. float_of_int ql)) <= 1.0)
+        coeffs r)
+
+let rns_mod_drop_preserves_small_values () =
+  let b = basis () in
+  let coeffs = [| 12; -7; 0; 3; 0; 0; 0; 1 |] in
+  let p = Ckks.Rns_poly.of_coeffs b ~level:2 coeffs in
+  let d = Ckks.Rns_poly.mod_drop p in
+  checki "level dropped" 1 d.Ckks.Rns_poly.level;
+  checkb "values preserved" true
+    (Ckks.Rns_poly.to_centered_coeffs d = coeffs)
+
+let rns_level_mismatch_rejected () =
+  let b = basis () in
+  let p2 = Ckks.Rns_poly.zero b ~level:2 and p1 = Ckks.Rns_poly.zero b ~level:1 in
+  checkb "level mismatch" true
+    (match Ckks.Rns_poly.add p2 p1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Toy CKKS ------------------------------------------------------------------------ *)
+
+let ctx () = Ckks.Toy_ckks.create Ckks.Toy_ckks.default_params
+
+let sample_values ~slots seed =
+  let rng = Ckks.Prng.create seed in
+  Array.init slots (fun _ -> Ckks.Prng.uniform rng ~lo:(-1.0) ~hi:1.0)
+
+let max_err a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) a;
+  !m
+
+let toy_encode_decode () =
+  let c = ctx () in
+  let v = sample_values ~slots:32 1L in
+  let err = max_err v (Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.encode c v)) in
+  checkb "encoding error below 1e-4" true (err < 1e-4)
+
+let toy_encrypt_decrypt () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let v = sample_values ~slots:32 2L in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk ct) in
+  checkb "decryption error below 1e-2" true (max_err v out < 1e-2)
+
+let toy_homomorphic_add () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let va = sample_values ~slots:32 3L and vb = sample_values ~slots:32 4L in
+  let ca = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c va) in
+  let cb = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c vb) in
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk (Ckks.Toy_ckks.add ca cb)) in
+  let expect = Array.map2 ( +. ) va vb in
+  checkb "sum error below 2e-2" true (max_err expect out < 2e-2)
+
+let toy_homomorphic_mul_and_rescale () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let va = sample_values ~slots:32 5L and vb = sample_values ~slots:32 6L in
+  let ca = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c va) in
+  let cb = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c vb) in
+  let prod = Ckks.Toy_ckks.mul ca cb in
+  (* Table 1: scales multiply, level unchanged, size 3 *)
+  check_float ~eps:1.0 "scale multiplied"
+    (Ckks.Toy_ckks.scale ca *. Ckks.Toy_ckks.scale cb)
+    (Ckks.Toy_ckks.scale prod);
+  checki "level unchanged" (Ckks.Toy_ckks.level ca) (Ckks.Toy_ckks.level prod);
+  let expect = Array.map2 ( *. ) va vb in
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk prod) in
+  checkb "product error below 5e-2" true (max_err expect out < 5e-2);
+  (* Rescale: divide the scale by the dropped prime, drop a level,
+     preserve the value *)
+  let rescaled = Ckks.Toy_ckks.rescale prod in
+  checki "level dropped" (Ckks.Toy_ckks.level prod - 1) (Ckks.Toy_ckks.level rescaled);
+  let dropped = Ckks.Toy_ckks.dropped_prime c ~level:(Ckks.Toy_ckks.level prod) in
+  check_float ~eps:1e-6 "scale divided by dropped prime"
+    (Ckks.Toy_ckks.scale prod /. float_of_int dropped)
+    (Ckks.Toy_ckks.scale rescaled);
+  let out' = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk rescaled) in
+  checkb "value preserved across rescale" true (max_err expect out' < 5e-2)
+
+let toy_mul_plain () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let va = sample_values ~slots:32 7L and vw = sample_values ~slots:32 8L in
+  let ca = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c va) in
+  let prod = Ckks.Toy_ckks.mul_plain c ca (Ckks.Toy_ckks.encode c vw) in
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk prod) in
+  checkb "ct-pt product" true (max_err (Array.map2 ( *. ) va vw) out < 5e-2)
+
+let toy_add_plain () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let va = sample_values ~slots:32 9L and vb = sample_values ~slots:32 10L in
+  let ca = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c va) in
+  let s = Ckks.Toy_ckks.add_plain c ca (Ckks.Toy_ckks.encode c vb) in
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk s) in
+  checkb "ct-pt sum" true (max_err (Array.map2 ( +. ) va vb) out < 2e-2)
+
+let toy_mod_drop () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let v = sample_values ~slots:32 11L in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  let d = Ckks.Toy_ckks.mod_drop ct in
+  checki "level dropped" (Ckks.Toy_ckks.level ct - 1) (Ckks.Toy_ckks.level d);
+  check_float ~eps:1e-9 "scale unchanged" (Ckks.Toy_ckks.scale ct) (Ckks.Toy_ckks.scale d);
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk d) in
+  checkb "value preserved" true (max_err v out < 1e-2)
+
+let toy_constraint_checks () =
+  let c = ctx () in
+  let _, pk = Ckks.Toy_ckks.keygen c in
+  let v = sample_values ~slots:32 12L in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  let low = Ckks.Toy_ckks.mod_drop ct in
+  checkb "add level mismatch" true
+    (match Ckks.Toy_ckks.add ct low with _ -> false | exception Invalid_argument _ -> true);
+  let prod = Ckks.Toy_ckks.mul ct ct in
+  checkb "add scale mismatch" true
+    (match Ckks.Toy_ckks.add ct prod with _ -> false | exception Invalid_argument _ -> true);
+  checkb "mul of size-3" true
+    (match Ckks.Toy_ckks.mul prod prod with _ -> false | exception Invalid_argument _ -> true)
+
+(* Cross-validation: drive the simulated evaluator and the exact scheme
+   through the same Table 1 trajectory and compare scales, levels and
+   values.  The simulator's scale algebra is in bits; the exact scheme's
+   primes are only approximately 2^20, so scales are compared as ratios. *)
+let simulator_matches_exact_scheme () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  (* the exact chain primes are ~2^20, the encoding scale 2^19 *)
+  let sim_prm =
+    {
+      Ckks.Params.default with
+      log2_degree = 6;
+      scale_bits = 20;
+      waterline_bits = 18;
+      q0_bits = 20;
+      l_max = 2;
+      input_level = 2;
+      input_scale_bits = 19;
+    }
+  in
+  let ev = Ckks.Evaluator.create sim_prm in
+  let va = sample_values ~slots:32 13L and vb = sample_values ~slots:32 14L in
+  (* exact: (a*b) rescaled, then added to itself *)
+  let ca = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c va) in
+  let cb = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c vb) in
+  let exact = Ckks.Toy_ckks.rescale (Ckks.Toy_ckks.mul ca cb) in
+  let exact_out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk exact) in
+  (* simulated: same trajectory *)
+  let sa = Ckks.Evaluator.encrypt ev va and sb = Ckks.Evaluator.encrypt ev vb in
+  let sim = Ckks.Evaluator.rescale ev (Ckks.Evaluator.relin ev (Ckks.Evaluator.mul_cc ev sa sb)) in
+  let sim_out = Ckks.Evaluator.decrypt ev sim in
+  (* levels agree exactly *)
+  checki "levels agree" (Ckks.Toy_ckks.level exact) sim.Ckks.Ciphertext.level;
+  (* scale trajectories agree: both are (input scale)^2 / (one prime) *)
+  let exact_scale_ratio = Ckks.Toy_ckks.scale exact /. Ckks.Toy_ckks.scale ca in
+  let sim_scale_ratio =
+    (2.0 ** float_of_int sim.Ckks.Ciphertext.scale_bits)
+    /. (2.0 ** float_of_int sim_prm.Ckks.Params.input_scale_bits)
+  in
+  checkb "scale trajectories agree within the prime approximation" true
+    (Float.abs (log (exact_scale_ratio /. sim_scale_ratio)) < 0.1);
+  (* values agree with the plain product *)
+  let expect = Array.map2 ( *. ) va vb in
+  checkb "exact scheme computes the product" true (max_err expect exact_out < 5e-2);
+  checkb "simulator computes the product" true (max_err expect sim_out < 1e-2)
+
+let suite =
+  [
+    case "modarith: basics" modarith_basics;
+    modarith_inverse;
+    case "modarith: primality" modarith_primality;
+    modarith_primality_matches_trial_division;
+    case "modarith: NTT prime search" modarith_ntt_prime;
+    case "modarith: roots of unity" modarith_root_of_unity;
+    ntt_roundtrip;
+    ntt_multiply_matches_schoolbook;
+    case "ntt: X * X^(n-1) = -1" ntt_x_times_xn1;
+    rns_roundtrip;
+    case "rns: ring arithmetic" rns_ring_arithmetic;
+    case "rns: negacyclic wraparound" rns_negacyclic_wraparound;
+    case "rns: exact rescale division" rns_rescale_divides;
+    rns_rescale_rounds;
+    case "rns: mod drop preserves small values" rns_mod_drop_preserves_small_values;
+    case "rns: level mismatch rejected" rns_level_mismatch_rejected;
+    case "toy ckks: encode/decode" toy_encode_decode;
+    case "toy ckks: encrypt/decrypt" toy_encrypt_decrypt;
+    case "toy ckks: homomorphic addition" toy_homomorphic_add;
+    case "toy ckks: multiplication and rescale (Table 1)" toy_homomorphic_mul_and_rescale;
+    case "toy ckks: ciphertext-plaintext multiply" toy_mul_plain;
+    case "toy ckks: ciphertext-plaintext add" toy_add_plain;
+    case "toy ckks: modswitch" toy_mod_drop;
+    case "toy ckks: constraint checks" toy_constraint_checks;
+    case "simulator vs exact scheme (cross-validation)" simulator_matches_exact_scheme;
+  ]
+
+(* --- Galois rotations ------------------------------------------------------- *)
+
+let automorphism_identity () =
+  let b = basis () in
+  let coeffs = [| 3; -1; 4; 1; -5; 9; 2; -6 |] in
+  let p = Ckks.Rns_poly.of_coeffs b ~level:2 coeffs in
+  checkb "g = 1 is the identity" true
+    (Ckks.Rns_poly.to_centered_coeffs (Ckks.Rns_poly.automorphism p ~g:1) = coeffs)
+
+let automorphism_is_ring_hom =
+  qcheck ~count:50 "automorphism commutes with multiplication"
+    QCheck2.Gen.(pair (int_bound 100_000) (int_range 0 3))
+    (fun (seed, gi) ->
+      let b = basis () in
+      let g = List.nth [ 3; 5; 7; 15 ] gi in
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let poly () =
+        Ckks.Rns_poly.of_coeffs b ~level:2
+          (Array.init 8 (fun _ -> Ckks.Prng.int rng ~bound:201 - 100))
+      in
+      let p1 = poly () and p2 = poly () in
+      let lhs =
+        Ckks.Rns_poly.to_centered_coeffs
+          (Ckks.Rns_poly.automorphism (Ckks.Rns_poly.mul p1 p2) ~g)
+      in
+      let rhs =
+        Ckks.Rns_poly.to_centered_coeffs
+          (Ckks.Rns_poly.mul
+             (Ckks.Rns_poly.automorphism p1 ~g)
+             (Ckks.Rns_poly.automorphism p2 ~g))
+      in
+      lhs = rhs)
+
+let toy_rotation_permutes_slots () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let slots = 32 in
+  let v = Array.init slots (fun i -> 0.01 *. float_of_int (i + 1)) in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  List.iter
+    (fun k ->
+      let rotated = Ckks.Toy_ckks.rotate c ct k in
+      let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk rotated) in
+      let expect = Array.init slots (fun i -> v.((i + k) mod slots)) in
+      checkb
+        (Printf.sprintf "rotation by %d" k)
+        true
+        (max_err expect out < 1e-2))
+    [ 1; 2; 5; 16 ]
+
+let toy_rotation_composes () =
+  let c = ctx () in
+  let sk, pk = Ckks.Toy_ckks.keygen c in
+  let slots = 32 in
+  let v = Array.init slots (fun i -> 0.02 *. float_of_int i) in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  let r = Ckks.Toy_ckks.rotate c (Ckks.Toy_ckks.rotate c ct 3) 4 in
+  let out = Ckks.Toy_ckks.decode c (Ckks.Toy_ckks.decrypt c sk r) in
+  let expect = Array.init slots (fun i -> v.((i + 7) mod slots)) in
+  checkb "rotate 3 then 4 = rotate 7" true (max_err expect out < 1e-2)
+
+let toy_rotation_mismatch_rejected () =
+  let c = ctx () in
+  let _, pk = Ckks.Toy_ckks.keygen c in
+  let v = sample_values ~slots:32 21L in
+  let ct = Ckks.Toy_ckks.encrypt c pk (Ckks.Toy_ckks.encode c v) in
+  let r = Ckks.Toy_ckks.rotate c ct 1 in
+  checkb "mixed automorphisms need key switching" true
+    (match Ckks.Toy_ckks.add ct r with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let galois_suite =
+  [
+    case "rns: automorphism identity" automorphism_identity;
+    automorphism_is_ring_hom;
+    case "toy ckks: rotation permutes slots" toy_rotation_permutes_slots;
+    case "toy ckks: rotations compose" toy_rotation_composes;
+    case "toy ckks: automorphism mismatch rejected" toy_rotation_mismatch_rejected;
+  ]
+
+let suite = suite @ galois_suite

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "resbm"
+    [
+      ("graphlib", Test_graphlib.suite);
+      ("ckks", Test_ckks.suite);
+      ("exact-ckks", Test_exact_ckks.suite);
+      ("ir", Test_ir.suite);
+      ("region", Test_region.suite);
+      ("placement", Test_placement.suite);
+      ("btsmgr", Test_btsmgr.suite);
+      ("compile", Test_compile.suite);
+      ("passes", Test_passes.suite);
+      ("nn", Test_nn.suite);
+      ("tooling", Test_tooling.suite);
+      ("frontend", Test_frontend.suite);
+      ("waterline", Test_waterline.suite);
+      ("coverage", Test_coverage.suite);
+    ]

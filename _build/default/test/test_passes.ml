@@ -1,0 +1,218 @@
+open Test_util
+open Fhe_ir
+
+let prm = Ckks.Params.default
+
+let plain g ~dim =
+  Nn.Plain_eval.run g
+    ~input:(fun _ -> input_env ~dim 31L)
+    ~consts:(Passes.Const_fold.resolving (const_env ~dim))
+
+let same_outputs a b =
+  List.for_all2 (fun x y -> Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-9) x y) a b
+
+(* --- DCE ------------------------------------------------------------------ *)
+
+let dce_removes_dead_chain () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let live = Dfg.rotate g x 1 in
+  let dead1 = Dfg.rotate g x 2 in
+  let _dead2 = Dfg.rotate g dead1 3 in
+  Dfg.set_outputs g [ live ];
+  let removed = Passes.Dce.run g in
+  checki "two removed" 2 removed;
+  checki "two live" 2 (List.length (Dfg.live_nodes g));
+  checkb "valid" true (Dfg.validate g = Ok ())
+
+let dce_keeps_outputs () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  Dfg.set_outputs g [ x ];
+  checki "nothing removed" 0 (Passes.Dce.run g)
+
+(* --- CSE ------------------------------------------------------------------ *)
+
+let cse_merges_identical () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let a = Dfg.rotate g x 1 in
+  let b = Dfg.rotate g x 1 in
+  let s = Dfg.add_cc g a b in
+  Dfg.set_outputs g [ s ];
+  let before = plain g ~dim:4 in
+  let merged = Passes.Cse.run g in
+  checkb "merged at least one" true (merged >= 1);
+  checkb "valid" true (Dfg.validate g = Ok ());
+  checkb "semantics preserved" true (same_outputs before (plain g ~dim:4));
+  (* the add now has the same node twice *)
+  let add = Dfg.node g s in
+  checkb "args identical" true (add.Dfg.args.(0) = add.Dfg.args.(1))
+
+let cse_commutative_add () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let y = Dfg.input g "y" in
+  let a = Dfg.add_cc g x y in
+  let b = Dfg.add_cc g y x in
+  let out = Dfg.add_cc g a b in
+  Dfg.set_outputs g [ out ];
+  checkb "x+y merged with y+x" true (Passes.Cse.run g >= 1)
+
+let cse_respects_freq () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let a = Dfg.rotate g ~freq:2 x 1 in
+  let b = Dfg.rotate g ~freq:3 x 1 in
+  let s = Dfg.add_cc g a b in
+  Dfg.set_outputs g [ s ];
+  checki "different freq kept apart" 0 (Passes.Cse.run g)
+
+let cse_merges_bootstraps_fig5 () =
+  (* Figure 5a: after naive management, x carries two bootstraps to the
+     same level; CSE merges them *)
+  let g = Dfg.create () in
+  let x = Dfg.input g ~level:0 "x" in
+  let b1 = Dfg.bootstrap g ~target_level:3 x in
+  let b2 = Dfg.bootstrap g ~target_level:3 x in
+  let m = Dfg.mul_cc g b1 b2 in
+  Dfg.set_outputs g [ m ];
+  checkb "bootstraps merged" true (Passes.Cse.run g >= 1);
+  let live_bts =
+    List.filter
+      (fun n -> match n.Dfg.kind with Op.Bootstrap _ -> true | _ -> false)
+      (Dfg.live_nodes g)
+  in
+  checki "one bootstrap left" 1 (List.length live_bts)
+
+let cse_transitive_chains =
+  qcheck ~count:30 "CSE is idempotent and semantics-preserving"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:5)
+    (fun params ->
+      let g = build_random_dfg params in
+      let before = plain g ~dim:4 in
+      ignore (Passes.Cse.run g);
+      ignore (Passes.Dce.run g);
+      let second = Passes.Cse.run g in
+      Dfg.validate g = Ok () && second = 0 && same_outputs before (plain g ~dim:4))
+
+(* --- Const folding ---------------------------------------------------------- *)
+
+let const_fold_collapses_chain () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let m1 = Dfg.mul_cp g x (Dfg.const g "a") in
+  let m2 = Dfg.mul_cp g m1 (Dfg.const g "b") in
+  Dfg.set_outputs g [ m2 ];
+  let before = plain g ~dim:4 in
+  checki "one fold" 1 (Passes.Const_fold.run g);
+  ignore (Passes.Dce.run g);
+  checki "depth reduced" 1 (Depth.max_depth g);
+  checkb "valid" true (Dfg.validate g = Ok ());
+  checkb "same function via resolving" true (same_outputs before (plain g ~dim:4))
+
+let const_fold_resolver_parses () =
+  let base name = [| (if name = "a" then 3.0 else 5.0) |] in
+  let r = Passes.Const_fold.resolving base in
+  check_float "product" 15.0 (r "(a*b)").(0);
+  check_float "nested" 45.0 (r "((a*b)*a)").(0);
+  check_float "plain name" 3.0 (r "a").(0)
+
+let const_fold_keeps_shared_intermediates () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let m1 = Dfg.mul_cp g x (Dfg.const g "a") in
+  let m2 = Dfg.mul_cp g m1 (Dfg.const g "b") in
+  let s = Dfg.add_cc g m1 m1 in
+  Dfg.set_outputs g [ m2; s ];
+  (* m1 has another consumer: folding must not fire *)
+  checki "no fold" 0 (Passes.Const_fold.run g)
+
+let fig5_pipeline_reduces_depth () =
+  (* const folding + CSE turns the Figure 5a shape into 5b: the depth of z
+     drops, so management needs fewer levels *)
+  let g = fig5_program () in
+  let d0 = Depth.max_depth g in
+  ignore (Passes.Const_fold.run g);
+  ignore (Passes.Cse.run g);
+  ignore (Passes.Dce.run g);
+  checkb "valid" true (Dfg.validate g = Ok ());
+  checkb "depth not increased" true (Depth.max_depth g <= d0)
+
+(* --- Modswitch hoisting -------------------------------------------------------- *)
+
+let ms_opt_hoists_above_rotate () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let r = Dfg.rotate g x 1 in
+  let m = Dfg.modswitch g r in
+  Dfg.set_outputs g [ m ];
+  let lat_before = Latency.total prm g in
+  checkb "hoisted" true (Passes.Ms_opt.run prm g >= 1);
+  checkb "valid" true (Result.is_ok (Scale_check.run prm g));
+  checkb "cheaper" true (Latency.total prm g < lat_before)
+
+let ms_opt_hoists_through_mul_pair () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let m = Dfg.mul_cc g x x in
+  let r = Dfg.rescale g m in
+  let ms = Dfg.modswitch g r in
+  Dfg.set_outputs g [ ms ];
+  (* rescale is an SMO: hoisting stops there *)
+  checki "no hoist through rescale" 0 (Passes.Ms_opt.run prm g)
+
+let ms_opt_respects_sharing () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let r = Dfg.rotate g x 1 in
+  let ms = Dfg.modswitch g r in
+  let other = Dfg.add_cc g r x in
+  Dfg.set_outputs g [ ms; other ];
+  (* r has two users: the modswitch cannot move above it *)
+  checki "no hoist" 0 (Passes.Ms_opt.run prm g)
+
+let ms_opt_preserves_semantics =
+  qcheck ~count:20 "hoisting preserves semantics and legality"
+    (random_dfg_gen ~max_nodes:30 ~max_depth:6)
+    (fun params ->
+      let g = build_random_dfg params in
+      match Resbm.Driver.compile prm g with
+      | managed, _ ->
+          let before = plain managed ~dim:4 in
+          ignore (Passes.Ms_opt.run prm managed);
+          Result.is_ok (Scale_check.run prm managed)
+          && same_outputs before (plain managed ~dim:4)
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let ms_opt_never_hurts =
+  qcheck ~count:20 "hoisting never increases latency"
+    (random_dfg_gen ~max_nodes:30 ~max_depth:6)
+    (fun params ->
+      let g = build_random_dfg params in
+      match Resbm.Driver.compile prm g with
+      | managed, _ ->
+          let before = Latency.total prm managed in
+          ignore (Passes.Ms_opt.run prm managed);
+          Latency.total prm managed <= before +. 1e-6
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let suite =
+  [
+    case "dce: removes dead chains" dce_removes_dead_chain;
+    case "dce: keeps outputs" dce_keeps_outputs;
+    case "cse: merges identical nodes" cse_merges_identical;
+    case "cse: commutative canonicalisation" cse_commutative_add;
+    case "cse: different freq kept apart" cse_respects_freq;
+    case "cse: merges Figure 5 bootstraps" cse_merges_bootstraps_fig5;
+    cse_transitive_chains;
+    case "const-fold: collapses multiplier chains" const_fold_collapses_chain;
+    case "const-fold: resolver arithmetic" const_fold_resolver_parses;
+    case "const-fold: shared intermediates block folding" const_fold_keeps_shared_intermediates;
+    case "Figure 5 pipeline reduces depth" fig5_pipeline_reduces_depth;
+    case "ms-opt: hoists above rotations" ms_opt_hoists_above_rotate;
+    case "ms-opt: stops at SMOs" ms_opt_hoists_through_mul_pair;
+    case "ms-opt: respects sharing" ms_opt_respects_sharing;
+    ms_opt_preserves_semantics;
+    ms_opt_never_hurts;
+  ]

@@ -1,0 +1,293 @@
+open Test_util
+open Fhe_ir
+
+let prm = Ckks.Params.default
+
+(* A conv-like region: three freq-weighted multiplications, an add tree, a
+   cheap frequency-1 repack at the end.  The interesting property: the
+   min-cut should place the single rescale at the narrow frequency-1 tail
+   rather than after each multiplication. *)
+let conv_region_graph ~channels =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let t0 = Dfg.mul_cp g ~freq:channels x (Dfg.const g "w0") in
+  let t1 = Dfg.mul_cp g ~freq:channels (Dfg.rotate g x (-1)) (Dfg.const g "w1") in
+  let t2 = Dfg.mul_cp g ~freq:channels (Dfg.rotate g x 1) (Dfg.const g "w2") in
+  let s = Dfg.add_cc g ~freq:channels (Dfg.add_cc g ~freq:channels t0 t1) t2 in
+  let repack = Dfg.add_cc g s (Dfg.rotate g s channels) in
+  Dfg.set_outputs g [ repack ];
+  (g, repack)
+
+let smo_cut_exists () =
+  let g, _ = conv_region_graph ~channels:16 in
+  let r = Resbm.Region.build g in
+  let cut = Resbm.Smoplc.run r prm ~region:1 ~level:2 in
+  checkb "non-empty cut" true (cut.Resbm.Cut.edges <> []);
+  checkb "finite value" true (Float.is_finite cut.Resbm.Cut.value)
+
+let smo_cut_prefers_cheap_tail () =
+  let g, repack = conv_region_graph ~channels:64 in
+  let r = Resbm.Region.build g in
+  let cut = Resbm.Smoplc.run r prm ~region:1 ~level:2 in
+  (* with 64 channels, rescaling each mul costs 64x; the cut must use the
+     frequency-1 repack live-out edge *)
+  check (Alcotest.list Alcotest.bool) "single boundary edge" [ true ]
+    (List.map
+       (function Resbm.Cut.Boundary_out { tail } -> tail = repack | _ -> false)
+       cut.Resbm.Cut.edges)
+
+let smo_cut_respects_relin () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let m = Dfg.mul_cc g x x in
+  Dfg.set_outputs g [ m ];
+  let r = Resbm.Region.build g in
+  let cut = Resbm.Smoplc.run r prm ~region:1 ~level:2 in
+  (* the only legal position is after the relin, never between mul and
+     relin *)
+  List.iter
+    (fun edge ->
+      match edge with
+      | Resbm.Cut.Internal { tail; _ } | Resbm.Cut.Boundary_out { tail } ->
+          checkb "tail is not a raw mul_cc" true ((Dfg.node g tail).Dfg.kind <> Op.Mul_cc)
+      | Resbm.Cut.Boundary_in _ -> Alcotest.fail "SMO cut has no boundary-in edges")
+    cut.Resbm.Cut.edges
+
+(* Every multiplication-to-live-out path must cross the cut exactly once. *)
+let paths_cross_cut_once =
+  qcheck ~count:40 "SMO cut separates sources from live-outs exactly once"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:4)
+    (fun params ->
+      let g = build_random_dfg params in
+      let r = Resbm.Region.build g in
+      let ok = ref true in
+      for region = 1 to r.Resbm.Region.count - 1 do
+        let members = Resbm.Region.ct_members r region in
+        if Resbm.Region.muls r region <> [] && members <> [] then begin
+          let cut = Resbm.Smoplc.run r prm ~region ~level:2 in
+          let crossing = Hashtbl.create 16 in
+          List.iter
+            (fun e ->
+              match e with
+              | Resbm.Cut.Internal { tail; head } -> Hashtbl.replace crossing (tail, head) ()
+              | Resbm.Cut.Boundary_out { tail } -> Hashtbl.replace crossing (tail, -1) ()
+              | Resbm.Cut.Boundary_in _ -> ())
+            cut.Resbm.Cut.edges;
+          let in_region = Hashtbl.create 16 in
+          List.iter (fun id -> Hashtbl.add in_region id ()) members;
+          (* count crossings along every source-to-boundary path via DFS *)
+          let outputs = Dfg.outputs g in
+          let rec walk id crossings =
+            if crossings > 1 then ok := false
+            else begin
+              let succs = List.filter (Hashtbl.mem in_region) (Dfg.succs g id) in
+              let leaves_region =
+                List.mem id outputs
+                || List.exists (fun u -> not (Hashtbl.mem in_region u)) (Dfg.succs g id)
+              in
+              if leaves_region then begin
+                let total = crossings + if Hashtbl.mem crossing (id, -1) then 1 else 0 in
+                if total <> 1 then ok := false
+              end;
+              List.iter
+                (fun m ->
+                  walk m (crossings + if Hashtbl.mem crossing (id, m) then 1 else 0))
+                succs
+            end
+          in
+          List.iter (fun s -> walk s 0) (Resbm.Region.muls r region)
+        end
+      done;
+      !ok)
+
+(* --- BTSPLC ---------------------------------------------------------------- *)
+
+let bts_cut_groups_shared_rescale () =
+  (* rotations after a shared rescale: a single bootstrap after the
+     rescale must beat bootstrapping every rotation *)
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let m = Dfg.mul_cc g x x in
+  let r1 = Dfg.rotate g m 1 in
+  let r2 = Dfg.rotate g m 2 in
+  let r3 = Dfg.rotate g m 3 in
+  (* consumers outside the region *)
+  let o1 = Dfg.mul_cc g r1 r2 in
+  let o2 = Dfg.mul_cc g r3 r3 in
+  Dfg.set_outputs g [ o1; o2 ];
+  let reg = Resbm.Region.build g in
+  let subgraph = [ r1; r2; r3 ] in
+  let cut = Resbm.Btsplc.run reg prm ~region:1 ~lbts:4 ~subgraph in
+  (* all cut edges must be boundary-in (bootstrap directly after the
+     shared producer) *)
+  checkb "boundary-in cut" true
+    (List.for_all
+       (function Resbm.Cut.Boundary_in _ -> true | _ -> false)
+       cut.Resbm.Cut.edges);
+  checkb "cheaper than three bootstraps" true
+    (cut.Resbm.Cut.value
+    < 3.0 *. Ckks.Cost_model.cost Ckks.Cost_model.Bootstrap ~level:4)
+
+let bts_cut_rejects_bad_args () =
+  let g = fig3_poly () in
+  let reg = Resbm.Region.build g in
+  checkb "lbts 0 rejected" true
+    (match Resbm.Btsplc.run reg prm ~region:1 ~lbts:0 ~subgraph:[ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "empty subgraph rejected" true
+    (match Resbm.Btsplc.run reg prm ~region:1 ~lbts:1 ~subgraph:[] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- SCALEMGR ------------------------------------------------------------- *)
+
+let scalemgr_fig1_sequences () =
+  let g = fig1_block () in
+  let r = Resbm.Region.build g in
+  let p = Ckks.Params.fig1 in
+  (* from the first conv region to the last: every multiplication region
+     rescales once under q = q_w *)
+  let sp =
+    Resbm.Scalemgr.plan r p ~src:1 ~dst:6 ~src_entry_scale:40 ~bts_at_src:true
+  in
+  check (Alcotest.list Alcotest.int) "every region rescales" [ 1; 2; 3; 4; 5; 6 ]
+    sp.Resbm.Scalemgr.rescaling;
+  checki "levels consumed beyond src" 5 sp.Resbm.Scalemgr.lbts;
+  Array.iter
+    (fun info ->
+      checki "peak is 2q" 80 info.Resbm.Scalemgr.peak_scale;
+      checki "out back to q" 40 info.Resbm.Scalemgr.out_scale)
+    sp.Resbm.Scalemgr.infos
+
+let scalemgr_no_mul_regions_pass_through () =
+  let g = fig3_poly () in
+  let r = Resbm.Region.build g in
+  let sp =
+    Resbm.Scalemgr.plan r prm ~src:0 ~dst:0 ~src_entry_scale:56 ~bts_at_src:false
+  in
+  checki "no rescale in the input region" 0 sp.Resbm.Scalemgr.lbts;
+  checki "scale unchanged" 56 sp.Resbm.Scalemgr.infos.(0).Resbm.Scalemgr.out_scale
+
+let scalemgr_bts_resets_scale () =
+  let g = fig1_block () in
+  let r = Resbm.Region.build g in
+  let p = Ckks.Params.fig1 in
+  let with_bts =
+    Resbm.Scalemgr.plan r p ~src:1 ~dst:2 ~src_entry_scale:40 ~bts_at_src:true
+  in
+  (* after the bootstrap at src, region 2 sees scale q *)
+  checki "entry scale after bootstrap" 40
+    with_bts.Resbm.Scalemgr.infos.(1).Resbm.Scalemgr.entry_scale
+
+let scalemgr_multi_rescale () =
+  (* a ciphertext-ciphertext multiplication on an inflated scale needs two
+     rescales in a single region *)
+  let g = Dfg.create () in
+  let x = Dfg.input g ~scale_bits:112 ~level:4 "x" in
+  let m = Dfg.mul_cc g x x in
+  Dfg.set_outputs g [ m ];
+  let r = Resbm.Region.build g in
+  let sp =
+    Resbm.Scalemgr.plan r prm ~src:1 ~dst:1 ~src_entry_scale:112 ~bts_at_src:false
+  in
+  (* eligibility is scale >= q*q_w, so 224 -> 168 -> 112 -> 56: the 112
+     step is still eligible *)
+  checki "three rescales" 3 sp.Resbm.Scalemgr.infos.(0).Resbm.Scalemgr.rescales;
+  checki "peak doubled" 224 sp.Resbm.Scalemgr.infos.(0).Resbm.Scalemgr.peak_scale;
+  checki "out scale" 56 sp.Resbm.Scalemgr.infos.(0).Resbm.Scalemgr.out_scale
+
+let scalemgr_early_rescaling =
+  qcheck ~count:30 "rescaling fires as soon as the scale is eligible"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:6)
+    (fun params ->
+      let g = build_random_dfg params in
+      let r = Resbm.Region.build g in
+      let last = r.Resbm.Region.count - 1 in
+      let sp =
+        Resbm.Scalemgr.plan r prm ~src:0 ~dst:last ~src_entry_scale:56 ~bts_at_src:false
+      in
+      Array.for_all
+        (fun info ->
+          (* whenever eligible, a rescale happened: out scale stays below
+             q*q_w *)
+          info.Resbm.Scalemgr.out_scale < 112)
+        sp.Resbm.Scalemgr.infos)
+
+let suite =
+  [
+    case "smoplc: produces a cut" smo_cut_exists;
+    case "smoplc: prefers the frequency-1 tail" smo_cut_prefers_cheap_tail;
+    case "smoplc: never splits mul/relin" smo_cut_respects_relin;
+    paths_cross_cut_once;
+    case "btsplc: groups a shared rescale" bts_cut_groups_shared_rescale;
+    case "btsplc: argument validation" bts_cut_rejects_bad_args;
+    case "scalemgr: Figure 1 sequence" scalemgr_fig1_sequences;
+    case "scalemgr: mul-free regions pass through" scalemgr_no_mul_regions_pass_through;
+    case "scalemgr: bootstrap resets scale" scalemgr_bts_resets_scale;
+    case "scalemgr: stacked rescales" scalemgr_multi_rescale;
+    scalemgr_early_rescaling;
+  ]
+
+(* Theorem 1 (practical form): SMOPLC's min-cut region latency does not
+   lose to EVA's eager or PARS's lazy forced placements beyond the error
+   of Algorithm 4's weight model (out-degree division, reconvergent
+   double counting). *)
+let min_cut_dominates_forced_placements =
+  qcheck ~count:30 "min-cut region latency within 10% of EVA/PARS or better"
+    QCheck2.Gen.(pair (random_dfg_gen ~max_nodes:50 ~max_depth:6) (int_range 1 8))
+    (fun (params, entry_level) ->
+      let g = build_random_dfg params in
+      let r = Resbm.Region.build g in
+      let cache = Resbm.Region_eval.create_cache () in
+      let ok = ref true in
+      for region = 1 to r.Resbm.Region.count - 1 do
+        if Resbm.Region.muls r region <> [] then begin
+          let eval smo_mode =
+            (Resbm.Region_eval.eval cache r prm ~smo_mode
+               ~bts_mode:Resbm.Region_eval.Bts_min_cut ~region ~entry_level ~rescales:1
+               ~bts:None)
+              .Resbm.Region_eval.latency_ms
+          in
+          let mincut = eval Resbm.Region_eval.Smo_min_cut in
+          if
+            mincut > (1.1 *. eval Resbm.Region_eval.Smo_eva) +. 1e-6
+            || mincut > (1.1 *. eval Resbm.Region_eval.Smo_pars) +. 1e-6
+          then ok := false
+        end
+      done;
+      !ok)
+
+(* Theorem 2 counterpart: the bootstrap min-cut never loses to the
+   region-end placement Fhelipe and DaCapo use. *)
+let bts_min_cut_dominates_region_end =
+  qcheck ~count:30 "bootstrap min-cut within 10% of region-end or better"
+    QCheck2.Gen.(pair (random_dfg_gen ~max_nodes:50 ~max_depth:6) (int_range 2 12))
+    (fun (params, lbts) ->
+      let g = build_random_dfg params in
+      let r = Resbm.Region.build g in
+      let cache = Resbm.Region_eval.create_cache () in
+      let ok = ref true in
+      for region = 1 to r.Resbm.Region.count - 1 do
+        if Resbm.Region.muls r region <> [] then begin
+          let eval bts_mode =
+            (Resbm.Region_eval.eval cache r prm ~smo_mode:Resbm.Region_eval.Smo_min_cut
+               ~bts_mode ~region ~entry_level:1 ~rescales:1 ~bts:(Some lbts))
+              .Resbm.Region_eval.latency_ms
+          in
+          (* The edge weights of Algorithm 5 approximate the real insertion
+             cost (in-degree division, reconvergent double counting), so the
+             min-cut can lose to the end placement by the approximation
+             error; require it within 10 % or better. *)
+          if
+            eval Resbm.Region_eval.Bts_min_cut
+            > 1.1 *. eval Resbm.Region_eval.Bts_region_end +. 1e-6
+          then ok := false
+        end
+      done;
+      !ok)
+
+let theorem_suite =
+  [ min_cut_dominates_forced_placements; bts_min_cut_dominates_region_end ]
+
+let suite = suite @ theorem_suite

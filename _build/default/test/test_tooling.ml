@@ -1,0 +1,169 @@
+(* Tooling: Graphviz export, pretty printers, ablation knobs. *)
+open Test_util
+open Fhe_ir
+
+let prm = Ckks.Params.default
+
+(* --- Dot export ------------------------------------------------------------ *)
+
+let contains s sub =
+  let ls = String.length sub and ln = String.length s in
+  let rec go i = i + ls <= ln && (String.sub s i ls = sub || go (i + 1)) in
+  go 0
+
+let dot_structure () =
+  let g = fig3_poly () in
+  let dot = Dot.to_string ~name:"poly" g in
+  checkb "digraph header" true (contains dot "digraph poly");
+  checkb "input node present" true (contains dot "input:x");
+  checkb "edges present" true (contains dot "->");
+  checkb "output marked" true (contains dot "output 0");
+  (* every live node appears *)
+  List.iter
+    (fun n -> checkb "node present" true (contains dot (Printf.sprintf "n%d " n.Dfg.id)))
+    (Dfg.live_nodes g)
+
+let dot_clusters () =
+  let g = fig3_poly () in
+  let r = Resbm.Region.build g in
+  let dot =
+    Dot.to_string ~cluster:(fun id -> Some r.Resbm.Region.region_of.(id)) g
+  in
+  checkb "region clusters emitted" true (contains dot "subgraph cluster_0");
+  checkb "last region cluster" true
+    (contains dot (Printf.sprintf "subgraph cluster_%d" (r.Resbm.Region.count - 1)))
+
+let dot_annotations () =
+  let g = fig3_poly () in
+  let dot = Dot.to_string ~annotate:(fun id -> if id = 0 then Some "L16" else None) g in
+  checkb "annotation emitted" true (contains dot "L16")
+
+let dot_managed_has_management_nodes () =
+  let g = fig1_block () in
+  let managed, _ = Resbm.Driver.compile Ckks.Params.fig1 g in
+  let dot = Dot.to_string managed in
+  checkb "rescales rendered" true (contains dot "rescale");
+  checkb "bootstraps rendered" true (contains dot "bootstrap")
+
+let dot_write_file () =
+  let g = fig3_poly () in
+  let path = Filename.temp_file "resbm" ".dot" in
+  Dot.write_file ~path g;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  checkb "file written" true (len > 100)
+
+(* --- Pretty printers ---------------------------------------------------------- *)
+
+let printer_smoke () =
+  let s = Format.asprintf "%a" Ckks.Params.pp Ckks.Params.default in
+  checkb "params pp" true (contains s "l_max=16");
+  let g = fig3_poly () in
+  let s = Format.asprintf "%a" Dfg.pp g in
+  checkb "dfg pp" true (contains s "outputs");
+  let r = Resbm.Region.build g in
+  let s = Format.asprintf "%a" Resbm.Region.pp r in
+  checkb "region pp" true (contains s "R0");
+  let managed, report = Resbm.Driver.compile prm g in
+  ignore managed;
+  let s = Format.asprintf "%a" Resbm.Report.pp report in
+  checkb "report pp" true (contains s "compiled in")
+
+let op_names_unique () =
+  let kinds =
+    [
+      Op.Add_cc;
+      Op.Add_cp;
+      Op.Mul_cc;
+      Op.Mul_cp;
+      Op.Rotate 3;
+      Op.Relin;
+      Op.Rescale;
+      Op.Modswitch;
+      Op.Bootstrap 5;
+      Op.Input { name = "x"; level = None; scale_bits = None };
+      Op.Const { name = "c" };
+    ]
+  in
+  let names = List.map Op.name kinds in
+  checki "names unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+(* --- Ablation knobs -------------------------------------------------------------- *)
+
+let no_sinking_keeps_invariants () =
+  let g = fig3_poly () in
+  let r = Resbm.Region.build ~sink:false g in
+  (* without the backward pass, a1x stays at its forward region (1) *)
+  let a1x =
+    List.find
+      (fun n ->
+        n.Dfg.kind = Op.Mul_cp
+        && Array.exists (fun a -> (Dfg.node g a).Dfg.kind = Op.Const { name = "a1" }) n.Dfg.args)
+      (Dfg.live_nodes g)
+  in
+  checki "a1x stays early without sinking" 1 r.Resbm.Region.region_of.(a1x.Dfg.id);
+  (* data flow still respected *)
+  List.iter
+    (fun n ->
+      Array.iter
+        (fun a ->
+          checkb "forward edges" true
+            (r.Resbm.Region.region_of.(a) <= r.Resbm.Region.region_of.(n.Dfg.id)))
+        n.Dfg.args)
+    (Dfg.live_nodes g)
+
+let no_sinking_still_compiles =
+  qcheck ~count:15 "plans without sinking are still legal"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:10)
+    (fun params ->
+      let g = build_random_dfg params in
+      let regioned = Resbm.Region.build ~sink:false g in
+      match Resbm.Btsmgr.plan regioned prm with
+      | plan ->
+          let outcome = Resbm.Plan.apply regioned prm plan in
+          Result.is_ok (Scale_check.run prm outcome.Resbm.Plan.dfg)
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let no_transit_pricing_still_compiles =
+  qcheck ~count:15 "plans without transit pricing are still legal (repairs fire)"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:10)
+    (fun params ->
+      let g = build_random_dfg params in
+      let regioned = Resbm.Region.build g in
+      let config = { Resbm.Btsmgr.resbm_config with price_transits = false } in
+      match Resbm.Btsmgr.plan ~config regioned prm with
+      | plan ->
+          let outcome = Resbm.Plan.apply regioned prm plan in
+          Result.is_ok (Scale_check.run prm outcome.Resbm.Plan.dfg)
+      | exception Resbm.Btsmgr.No_plan _ -> true)
+
+let transit_pricing_never_hurts () =
+  (* on the residual-heavy model the priced DP must be at least as good *)
+  let lowered = Nn.Lowering.lower Nn.Model.tiny in
+  let g = lowered.Nn.Lowering.dfg in
+  let p = { prm with input_level = 8 } in
+  let latency_with price_transits =
+    let regioned = Resbm.Region.build g in
+    let config = { Resbm.Btsmgr.resbm_config with price_transits } in
+    let plan = Resbm.Btsmgr.plan ~config regioned p in
+    let outcome = Resbm.Plan.apply regioned p plan in
+    Latency.total p outcome.Resbm.Plan.dfg
+  in
+  checkb "priced <= unpriced" true (latency_with true <= latency_with false +. 1e-6)
+
+let suite =
+  [
+    case "dot: structure" dot_structure;
+    case "dot: region clusters" dot_clusters;
+    case "dot: annotations" dot_annotations;
+    case "dot: management nodes rendered" dot_managed_has_management_nodes;
+    case "dot: write_file" dot_write_file;
+    case "printers: smoke" printer_smoke;
+    case "op names unique" op_names_unique;
+    case "ablation: no sinking keeps invariants" no_sinking_keeps_invariants;
+    no_sinking_still_compiles;
+    no_transit_pricing_still_compiles;
+    case "ablation: transit pricing never hurts" transit_pricing_never_hurts;
+  ]

@@ -1,0 +1,103 @@
+(* The q_w < q regime: the waterline below the scale factor.  The paper's
+   evaluation fixes q_w = q; these tests exercise the general code paths —
+   lazier rescaling, deferred level consumption — and pin down which
+   programs are out of scope (adds across incongruent scale trajectories,
+   which need EVA's upscale operation). *)
+open Test_util
+open Fhe_ir
+
+(* q = 56, q_w = 28: a ciphertext-plaintext product reaches the rescale
+   threshold (2^84) only every other multiplication. *)
+let prm = { Ckks.Params.default with waterline_bits = 28 }
+
+let mul_cp_chain n =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let v = ref x in
+  for i = 1 to n do
+    v := Dfg.mul_cp g !v (Dfg.const g (Printf.sprintf "c%d" i))
+  done;
+  Dfg.set_outputs g [ !v ];
+  g
+
+let lazy_rescaling_under_low_waterline () =
+  let g = mul_cp_chain 8 in
+  let managed, report = Resbm.Driver.compile prm g in
+  checkb "legal" true (Result.is_ok (Scale_check.run prm managed));
+  (* scales accumulate across two multiplications before a rescale fires:
+     strictly fewer rescales than multiplications *)
+  let rescales = report.Resbm.Report.stats.Stats.executed_rescales in
+  checkb "fewer rescales than muls" true (rescales < 8);
+  checkb "at least some rescales" true (rescales >= 3)
+
+let scalemgr_skips_ineligible_regions () =
+  let g = mul_cp_chain 6 in
+  let regioned = Resbm.Region.build g in
+  let sp =
+    Resbm.Scalemgr.plan regioned prm ~src:0 ~dst:6 ~src_entry_scale:56 ~bts_at_src:false
+  in
+  (* region 1: 56+28 = 84 -> rescale -> 28; region 2: 28+28 = 56 < 84: no
+     rescale; region 3: 56+28 = 84 -> rescale; ... *)
+  checki "region 1 rescales" 1 sp.Resbm.Scalemgr.infos.(1).Resbm.Scalemgr.rescales;
+  checki "region 2 skips" 0 sp.Resbm.Scalemgr.infos.(2).Resbm.Scalemgr.rescales;
+  checki "region 3 rescales" 1 sp.Resbm.Scalemgr.infos.(3).Resbm.Scalemgr.rescales;
+  checkb "half the levels consumed" true (sp.Resbm.Scalemgr.lbts <= 3)
+
+let mul_cc_chain_still_works () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let rec deepen v n = if n = 0 then v else deepen (Dfg.mul_cc g v v) (n - 1) in
+  Dfg.set_outputs g [ deepen x 10 ];
+  let managed, _ = Resbm.Driver.compile prm g in
+  checkb "legal" true (Result.is_ok (Scale_check.run prm managed))
+
+let deep_cp_chain_bootstraps () =
+  (* deep enough to exceed the fresh levels even at half consumption *)
+  let g = mul_cp_chain 40 in
+  let managed, report = Resbm.Driver.compile prm g in
+  checkb "legal" true (Result.is_ok (Scale_check.run prm managed));
+  checkb "bootstraps present" true (report.Resbm.Report.stats.Stats.bootstrap_count > 0)
+
+let incongruent_add_rejected () =
+  (* cc-product (2^112) and cp-product (2^84) rescale to 2^56 and 2^28:
+     no SMO plan can align them, so compilation must fail cleanly *)
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let cc = Dfg.mul_cc g x x in
+  let cp = Dfg.mul_cp g x (Dfg.const g "c") in
+  let s = Dfg.add_cc g cc cp in
+  Dfg.set_outputs g [ s ];
+  checkb "clean failure (needs an upscale op, out of scope)" true
+    (match Resbm.Driver.compile prm g with
+    | managed, _ -> Result.is_error (Scale_check.run prm managed)
+    | exception Resbm.Plan.Apply_error _ -> true)
+
+let managed_chain_executes () =
+  let g = mul_cp_chain 5 in
+  let managed, _ = Resbm.Driver.compile prm g in
+  let dim = 4 in
+  let consts name =
+    let rng = Ckks.Prng.create (Int64.of_int (Hashtbl.hash name)) in
+    Array.init dim (fun _ -> Ckks.Prng.uniform rng ~lo:(-0.8) ~hi:0.8)
+  in
+  let input = [| 0.9; -0.5; 0.3; 0.7 |] in
+  let ev = Ckks.Evaluator.create prm in
+  let result = Interp.run ev managed { Interp.inputs = [ ("x", input) ]; consts } in
+  let plain = Nn.Plain_eval.run managed ~input:(fun _ -> input) ~consts in
+  match (result.Interp.outputs, plain) with
+  | [ ct ], [ expect ] ->
+      let d = Ckks.Evaluator.decrypt ev ct in
+      Array.iteri
+        (fun i v -> checkb "executes correctly" true (Float.abs (v -. expect.(i)) < 1e-4))
+        d
+  | _ -> Alcotest.fail "one output"
+
+let suite =
+  [
+    case "lazy rescaling below the waterline" lazy_rescaling_under_low_waterline;
+    case "scalemgr skips ineligible regions" scalemgr_skips_ineligible_regions;
+    case "cc chains manage normally" mul_cc_chain_still_works;
+    case "deep cp chains bootstrap" deep_cp_chain_bootstraps;
+    case "incongruent adds rejected cleanly" incongruent_add_rejected;
+    case "managed cp chain executes" managed_chain_executes;
+  ]
