@@ -485,6 +485,67 @@ let micro () =
         stats)
     tests
 
+(* --- machine-readable trajectory: BENCH_resbm.json ------------------------------------------------ *)
+
+(* Per-model per-manager phase timings and pipeline counters, so compile
+   performance is tracked as data rather than read off Table 3 by hand.
+   The rescale/bootstrap fields mirror Table 4/Table 5; rerunning after
+   `sweep`-style parameter changes gives the Figure 7 trajectory. *)
+let bench_json () =
+  section "BENCH_resbm.json" "machine-readable per-model per-manager compile profile";
+  let manager_entry model mgr =
+    let _, r = compile mgr model in
+    let profile = r.Resbm.Report.profile in
+    let phases =
+      List.filter_map
+        (fun s ->
+          if s.Obs.Profile.depth = 0 then
+            Some (s.Obs.Profile.name, Obs.Json.Float s.Obs.Profile.dur_ms)
+          else None)
+        (Obs.Profile.spans profile)
+    in
+    Obs.Json.Obj
+      [
+        ("manager", Obs.Json.String mgr.Resbm.Variants.name);
+        ("compile_ms", Obs.Json.Float r.Resbm.Report.compile_ms);
+        ("latency_ms", Obs.Json.Float r.Resbm.Report.latency_ms);
+        ("bootstrap_count", Obs.Json.Int r.Resbm.Report.stats.Stats.bootstrap_count);
+        ("executed_rescales", Obs.Json.Int r.Resbm.Report.stats.Stats.executed_rescales);
+        ("ms_opt_hoists", Obs.Json.Int r.Resbm.Report.ms_opt_hoists);
+        ("phases", Obs.Json.Obj phases);
+        ( "counters",
+          Obs.Json.Obj
+            (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (Obs.Profile.counters profile))
+        );
+      ]
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "resbm");
+        ("l_max", Obs.Json.Int prm.Ckks.Params.l_max);
+        ( "models",
+          Obs.Json.List
+            (List.map
+               (fun model ->
+                 Obs.Json.Obj
+                   [
+                     ("model", Obs.Json.String model.Nn.Model.name);
+                     ( "managers",
+                       Obs.Json.List
+                         (List.map (manager_entry model) Resbm.Variants.all) );
+                   ])
+               models) );
+      ]
+  in
+  let path = "BENCH_resbm.json" in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  wrote %s (%d models x %d managers)@." path (List.length models)
+    (List.length Resbm.Variants.all)
+
 (* --- driver --------------------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -504,6 +565,7 @@ let all_experiments =
     ("ablation", ablation);
     ("memory", memory);
     ("micro", micro);
+    ("json", bench_json);
   ]
 
 let () =

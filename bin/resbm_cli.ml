@@ -53,6 +53,27 @@ let or_die = function
       Format.eprintf "error: %s@." m;
       exit 1
 
+let report_json ~model ~l_max report =
+  match Resbm.Report.to_json report with
+  | Obs.Json.Obj fields ->
+      Obs.Json.Obj (("model", Obs.Json.String model) :: ("l_max", Obs.Json.Int l_max) :: fields)
+  | j -> j
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Write the compilation profile (per-phase wall times, min-cut and planner \
+           counters) as JSON to $(docv).")
+
 (* --- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -73,7 +94,7 @@ let list_cmd =
 (* --- compile --------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run model manager l_max verbose emit_path =
+  let run model manager l_max verbose emit_path profile_path =
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
@@ -86,11 +107,18 @@ let compile_cmd =
           Fhe_ir.Scale_check.pp_violation v
     | Error [] -> ());
     Format.printf "%a@." Resbm.Report.pp report;
+    (match profile_path with
+    | Some path ->
+        write_json path (report_json ~model:model.Nn.Model.name ~l_max report);
+        Format.printf "wrote profile to %s@." path
+    | None -> ());
     if verbose then begin
+      (* one scale/level inference shared by every analysis below *)
+      let info = Fhe_ir.Scale_check.infer prm managed in
       Format.printf "@.latency by operation kind:@.";
       List.iter
         (fun (op, ms) -> Format.printf "  %-16s %14.1f ms@." (Ckks.Cost_model.op_name op) ms)
-        (Fhe_ir.Latency.by_kind prm managed);
+        (Fhe_ir.Latency.by_kind ~info prm managed);
       let const_magnitude name =
         Array.fold_left
           (fun acc v -> Float.max acc (Float.abs v))
@@ -125,7 +153,7 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
-    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ verbose $ emit_path)
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ verbose $ emit_path $ profile_arg)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -221,7 +249,7 @@ let export_cmd =
 (* --- sweep ----------------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run model levels =
+  let run model levels profile_path =
     let model = or_die (resolve_model model) in
     let lowered = Nn.Lowering.lower model in
     let g = lowered.Nn.Lowering.dfg in
@@ -229,6 +257,7 @@ let sweep_cmd =
       String.split_on_char ',' levels
       |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
     in
+    let profiled = ref [] in
     Format.printf "%5s %14s %14s %8s %7s %7s@." "l_max" "ReSBM(ms)" "Fhelipe(ms)" "gain"
       "bts-R" "bts-F";
     List.iter
@@ -236,12 +265,22 @@ let sweep_cmd =
         let prm = params_for l_max in
         let _, r = Resbm.Variants.(compile resbm) prm g in
         let _, f = Resbm.Variants.(compile fhelipe) prm g in
+        if profile_path <> None then
+          profiled :=
+            report_json ~model:model.Nn.Model.name ~l_max f
+            :: report_json ~model:model.Nn.Model.name ~l_max r
+            :: !profiled;
         Format.printf "%5d %14.0f %14.0f %7.1f%% %7d %7d@." l_max
           r.Resbm.Report.latency_ms f.Resbm.Report.latency_ms
           (100.0 *. (1.0 -. (r.Resbm.Report.latency_ms /. f.Resbm.Report.latency_ms)))
           r.Resbm.Report.stats.Fhe_ir.Stats.bootstrap_count
           f.Resbm.Report.stats.Fhe_ir.Stats.bootstrap_count)
-      levels
+      levels;
+    match profile_path with
+    | Some path ->
+        write_json path (Obs.Json.List (List.rev !profiled));
+        Format.printf "wrote %d profiles to %s@." (List.length !profiled) path
+    | None -> ()
   in
   let levels =
     Arg.(
@@ -249,7 +288,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep l_max for one model (Figure 7 style).")
-    Term.(const run $ model_arg $ levels)
+    Term.(const run $ model_arg $ levels $ profile_arg)
 
 let () =
   let info =

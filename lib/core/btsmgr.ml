@@ -80,6 +80,10 @@ let plan ?(config = resbm_config) regioned prm =
     Region_eval.eval cache regioned prm ~smo_mode:config.smo_mode
       ~bts_mode:config.bts_mode ~region ~entry_level ~rescales ~bts
   in
+  (* DP table dimensions: one row per region boundary, l_max + 1 candidate
+     bootstrap targets per segment evaluation. *)
+  Obs.observe "btsmgr.dp_regions" (float_of_int count);
+  Obs.observe "btsmgr.dp_levels" (float_of_int (l_max + 1));
   if count = 1 then
     {
       actions =
@@ -112,6 +116,7 @@ let plan ?(config = resbm_config) regioned prm =
     boundary_level.(0) <- prm.Ckks.Params.input_level;
     (* Evaluate a candidate segment; raises Not_found when infeasible. *)
     let try_segment ~src ~dst ~no_bts =
+      Obs.incr "btsmgr.segment_evals";
       let sp =
         Scalemgr.plan regioned prm ~src ~dst ~src_entry_scale:boundary_scale.(src)
           ~bts_at_src:(not no_bts)
@@ -239,6 +244,7 @@ let plan ?(config = resbm_config) regioned prm =
                 []
             | exception Not_found -> []
           in
+          Obs.incr ~by:(List.length candidates) "btsmgr.candidates";
           List.iter
             (fun seg ->
               let cand = min_lat.(src) +. seg.seg_latency in

@@ -106,6 +106,9 @@ let run regioned prm ~region ~lbts ~subgraph =
         Maxflow_util.add_with_reverse net ~src:i ~dst:t ~cap:(bts_cost id))
     subgraph;
   let mc = Graphlib.Maxflow.min_cut net ~source:s ~sink:t in
+  Obs.incr "btsplc.cuts";
+  Obs.observe "btsplc.cut_value" mc.Graphlib.Maxflow.value;
+  Obs.observe "btsplc.subgraph_nodes" (float_of_int k);
   let node_at = Array.of_list subgraph in
   let producer_heads = Hashtbl.create 8 in
   Hashtbl.iter (fun _ (fn, heads) -> Hashtbl.add producer_heads fn heads) producers;

@@ -1,19 +1,34 @@
-let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false) prm g =
+let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false) ?profile
+    prm g =
+  let profile = match profile with Some p -> p | None -> Obs.Profile.create () in
+  Obs.with_profile profile @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let regioned = Region.build g in
-  let plan = Btsmgr.plan ~config regioned prm in
-  let outcome = Plan.apply regioned prm plan in
+  let regioned = Obs.span "region_build" (fun () -> Region.build g) in
+  Obs.incr ~by:regioned.Region.count "driver.regions";
+  let plan = Obs.span "plan" (fun () -> Btsmgr.plan ~config regioned prm) in
+  let outcome = Obs.span "apply" (fun () -> Plan.apply regioned prm plan) in
   let managed = outcome.Plan.dfg in
-  if ms_opt then ignore (Passes.Ms_opt.run prm managed);
+  let ms_opt_hoists =
+    if ms_opt then Obs.span "ms_opt" (fun () -> Passes.Ms_opt.run prm managed) else 0
+  in
+  if ms_opt then Obs.incr ~by:ms_opt_hoists "ms_opt.hoists";
+  let latency_ms =
+    Obs.span "latency" (fun () ->
+        let info = Fhe_ir.Scale_check.infer prm managed in
+        Fhe_ir.Latency.total ~info prm managed)
+  in
+  let stats = Obs.span "stats" (fun () -> Fhe_ir.Stats.collect managed) in
   let compile_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
   let report =
     {
       Report.manager = name;
       compile_ms;
-      latency_ms = Fhe_ir.Latency.total prm managed;
-      stats = Fhe_ir.Stats.collect managed;
+      latency_ms;
+      stats;
       segments = plan.Btsmgr.segments;
       repair_bootstraps = outcome.Plan.repair_bootstraps;
+      ms_opt_hoists;
+      profile;
     }
   in
   (managed, report)

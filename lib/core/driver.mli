@@ -12,11 +12,18 @@ val compile :
   ?config:Btsmgr.config ->
   ?name:string ->
   ?ms_opt:bool ->
+  ?profile:Obs.Profile.t ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
   Fhe_ir.Dfg.t * Report.t
 (** [ms_opt] (default false) runs {!Passes.Ms_opt} after legalisation —
     the modswitch optimisation the paper grants the max-level managers for
-    lowering excessively bootstrapped ciphertexts.
+    lowering excessively bootstrapped ciphertexts; the number of hoists it
+    performs lands in {!Report.t.ms_opt_hoists}.
+
+    Every phase (region build, plan, apply, ms_opt, latency, stats) is
+    timed as a span, and the min-cut / planner counters are collected, in
+    the ambient {!Obs} profile: a caller-supplied [?profile], or a fresh
+    one otherwise.  Either way it is returned in {!Report.t.profile}.
     @raise Btsmgr.No_plan when no feasible plan exists for [l_max].
     @raise Plan.Apply_error when plan materialisation fails. *)

@@ -1,13 +1,23 @@
 (** Compilation report — the measurements behind Tables 3–5 and Figures
-    6–7. *)
+    6–7, plus the per-phase profile behind the perf trajectory. *)
 
 type t = {
   manager : string;
-  compile_ms : float;  (** Wall-clock time of the management passes. *)
+  compile_ms : float;  (** Wall-clock time of {!Driver.compile}. *)
   latency_ms : float;  (** Static Table 2 latency of the managed graph. *)
   stats : Fhe_ir.Stats.t;
   segments : (int * int) list;  (** Chosen bootstrap segments. *)
   repair_bootstraps : int;
+  ms_opt_hoists : int;
+      (** Modswitch hoists performed by {!Passes.Ms_opt} (0 unless the
+          manager enables it). *)
+  profile : Obs.Profile.t;
+      (** Per-phase wall times and pipeline counters collected during the
+          compile; see README "Profiling" for the JSON schema. *)
 }
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Obs.Json.t
+(** Machine-readable report: scalar fields, stats, and the full profile
+    (spans, counters, series). *)

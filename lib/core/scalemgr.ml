@@ -19,6 +19,7 @@ let scale_increment regioned prm ~region ~entry_scale =
 let plan regioned prm ~src ~dst ~src_entry_scale ~bts_at_src =
   if src < 0 || dst >= regioned.Region.count || src > dst then
     invalid_arg "Scalemgr.plan: bad sequence bounds";
+  Obs.incr "scalemgr.plans";
   let q = prm.Ckks.Params.scale_bits and qw = prm.Ckks.Params.waterline_bits in
   let infos = Array.make (dst - src + 1) { entry_scale = 0; peak_scale = 0; out_scale = 0; rescales = 0 } in
   let rescaling = ref [] and lbts = ref 0 in

@@ -91,6 +91,9 @@ let run regioned prm ~region ~level =
       if forces_sink id then Graphlib.Maxflow.add_edge net ~src:i ~dst:t ~cap:infinity)
     nodes;
   let mc = Graphlib.Maxflow.min_cut net ~source:s ~sink:t in
+  Obs.incr "smoplc.cuts";
+  Obs.observe "smoplc.cut_value" mc.Graphlib.Maxflow.value;
+  Obs.observe "smoplc.region_nodes" (float_of_int k);
   let node_at = Array.of_list nodes in
   let edges =
     List.filter_map

@@ -12,50 +12,84 @@ type arc = {
   init_cap : float;
 }
 
+type stats = { nodes : int; arcs : int; bfs_phases : int; aug_paths : int }
+
+(* Declared after [stats] so the label names below shadow its fields. *)
 type t = {
   mutable adj : arc array array;  (* built lazily from [pending] *)
-  mutable pending : arc list array;
+  mutable pending : arc list array;  (* per-node arcs, reverse insertion order *)
+  mutable deg : int array;  (* arcs inserted so far per node *)
   mutable n : int;
   mutable built : bool;
+  mutable edges_added : int;
+  mutable bfs_phases : int;
+  mutable aug_paths : int;
 }
 
 let eps = 1e-9
 
 let create n =
   if n < 0 then invalid_arg "Maxflow.create";
-  { adj = [||]; pending = Array.make (max n 1) []; n; built = false }
+  {
+    adj = [||];
+    pending = Array.make (max n 1) [];
+    deg = Array.make (max n 1) 0;
+    n;
+    built = false;
+    edges_added = 0;
+    bfs_phases = 0;
+    aug_paths = 0;
+  }
 
 let add_node net =
   if net.built then invalid_arg "Maxflow.add_node: network already built";
   if net.n >= Array.length net.pending then begin
-    let pending' = Array.make ((2 * net.n) + 1) [] in
+    let capacity = (2 * net.n) + 1 in
+    let pending' = Array.make capacity [] and deg' = Array.make capacity 0 in
     Array.blit net.pending 0 pending' 0 net.n;
-    net.pending <- pending'
+    Array.blit net.deg 0 deg' 0 net.n;
+    net.pending <- pending';
+    net.deg <- deg'
   end;
   let id = net.n in
   net.n <- net.n + 1;
   id
 
+(* Arcs are prepended (O(1)) and the lists reversed once in [build], so a
+   node's final adjacency index is its degree at insertion time. *)
 let add_edge net ~src ~dst ~cap =
   if net.built then invalid_arg "Maxflow.add_edge: network already built";
   if cap < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
   if src < 0 || src >= net.n || dst < 0 || dst >= net.n then
     invalid_arg "Maxflow.add_edge: node out of range";
-  let fwd_pos = List.length net.pending.(src)
-  and bwd_pos = List.length net.pending.(dst) in
+  let fwd_pos = net.deg.(src) in
+  net.deg.(src) <- fwd_pos + 1;
+  let bwd_pos = net.deg.(dst) in
+  net.deg.(dst) <- bwd_pos + 1;
   let fwd =
     { dst; cap; rev = bwd_pos; original = cap < infinity; init_cap = cap }
   and bwd = { dst = src; cap = 0.0; rev = fwd_pos; original = false; init_cap = 0.0 } in
-  net.pending.(src) <- net.pending.(src) @ [ fwd ];
-  net.pending.(dst) <- net.pending.(dst) @ [ bwd ]
+  net.pending.(src) <- fwd :: net.pending.(src);
+  net.pending.(dst) <- bwd :: net.pending.(dst);
+  net.edges_added <- net.edges_added + 1
 
 let build net =
   if not net.built then begin
-    net.adj <- Array.map Array.of_list (Array.sub net.pending 0 net.n);
+    net.adj <-
+      Array.map (fun arcs -> Array.of_list (List.rev arcs)) (Array.sub net.pending 0 net.n);
     net.built <- true
   end
 
+let stats net : stats =
+  {
+    nodes = net.n;
+    arcs = 2 * net.edges_added;
+    bfs_phases = net.bfs_phases;
+    aug_paths = net.aug_paths;
+  }
+
 let bfs net ~source ~sink level =
+  net.bfs_phases <- net.bfs_phases + 1;
   Array.fill level 0 net.n (-1);
   level.(source) <- 0;
   let queue = Queue.create () in
@@ -104,11 +138,15 @@ let max_flow net ~source ~sink =
        let pushed = ref (dfs net level iter source sink infinity) in
        while !pushed > eps do
          flow := !flow +. !pushed;
+         net.aug_paths <- net.aug_paths + 1;
          if !flow = infinity then raise Exit;
          pushed := dfs net level iter source sink infinity
        done
      done
    with Exit -> ());
+  Obs.incr "maxflow.runs";
+  Obs.incr ~by:net.bfs_phases "maxflow.bfs_phases";
+  Obs.incr ~by:net.aug_paths "maxflow.aug_paths";
   !flow
 
 type cut = {
@@ -141,4 +179,7 @@ let min_cut net ~source ~sink =
         (fun a -> if a.original && not side.(a.dst) then edges := (u, a.dst) :: !edges)
         net.adj.(u)
   done;
-  { value; source_side = side; edges = List.rev !edges }
+  let edges = List.rev !edges in
+  Obs.observe "maxflow.cut_value" value;
+  Obs.incr ~by:(List.length edges) "maxflow.cut_edges";
+  { value; source_side = side; edges }

@@ -16,7 +16,20 @@ val add_node : t -> int
 (** Allocate a fresh node (useful for super source/sink). *)
 
 val add_edge : t -> src:int -> dst:int -> cap:float -> unit
-(** Add a directed arc.  Negative capacities raise [Invalid_argument]. *)
+(** Add a directed arc in O(1) (adjacency lists are materialised once by
+    the first [max_flow]).  Negative capacities raise [Invalid_argument]. *)
+
+type stats = {
+  nodes : int;
+  arcs : int;  (** Arc records, i.e. 2 per [add_edge] (forward + residual). *)
+  bfs_phases : int;  (** Level-graph constructions run by Dinic so far. *)
+  aug_paths : int;  (** Augmenting paths pushed so far. *)
+}
+
+val stats : t -> stats
+(** Counters of the work done on this network.  [bfs_phases] and
+    [aug_paths] are 0 until [max_flow] runs.  The same counters are also
+    reported to the ambient {!Obs} profile under ["maxflow.*"]. *)
 
 val max_flow : t -> source:int -> sink:int -> float
 (** Run Dinic's algorithm and return the max-flow value.  Consumes the

@@ -18,12 +18,15 @@ let node_cost _prm g info id =
       let level = charge_level g info id in
       float_of_int node.Dfg.freq *. Ckks.Cost_model.cost op ~level
 
-let total prm g =
-  let info = Scale_check.infer prm g in
+let infer_or ~info prm g =
+  match info with Some i -> i | None -> Scale_check.infer prm g
+
+let total ?info prm g =
+  let info = infer_or ~info prm g in
   List.fold_left (fun acc n -> acc +. node_cost prm g info n.Dfg.id) 0.0 (Dfg.live_nodes g)
 
-let by_kind prm g =
-  let info = Scale_check.infer prm g in
+let by_kind ?info prm g =
+  let info = infer_or ~info prm g in
   let table = Hashtbl.create 16 in
   List.iter
     (fun n ->

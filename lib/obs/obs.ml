@@ -1,0 +1,373 @@
+(* Lightweight observability for the compile pipeline: wall-clock spans,
+   monotonic counters, float series, and dependency-free JSON.  A profile
+   is installed as the ambient collector for the dynamic extent of one
+   compile; instrumentation sites record through the conveniences at the
+   bottom, which are no-ops when no profile is installed. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* Shortest decimal representation that parses back to the same float;
+     non-finite values have no JSON spelling and degrade to null. *)
+  let float_repr f =
+    if Float.is_nan f || Float.abs f = infinity then "null"
+    else begin
+      let repr = ref (Printf.sprintf "%.17g" f) in
+      (try
+         for p = 1 to 16 do
+           let c = Printf.sprintf "%.*g" p f in
+           if float_of_string c = f then begin
+             repr := c;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') !repr then !repr
+      else !repr ^ ".0"
+    end
+
+  let rec to_buf buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            to_buf buf v)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\":";
+            to_buf buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    to_buf buf v;
+    Buffer.contents buf
+
+  let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+  exception Parse of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail "expected %c at offset %d" c !pos
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail "bad literal at offset %d" !pos
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* encode the BMP code point as UTF-8 *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+          | c -> fail "bad escape \\%c" c);
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_frac = ref false in
+      if peek () = Some '-' then advance ();
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' | '+' | '-' ->
+            is_frac := true;
+            true
+        | _ -> false
+      do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if !is_frac then Float (float_of_string text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> Float (float_of_string text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec members () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              fields := (k, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ()
+              | Some '}' -> advance ()
+              | _ -> fail "expected , or } at offset %d" !pos
+            in
+            members ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let items = ref [] in
+            let rec elements () =
+              let v = parse_value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements ()
+              | Some ']' -> advance ()
+              | _ -> fail "expected , or ] at offset %d" !pos
+            in
+            elements ();
+            List (List.rev !items)
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail "unexpected %c at offset %d" c !pos
+    in
+    match parse_value () with
+    | v ->
+        skip_ws ();
+        if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+        else Ok v
+    | exception Parse m -> Error m
+    | exception Failure m -> Error m
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+module Timer = struct
+  type t = float
+
+  let start () = Unix.gettimeofday ()
+  let elapsed_ms t = 1000.0 *. (Unix.gettimeofday () -. t)
+end
+
+module Profile = struct
+  type span = { name : string; depth : int; start_ms : float; dur_ms : float }
+
+  type t = {
+    epoch : float;
+    mutable finished : span list;  (* reverse completion order *)
+    mutable stack : (string * float) list;  (* open spans *)
+    counters : (string, int) Hashtbl.t;
+    series : (string, float list ref) Hashtbl.t;  (* reverse order *)
+  }
+
+  let create () =
+    {
+      epoch = Unix.gettimeofday ();
+      finished = [];
+      stack = [];
+      counters = Hashtbl.create 16;
+      series = Hashtbl.create 16;
+    }
+
+  let now_ms t = 1000.0 *. (Unix.gettimeofday () -. t.epoch)
+
+  let incr ?(by = 1) t name =
+    Hashtbl.replace t.counters name
+      (by + Option.value (Hashtbl.find_opt t.counters name) ~default:0)
+
+  let counter t name = Option.value (Hashtbl.find_opt t.counters name) ~default:0
+
+  let observe t name v =
+    match Hashtbl.find_opt t.series name with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.add t.series name (ref [ v ])
+
+  let series t name =
+    match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+  let span t name f =
+    let start = now_ms t in
+    let depth = List.length t.stack in
+    t.stack <- (name, start) :: t.stack;
+    Fun.protect f ~finally:(fun () ->
+        (match t.stack with _ :: rest -> t.stack <- rest | [] -> ());
+        t.finished <-
+          { name; depth; start_ms = start; dur_ms = now_ms t -. start } :: t.finished)
+
+  let spans t =
+    List.sort
+      (fun a b -> compare (a.start_ms, a.depth) (b.start_ms, b.depth))
+      (List.rev t.finished)
+
+  let counters t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let all_series t =
+    Hashtbl.fold (fun k r acc -> (k, List.rev !r) :: acc) t.series []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let to_json t =
+    let span_json s =
+      Json.Obj
+        [
+          ("name", Json.String s.name);
+          ("depth", Json.Int s.depth);
+          ("start_ms", Json.Float s.start_ms);
+          ("dur_ms", Json.Float s.dur_ms);
+        ]
+    in
+    let series_json (name, values) =
+      let count = List.length values in
+      let sum = List.fold_left ( +. ) 0.0 values in
+      ( name,
+        Json.Obj
+          [
+            ("count", Json.Int count);
+            ("sum", Json.Float sum);
+            ("min", Json.Float (List.fold_left Float.min infinity values));
+            ("max", Json.Float (List.fold_left Float.max neg_infinity values));
+            ("values", Json.List (List.map (fun v -> Json.Float v) values));
+          ] )
+    in
+    Json.Obj
+      [
+        ("spans", Json.List (List.map span_json (spans t)));
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+        ("series", Json.Obj (List.map series_json (all_series t)));
+      ]
+
+  let pp ppf t =
+    let top = List.filter (fun s -> s.depth = 0) (spans t) in
+    Format.fprintf ppf "@[<v>phases:";
+    List.iter (fun s -> Format.fprintf ppf "@ %-14s %10.3f ms" s.name s.dur_ms) top;
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "@ %-32s %10d" k v)
+      (counters t);
+    Format.fprintf ppf "@]"
+end
+
+let current_profile : Profile.t option ref = ref None
+let current () = !current_profile
+
+let with_profile p f =
+  let saved = !current_profile in
+  current_profile := Some p;
+  Fun.protect f ~finally:(fun () -> current_profile := saved)
+
+let incr ?by name =
+  match !current_profile with Some p -> Profile.incr ?by p name | None -> ()
+
+let observe name v =
+  match !current_profile with Some p -> Profile.observe p name v | None -> ()
+
+let span name f = match !current_profile with Some p -> Profile.span p name f | None -> f ()

@@ -1,0 +1,96 @@
+(** Lightweight observability for the compile pipeline.
+
+    Three primitives — wall-clock {e spans}, monotonic {e counters} and
+    float {e series} — collected into a {!Profile.t} and serialised as
+    JSON with no external dependencies.  The compiler driver installs a
+    profile as the ambient collector for the dynamic extent of one
+    compile ({!with_profile}); instrumentation sites deep in the pipeline
+    (min-cut engine, planners) record through the module-level
+    conveniences, which are no-ops when no profile is installed, so
+    un-profiled callers pay only an option check. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact serialisation.  Floats use the shortest representation that
+      round-trips; non-finite floats become [null]. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val of_string : string -> (t, string) result
+  (** Strict parser for the serialisation above (standard JSON; [\uXXXX]
+      escapes decode to UTF-8). *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj fields)] looks up [key]; [None] on non-objects. *)
+end
+
+module Timer : sig
+  type t
+
+  val start : unit -> t
+  val elapsed_ms : t -> float
+end
+
+module Profile : sig
+  type span = { name : string; depth : int; start_ms : float; dur_ms : float }
+  (** A completed timed section.  [start_ms] is relative to profile
+      creation; [depth] is the nesting depth at entry (0 = top level). *)
+
+  type t
+
+  val create : unit -> t
+
+  val span : t -> string -> (unit -> 'a) -> 'a
+  (** Time [f], recording a span even when [f] raises.  Nests. *)
+
+  val incr : ?by:int -> t -> string -> unit
+  val counter : t -> string -> int
+  (** Current value of a counter; 0 when never incremented. *)
+
+  val observe : t -> string -> float -> unit
+  (** Append one observation to a named series. *)
+
+  val series : t -> string -> float list
+  (** Observations of one series in insertion order; [[]] when absent. *)
+
+  val spans : t -> span list
+  (** Completed spans in chronological (start time) order. *)
+
+  val counters : t -> (string * int) list
+  (** All counters, sorted by name. *)
+
+  val all_series : t -> (string * float list) list
+  (** All series, sorted by name, observations in insertion order. *)
+
+  val to_json : t -> Json.t
+  (** [{"spans": [{name, depth, start_ms, dur_ms}],
+       "counters": {name: int},
+       "series": {name: {count, sum, min, max, values}}}] *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Top-level phase durations and counters, one per line. *)
+end
+
+val with_profile : Profile.t -> (unit -> 'a) -> 'a
+(** Install [p] as the ambient profile for the extent of the callback
+    (restoring the previous one after, also on exceptions). *)
+
+val current : unit -> Profile.t option
+
+val incr : ?by:int -> string -> unit
+(** Increment a counter on the ambient profile; no-op when none. *)
+
+val observe : string -> float -> unit
+(** Append to a series on the ambient profile; no-op when none. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** Time [f] as a span on the ambient profile; just runs [f] when none. *)

@@ -205,6 +205,66 @@ let maxflow_matches_brute_force =
       let expect = brute_force_min_cut !edges n ~source:0 ~sink:(n - 1) in
       Float.abs (flow -. expect) < 1e-6)
 
+let maxflow_dense_matches_brute_force =
+  qcheck ~count:60 "dense random graphs match brute-force cut enumeration"
+    QCheck2.Gen.(pair (int_range 4 8) (int_bound 100_000))
+    (fun (n, seed) ->
+      let rng = Ckks.Prng.create (Int64.of_int seed) in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && Ckks.Prng.float rng < 0.9 then
+            edges := (u, v, float_of_int (1 + Ckks.Prng.int rng ~bound:9)) :: !edges
+        done
+      done;
+      let net = Graphlib.Maxflow.create n in
+      List.iter (fun (u, v, c) -> Graphlib.Maxflow.add_edge net ~src:u ~dst:v ~cap:c) !edges;
+      let cut = Graphlib.Maxflow.min_cut net ~source:0 ~sink:(n - 1) in
+      let expect = brute_force_min_cut !edges n ~source:0 ~sink:(n - 1) in
+      let st = Graphlib.Maxflow.stats net in
+      Float.abs (cut.Graphlib.Maxflow.value -. expect) < 1e-6
+      && st.Graphlib.Maxflow.arcs = 2 * List.length !edges
+      && (expect = 0.0 || st.Graphlib.Maxflow.aug_paths > 0))
+
+let maxflow_wide_star_construction () =
+  (* 10k parallel chains s -> i -> t, i.e. 10k edges converging on one
+     node.  The old pending representation (List.length + append per
+     edge) made building this network quadratic in the node degree; the
+     whole construct-and-solve must now stay well under a second. *)
+  let k = 10_000 in
+  let net = Graphlib.Maxflow.create (k + 2) in
+  let s = k and t = k + 1 in
+  let timer = Obs.Timer.start () in
+  for i = 0 to k - 1 do
+    Graphlib.Maxflow.add_edge net ~src:s ~dst:i ~cap:1.0;
+    Graphlib.Maxflow.add_edge net ~src:i ~dst:t ~cap:2.0
+  done;
+  let flow = Graphlib.Maxflow.max_flow net ~source:s ~sink:t in
+  check_float ~eps:1e-6 "flow saturates every chain" (float_of_int k) flow;
+  let st = Graphlib.Maxflow.stats net in
+  checki "arc records" (4 * k) st.Graphlib.Maxflow.arcs;
+  checki "nodes" (k + 2) st.Graphlib.Maxflow.nodes;
+  checkb "bfs phases counted" true (st.Graphlib.Maxflow.bfs_phases >= 1);
+  checkb "augmenting paths counted" true (st.Graphlib.Maxflow.aug_paths >= 1);
+  checkb "no quadratic blowup (under 10s)" true (Obs.Timer.elapsed_ms timer < 10_000.0)
+
+let maxflow_stats_counters () =
+  let net = Graphlib.Maxflow.create 4 in
+  Graphlib.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3.0;
+  Graphlib.Maxflow.add_edge net ~src:0 ~dst:2 ~cap:2.0;
+  Graphlib.Maxflow.add_edge net ~src:1 ~dst:3 ~cap:2.0;
+  Graphlib.Maxflow.add_edge net ~src:2 ~dst:3 ~cap:3.0;
+  Graphlib.Maxflow.add_edge net ~src:1 ~dst:2 ~cap:1.0;
+  let st0 = Graphlib.Maxflow.stats net in
+  checki "idle bfs phases" 0 st0.Graphlib.Maxflow.bfs_phases;
+  checki "idle augmenting paths" 0 st0.Graphlib.Maxflow.aug_paths;
+  check_float ~eps:1e-6 "flow unchanged by instrumentation" 5.0
+    (Graphlib.Maxflow.max_flow net ~source:0 ~sink:3);
+  let st = Graphlib.Maxflow.stats net in
+  checki "arc records (fwd + residual)" 10 st.Graphlib.Maxflow.arcs;
+  checkb "bfs phases counted" true (st.Graphlib.Maxflow.bfs_phases >= 2);
+  checkb "augmenting paths counted" true (st.Graphlib.Maxflow.aug_paths >= 2)
+
 let maxflow_cut_separates =
   qcheck ~count:100 "removing the cut disconnects source from sink"
     QCheck2.Gen.(pair (int_range 3 8) (int_bound 100_000))
@@ -309,6 +369,9 @@ let suite =
     case "maxflow: disconnected" maxflow_disconnected;
     case "maxflow: negative capacity rejected" maxflow_negative_cap;
     maxflow_matches_brute_force;
+    maxflow_dense_matches_brute_force;
+    case "maxflow: wide star construction (10k edges)" maxflow_wide_star_construction;
+    case "maxflow: work counters" maxflow_stats_counters;
     maxflow_cut_separates;
     case "stoer-wagner: triangle" stoer_wagner_triangle;
     case "stoer-wagner: two nodes" stoer_wagner_two_nodes;

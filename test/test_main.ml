@@ -2,6 +2,7 @@ let () =
   Alcotest.run "resbm"
     [
       ("graphlib", Test_graphlib.suite);
+      ("obs", Test_obs.suite);
       ("ckks", Test_ckks.suite);
       ("exact-ckks", Test_exact_ckks.suite);
       ("ir", Test_ir.suite);

@@ -1,0 +1,220 @@
+(* Obs: timers, counters, spans, JSON round-trip, and the compile-pipeline
+   profile regression. *)
+open Test_util
+
+(* --- Timer -------------------------------------------------------------- *)
+
+let timer_monotone () =
+  let t = Obs.Timer.start () in
+  let a = Obs.Timer.elapsed_ms t in
+  let b = Obs.Timer.elapsed_ms t in
+  checkb "non-negative" true (a >= 0.0);
+  checkb "monotone" true (b >= a)
+
+(* --- Counters ------------------------------------------------------------ *)
+
+let counter_semantics () =
+  let p = Obs.Profile.create () in
+  checki "absent counter reads 0" 0 (Obs.Profile.counter p "x");
+  Obs.Profile.incr p "x";
+  Obs.Profile.incr ~by:41 p "x";
+  Obs.Profile.incr p "y";
+  checki "accumulates" 42 (Obs.Profile.counter p "x");
+  checki "independent" 1 (Obs.Profile.counter p "y");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted listing"
+    [ ("x", 42); ("y", 1) ]
+    (Obs.Profile.counters p)
+
+let series_semantics () =
+  let p = Obs.Profile.create () in
+  check (Alcotest.list (Alcotest.float 0.0)) "absent series empty" []
+    (Obs.Profile.series p "v");
+  Obs.Profile.observe p "v" 1.5;
+  Obs.Profile.observe p "v" 2.5;
+  check (Alcotest.list (Alcotest.float 0.0)) "insertion order" [ 1.5; 2.5 ]
+    (Obs.Profile.series p "v")
+
+(* --- Spans --------------------------------------------------------------- *)
+
+let span_semantics () =
+  let p = Obs.Profile.create () in
+  let v = Obs.Profile.span p "outer" (fun () -> Obs.Profile.span p "inner" (fun () -> 7)) in
+  checki "returns the callback result" 7 v;
+  match Obs.Profile.spans p with
+  | [ outer; inner ] ->
+      check Alcotest.string "outer first (start order)" "outer" outer.Obs.Profile.name;
+      checki "outer at depth 0" 0 outer.Obs.Profile.depth;
+      check Alcotest.string "inner second" "inner" inner.Obs.Profile.name;
+      checki "inner at depth 1" 1 inner.Obs.Profile.depth;
+      checkb "inner no longer than outer" true
+        (inner.Obs.Profile.dur_ms <= outer.Obs.Profile.dur_ms +. 1e-6);
+      checkb "inner starts after outer" true
+        (inner.Obs.Profile.start_ms >= outer.Obs.Profile.start_ms)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let span_records_on_exception () =
+  let p = Obs.Profile.create () in
+  (try Obs.Profile.span p "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Obs.Profile.spans p with
+  | [ s ] ->
+      check Alcotest.string "recorded despite raise" "boom" s.Obs.Profile.name;
+      checki "depth popped back to 0" 0 s.Obs.Profile.depth
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* --- Ambient profile ------------------------------------------------------ *)
+
+let ambient_noop_and_install () =
+  checkb "no ambient profile by default" true (Obs.current () = None);
+  (* conveniences must be harmless without a profile *)
+  Obs.incr "nope";
+  Obs.observe "nope" 1.0;
+  checki "span passes through" 3 (Obs.span "s" (fun () -> 3));
+  let p = Obs.Profile.create () in
+  Obs.with_profile p (fun () ->
+      Obs.incr "hit";
+      Obs.observe "val" 2.0;
+      ignore (Obs.span "timed" (fun () -> ()));
+      checkb "installed" true
+        (match Obs.current () with Some q -> q == p | None -> false));
+  checkb "restored after" true (Obs.current () = None);
+  checki "counter recorded" 1 (Obs.Profile.counter p "hit");
+  check (Alcotest.list (Alcotest.float 0.0)) "series recorded" [ 2.0 ]
+    (Obs.Profile.series p "val");
+  checki "span recorded" 1 (List.length (Obs.Profile.spans p))
+
+let ambient_maxflow_counters () =
+  let p = Obs.Profile.create () in
+  Obs.with_profile p (fun () ->
+      let net = Graphlib.Maxflow.create 2 in
+      Graphlib.Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1.0;
+      ignore (Graphlib.Maxflow.max_flow net ~source:0 ~sink:1));
+  checki "maxflow.runs" 1 (Obs.Profile.counter p "maxflow.runs");
+  checkb "maxflow.bfs_phases nonzero" true (Obs.Profile.counter p "maxflow.bfs_phases" > 0)
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let json_roundtrip_handwritten () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("a", Int 1);
+          ("neg", Int (-42));
+          ("f", Float 0.1);
+          ("whole", Float 7.0);
+          ("big", Float 1e22);
+          ("list", List [ Null; Bool true; Bool false; String "x\"\\\n\tesc" ]);
+          ("empty_obj", Obj []);
+          ("empty_list", List []);
+          ("nested", Obj [ ("k", List [ Obj [ ("deep", Int 3) ] ]) ]);
+        ])
+  in
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> checkb "round-trips exactly" true (v = v')
+  | Error m -> Alcotest.fail m
+
+let json_parse_foreign () =
+  (* whitespace, \u escapes, and number forms we don't emit ourselves *)
+  match Obs.Json.of_string "  { \"k\" : [ 1 , -2.5e1 , \"\\u0041\" , null ] }  " with
+  | Ok v ->
+      checkb "parsed" true
+        (v
+        = Obs.Json.Obj
+            [ ("k", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float (-25.0); Obs.Json.String "A"; Obs.Json.Null ]) ])
+  | Error m -> Alcotest.fail m
+
+let json_rejects_garbage () =
+  checkb "trailing garbage" true (Result.is_error (Obs.Json.of_string "{} x"));
+  checkb "unterminated string" true (Result.is_error (Obs.Json.of_string "\"abc"));
+  checkb "bare word" true (Result.is_error (Obs.Json.of_string "bogus"))
+
+let json_float_roundtrip =
+  qcheck ~count:300 "every float round-trips through JSON (or degrades to null)"
+    QCheck2.Gen.float
+    (fun f ->
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+      | Ok (Obs.Json.Float f') -> Float.equal f' f
+      | Ok Obs.Json.Null -> Float.is_nan f || Float.abs f = infinity
+      | _ -> false)
+
+let json_profile_serialisation () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.incr ~by:3 p "c";
+  Obs.Profile.observe p "s" 1.0;
+  Obs.Profile.observe p "s" 3.0;
+  ignore (Obs.Profile.span p "phase" (fun () -> ()));
+  let json = Obs.Profile.to_json p in
+  (match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Ok v -> checkb "profile JSON round-trips" true (v = json)
+  | Error m -> Alcotest.fail m);
+  (match Obs.Json.member "counters" json with
+  | Some (Obs.Json.Obj [ ("c", Obs.Json.Int 3) ]) -> ()
+  | _ -> Alcotest.fail "counters object malformed");
+  match Obs.Json.member "series" json with
+  | Some (Obs.Json.Obj [ ("s", series) ]) -> (
+      (match Obs.Json.member "count" series with
+      | Some (Obs.Json.Int 2) -> ()
+      | _ -> Alcotest.fail "series count");
+      match Obs.Json.member "sum" series with
+      | Some (Obs.Json.Float sum) -> check_float ~eps:1e-9 "series sum" 4.0 sum
+      | _ -> Alcotest.fail "series sum")
+  | _ -> Alcotest.fail "series object malformed"
+
+(* --- Compile-pipeline profile regression ----------------------------------- *)
+
+let compile_profile_regression () =
+  let prm = Ckks.Params.default in
+  let lowered = Nn.Lowering.lower Nn.Model.tiny in
+  let _, report = Resbm.Variants.(compile resbm) prm lowered.Nn.Lowering.dfg in
+  let p = report.Resbm.Report.profile in
+  let top = List.filter (fun s -> s.Obs.Profile.depth = 0) (Obs.Profile.spans p) in
+  let names = List.map (fun s -> s.Obs.Profile.name) top in
+  List.iter
+    (fun phase -> checkb (phase ^ " phase present") true (List.mem phase names))
+    [ "region_build"; "plan"; "apply"; "latency"; "stats" ];
+  let sum = List.fold_left (fun acc s -> acc +. s.Obs.Profile.dur_ms) 0.0 top in
+  checkb "phase durations sum <= compile_ms" true
+    (sum <= report.Resbm.Report.compile_ms +. 0.5);
+  checkb "maxflow ran" true (Obs.Profile.counter p "maxflow.runs" > 0);
+  checkb "bfs phases counted" true (Obs.Profile.counter p "maxflow.bfs_phases" > 0);
+  checkb "augmenting paths counted" true (Obs.Profile.counter p "maxflow.aug_paths" > 0);
+  checkb "per-region cut values recorded" true (Obs.Profile.series p "smoplc.cut_value" <> []);
+  checkb "DP dimensions recorded" true (Obs.Profile.series p "btsmgr.dp_regions" <> []);
+  (* the full report serialises and parses back identically *)
+  let json = Resbm.Report.to_json report in
+  match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Ok v -> checkb "report JSON round-trips" true (Obs.Json.to_string v = Obs.Json.to_string json)
+  | Error m -> Alcotest.fail m
+
+let ms_opt_hoists_reported () =
+  (* ReSBM_max runs the modswitch hoist pass; the count must land in the
+     report instead of being dropped on the floor. *)
+  let prm = Ckks.Params.default in
+  let lowered = Nn.Lowering.lower Nn.Model.tiny in
+  let _, plain = Resbm.Variants.(compile resbm) prm lowered.Nn.Lowering.dfg in
+  checki "ms_opt off reports 0 hoists" 0 plain.Resbm.Report.ms_opt_hoists;
+  let _, maxed = Resbm.Variants.(compile resbm_max) prm lowered.Nn.Lowering.dfg in
+  checkb "ms_opt hoist count non-negative" true (maxed.Resbm.Report.ms_opt_hoists >= 0);
+  checki "hoist count matches profile counter"
+    maxed.Resbm.Report.ms_opt_hoists
+    (Obs.Profile.counter maxed.Resbm.Report.profile "ms_opt.hoists")
+
+let suite =
+  [
+    case "timer: monotone" timer_monotone;
+    case "counter: semantics" counter_semantics;
+    case "series: semantics" series_semantics;
+    case "span: nesting and results" span_semantics;
+    case "span: recorded on exception" span_records_on_exception;
+    case "ambient: no-op without profile, records with one" ambient_noop_and_install;
+    case "ambient: maxflow reports counters" ambient_maxflow_counters;
+    case "json: handwritten round-trip" json_roundtrip_handwritten;
+    case "json: parses foreign input" json_parse_foreign;
+    case "json: rejects garbage" json_rejects_garbage;
+    json_float_roundtrip;
+    case "json: profile serialisation" json_profile_serialisation;
+    case "profile: tiny-model compile regression" compile_profile_regression;
+    case "profile: ms_opt hoists reported" ms_opt_hoists_reported;
+  ]
