@@ -6,11 +6,15 @@
      run                       simulated encrypted inference + fidelity
      regions                   show the region partition of a model
      sweep                     l_max sweep for one model (Figure 7 style)
+     lint                      verify + lint a compiled model
+
+   Exit codes: 0 success, 1 usage error, 2 verifier/lint failure.
 
    Examples:
      resbm compile --model resnet20 --manager fhelipe
      resbm run --model tiny --samples 10 --dim 32
-     resbm sweep --model resnet20 --l-max 16,14,12,10 *)
+     resbm sweep --model resnet20 --l-max 16,14,12,10
+     resbm lint --model resnet20 --deny-warnings *)
 
 open Cmdliner
 
@@ -94,18 +98,24 @@ let list_cmd =
 (* --- compile --------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run model manager l_max verbose emit_path profile_path =
+  let run model manager l_max verify_each verbose emit_path profile_path =
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
     let lowered = Nn.Lowering.lower model in
-    let managed, report = Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg in
-    (match Fhe_ir.Scale_check.run prm managed with
-    | Ok _ -> ()
-    | Error (v :: _) ->
-        Format.eprintf "warning: managed graph is illegal: %a@."
-          Fhe_ir.Scale_check.pp_violation v
-    | Error [] -> ());
+    let managed, report =
+      try Resbm.Variants.compile ~verify_each manager prm lowered.Nn.Lowering.dfg with
+      | Resbm.Driver.Verification_failed (pass, diags) ->
+          Format.eprintf "error: verification failed after pass %s:@." pass;
+          List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
+          exit 2
+    in
+    let diags = Analysis.Verify.run prm managed in
+    List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
+    if Analysis.Diag.has_errors diags then begin
+      Format.eprintf "error: managed graph is illegal@.";
+      exit 2
+    end;
     Format.printf "%a@." Resbm.Report.pp report;
     (match profile_path with
     | Some path ->
@@ -151,9 +161,17 @@ let compile_cmd =
       & opt (some string) None
       & info [ "emit" ] ~docv:"FILE" ~doc:"Emit the managed program as C against the ACElib-style API.")
   in
+  let verify_each =
+    Arg.(
+      value & flag
+      & info [ "verify-each" ]
+          ~doc:"Run the invariant verifier after every compiler pass (fail fast).")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
-    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ verbose $ emit_path $ profile_arg)
+    Term.(
+      const run $ model_arg $ manager_arg $ l_max_arg $ verify_each $ verbose $ emit_path
+      $ profile_arg)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -246,6 +264,82 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a model's DFG as Graphviz, clustered by region.")
     Term.(const run $ model_arg $ manager_arg $ l_max_arg $ managed_flag $ output)
 
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run model manager l_max json_path deny_warnings =
+    let model = or_die (resolve_model model) in
+    let manager = or_die (resolve_manager manager) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let managed, _report =
+      try Resbm.Variants.compile ~verify_each:true manager prm lowered.Nn.Lowering.dfg
+      with Resbm.Driver.Verification_failed (pass, diags) ->
+        Format.eprintf "error: verification failed after pass %s:@." pass;
+        List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
+        exit 2
+    in
+    (* typical-activation noise prediction, as in compile -v: the lowering
+       knows the weight amplitudes, and activations stay inside the
+       polynomial domain *)
+    let const_magnitude name =
+      Array.fold_left
+        (fun acc v -> Float.max acc (Float.abs v))
+        0.0
+        (Nn.Lowering.resolver lowered ~dim:8 name)
+    in
+    let diags =
+      Analysis.Diag.sort
+        (Analysis.Verify.run prm managed
+        @ Analysis.Lint.run ~magnitude_cap:0.5 ~const_magnitude prm managed)
+    in
+    List.iter (fun d -> Format.printf "%a@." Analysis.Diag.pp_verbose d) diags;
+    let errors = Analysis.Diag.count Analysis.Diag.Error diags in
+    let warnings = Analysis.Diag.count Analysis.Diag.Warning diags in
+    let hints = Analysis.Diag.count Analysis.Diag.Hint diags in
+    Format.printf "%s %s: %d error%s, %d warning%s, %d hint%s@." model.Nn.Model.name
+      manager.Resbm.Variants.name errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s")
+      hints
+      (if hints = 1 then "" else "s");
+    (match json_path with
+    | Some path ->
+        let json =
+          match Analysis.Diag.list_to_json diags with
+          | Obs.Json.Obj fields ->
+              Obs.Json.Obj
+                (("model", Obs.Json.String model.Nn.Model.name)
+                :: ("manager", Obs.Json.String manager.Resbm.Variants.name)
+                :: ("l_max", Obs.Json.Int l_max)
+                :: fields)
+          | j -> j
+        in
+        write_json path json;
+        Format.printf "wrote diagnostics to %s@." path
+    | None -> ());
+    if errors > 0 || (deny_warnings && warnings > 0) then exit 2
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the diagnostics as JSON to $(docv).")
+  in
+  let deny_warnings =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ]
+          ~doc:"Exit with code 2 when any warning-severity diagnostic fires.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Compile a model with per-pass verification, then run the verifier and lint \
+          suite on the managed graph.")
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ json_path $ deny_warnings)
+
 (* --- sweep ----------------------------------------------------------------------- *)
 
 let sweep_cmd =
@@ -295,4 +389,7 @@ let () =
     Cmd.info "resbm" ~version:"1.0.0"
       ~doc:"Region-based scale and minimal-level bootstrapping management for RNS-CKKS."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; run_cmd; regions_cmd; sweep_cmd; export_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; compile_cmd; run_cmd; regions_cmd; sweep_cmd; export_cmd; lint_cmd ]))

@@ -1,0 +1,65 @@
+type severity = Error | Warning | Hint
+
+type t = {
+  rule : string;
+  severity : severity;
+  node : int option;
+  message : string;
+  hint : string option;
+}
+
+let make severity ?node ?hint rule fmt =
+  Format.kasprintf (fun message -> { rule; severity; node; message; hint }) fmt
+
+let error ?node ?hint rule fmt = make Error ?node ?hint rule fmt
+let warning ?node ?hint rule fmt = make Warning ?node ?hint rule fmt
+let hint ?node ?hint rule fmt = make Hint ?node ?hint rule fmt
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Hint -> "hint"
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+
+let compare a b =
+  match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match Stdlib.compare a.node b.node with
+      | 0 -> Stdlib.compare (a.rule, a.message) (b.rule, b.message)
+      | c -> c)
+  | c -> c
+
+let sort ds = List.sort compare ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
+
+let pp ppf d =
+  (match d.node with
+  | Some n -> Format.fprintf ppf "node %d: " n
+  | None -> ());
+  Format.fprintf ppf "%s: %s" d.rule d.message
+
+let pp_verbose ppf d =
+  Format.fprintf ppf "%s: %a" (severity_name d.severity) pp d;
+  match d.hint with
+  | Some h -> Format.fprintf ppf " (hint: %s)" h
+  | None -> ()
+
+let to_json d =
+  let open Obs.Json in
+  let fields =
+    [ ("rule", String d.rule); ("severity", String (severity_name d.severity)) ]
+    @ (match d.node with Some n -> [ ("node", Int n) ] | None -> [])
+    @ [ ("message", String d.message) ]
+    @ match d.hint with Some h -> [ ("hint", String h) ] | None -> []
+  in
+  Obj fields
+
+let list_to_json ds =
+  let open Obs.Json in
+  Obj
+    [
+      ("diagnostics", List (List.map to_json (sort ds)));
+      ("errors", Int (count Error ds));
+      ("warnings", Int (count Warning ds));
+      ("hints", Int (count Hint ds));
+    ]

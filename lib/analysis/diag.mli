@@ -1,0 +1,55 @@
+(** Structured compiler diagnostics.
+
+    Every check in {!Verify} and {!Lint} reports findings as [Diag.t]
+    values: a stable rule id, a severity, the offending node (when one
+    exists), a human-readable message and an optional fix-it hint.  The
+    CLI prints them one per line ([node %d: rule: message]) and can emit
+    them as JSON (via {!Obs.Json}, dependency-free) for tooling. *)
+
+type severity = Error | Warning | Hint
+(** [Error]: a hard invariant is broken — the graph must not be executed.
+    [Warning]: the graph is legal but something is almost certainly wrong
+    or wasteful.  [Hint]: a missed-optimisation opportunity. *)
+
+type t = {
+  rule : string;  (** Stable kebab-case rule id, e.g. ["scale"]. *)
+  severity : severity;
+  node : int option;  (** Offending DFG node, when attributable. *)
+  message : string;
+  hint : string option;  (** Optional fix-it suggestion. *)
+}
+
+val error : ?node:int -> ?hint:string -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [error rule fmt ...] builds an [Error] diagnostic.  The first argument
+    is the rule id. *)
+
+val warning : ?node:int -> ?hint:string -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val hint : ?node:int -> ?hint:string -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["hint"]. *)
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then node id, then rule. *)
+
+val sort : t list -> t list
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+val has_warnings : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [node 12: scale: message] — the node prefix is omitted for
+    graph-level diagnostics.  No severity, no hint: the stable format
+    scripts can grep. *)
+
+val pp_verbose : Format.formatter -> t -> unit
+(** [pp] prefixed with the severity and suffixed with the hint when
+    present: [error: node 12: scale: message (hint: ...)]. *)
+
+val to_json : t -> Obs.Json.t
+(** [{"rule", "severity", "message"}] plus ["node"] and ["hint"] when
+    present. *)
+
+val list_to_json : t list -> Obs.Json.t
+(** [{"diagnostics": [...], "errors": n, "warnings": n, "hints": n}]. *)

@@ -1,20 +1,58 @@
-let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false) ?profile
-    prm g =
+exception Verification_failed of string * Analysis.Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed (pass, diags) ->
+        Some
+          (Format.asprintf "Verification_failed after %s:@,%a" pass
+             (Format.pp_print_list Analysis.Diag.pp_verbose)
+             diags)
+    | _ -> None)
+
+let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
+    ?(verify_each = false) ?profile prm g =
   let profile = match profile with Some p -> p | None -> Obs.Profile.create () in
   Obs.with_profile profile @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  let verify pass ?regions ?(scale = true) graph =
+    if verify_each then begin
+      let diags =
+        Obs.span ("verify." ^ pass) (fun () ->
+            Analysis.Verify.run ?regions ~scale prm graph)
+      in
+      if Analysis.Diag.has_errors diags then raise (Verification_failed (pass, diags))
+    end
+  in
   let regioned = Obs.span "region_build" (fun () -> Region.build g) in
   Obs.incr ~by:regioned.Region.count "driver.regions";
+  (* The input graph is legal only after management: check structure and
+     the region invariants here, the scale rules after the plan lands. *)
+  verify "region_build" ~scale:false
+    ~regions:
+      {
+        Analysis.Verify.region_of = regioned.Region.region_of;
+        count = regioned.Region.count;
+      }
+    g;
   let plan = Obs.span "plan" (fun () -> Btsmgr.plan ~config regioned prm) in
   let outcome = Obs.span "apply" (fun () -> Plan.apply regioned prm plan) in
   let managed = outcome.Plan.dfg in
+  verify "plan_apply" managed;
   let ms_opt_hoists =
     if ms_opt then Obs.span "ms_opt" (fun () -> Passes.Ms_opt.run prm managed) else 0
   in
-  if ms_opt then Obs.incr ~by:ms_opt_hoists "ms_opt.hoists";
+  if ms_opt then begin
+    Obs.incr ~by:ms_opt_hoists "ms_opt.hoists";
+    verify "ms_opt" managed
+  end;
   let latency_ms =
     Obs.span "latency" (fun () ->
-        let info = Fhe_ir.Scale_check.infer prm managed in
+        (* Legalisation's closing analysis is current unless ms_opt rewrote
+           the graph afterwards. *)
+        let info =
+          if ms_opt_hoists > 0 then Fhe_ir.Scale_check.infer prm managed
+          else outcome.Plan.final_info
+        in
         Fhe_ir.Latency.total ~info prm managed)
   in
   let stats = Obs.span "stats" (fun () -> Fhe_ir.Stats.collect managed) in

@@ -8,10 +8,17 @@
 
     The input graph must contain no SMOs or bootstraps yet. *)
 
+exception Verification_failed of string * Analysis.Diag.t list
+(** Raised under [~verify_each:true] when a pass leaves the graph in an
+    illegal state; carries the name of the offending pass
+    ("region_build", "plan_apply" or "ms_opt") and the error-severity
+    diagnostics that fired. *)
+
 val compile :
   ?config:Btsmgr.config ->
   ?name:string ->
   ?ms_opt:bool ->
+  ?verify_each:bool ->
   ?profile:Obs.Profile.t ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
@@ -21,9 +28,19 @@ val compile :
     lowering excessively bootstrapped ciphertexts; the number of hoists it
     performs lands in {!Report.t.ms_opt_hoists}.
 
+    [verify_each] (default false) runs the {!Analysis.Verify} invariant
+    verifier after every pass — region build (structural and region
+    invariants; the graph is not yet scale-legal there), plan application
+    and [ms_opt] (full legality) — failing fast with
+    {!Verification_failed} naming the offending pass instead of letting a
+    planner bug surface as a confusing downstream failure or a silently
+    wrong latency.  Each verification is timed as a [verify.<pass>] span
+    (with per-rule [verify.<rule>] children) in the ambient profile.
+
     Every phase (region build, plan, apply, ms_opt, latency, stats) is
     timed as a span, and the min-cut / planner counters are collected, in
     the ambient {!Obs} profile: a caller-supplied [?profile], or a fresh
     one otherwise.  Either way it is returned in {!Report.t.profile}.
     @raise Btsmgr.No_plan when no feasible plan exists for [l_max].
-    @raise Plan.Apply_error when plan materialisation fails. *)
+    @raise Plan.Apply_error when plan materialisation fails.
+    @raise Verification_failed under [~verify_each:true], see above. *)

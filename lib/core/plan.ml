@@ -1,6 +1,10 @@
 open Fhe_ir
 
-type outcome = { dfg : Dfg.t; repair_bootstraps : int }
+type outcome = {
+  dfg : Dfg.t;
+  repair_bootstraps : int;
+  final_info : Scale_check.info array;
+}
 
 exception Apply_error of string
 
@@ -282,10 +286,14 @@ let apply regioned prm (plan : Btsmgr.plan) =
       Hashtbl.replace levels id l;
       Hashtbl.replace scales id s)
     snapshot;
-  (* 4. Close the remaining (downward) mismatches with modswitch chains. *)
-  (match Legalize.run prm g with
-  | Ok () -> ()
-  | Error (v :: _) ->
-      apply_error "managed graph is not legal: %a" Scale_check.pp_violation v
-  | Error [] -> assert false);
-  { dfg = g; repair_bootstraps = !repair_count }
+  (* 4. Close the remaining (downward) mismatches with modswitch chains.
+     Legalisation's closing validation is the managed graph's scale/level
+     analysis — hand it to the caller so Driver need not re-infer. *)
+  let final_info =
+    match Legalize.run prm g with
+    | Ok info -> info
+    | Error (v :: _) ->
+        apply_error "managed graph is not legal: %a" Scale_check.pp_violation v
+    | Error [] -> assert false
+  in
+  { dfg = g; repair_bootstraps = !repair_count; final_info }

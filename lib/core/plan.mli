@@ -18,6 +18,9 @@
 type outcome = {
   dfg : Fhe_ir.Dfg.t;  (** Fresh managed graph (the input is not mutated). *)
   repair_bootstraps : int;  (** Bootstraps added by level-deficit repair. *)
+  final_info : Fhe_ir.Scale_check.info array;
+      (** The closing {!Fhe_ir.Scale_check} analysis of [dfg] (from
+          {!Fhe_ir.Legalize.run}) — reuse it instead of re-inferring. *)
 }
 
 exception Apply_error of string

@@ -37,4 +37,9 @@ val figure6 : manager list
 val by_name : string -> manager option
 
 val compile :
-  manager -> Ckks.Params.t -> Fhe_ir.Dfg.t -> Fhe_ir.Dfg.t * Report.t
+  ?verify_each:bool ->
+  manager ->
+  Ckks.Params.t ->
+  Fhe_ir.Dfg.t ->
+  Fhe_ir.Dfg.t * Report.t
+(** [verify_each] is forwarded to {!Driver.compile}. *)

@@ -40,4 +40,6 @@ let run prm g =
           end
       | _ -> ())
     order;
-  match Scale_check.run prm g with Ok _ -> Ok () | Error vs -> Error vs
+  (* The closing validation doubles as the caller's scale/level analysis:
+     return its info array so Driver and Plan need not re-infer. *)
+  Scale_check.run prm g

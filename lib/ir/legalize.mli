@@ -10,6 +10,9 @@
     Scale mismatches are not repairable by modswitch and are reported as
     errors. *)
 
-val run : Ckks.Params.t -> Dfg.t -> (unit, Scale_check.violation list) result
+val run : Ckks.Params.t -> Dfg.t -> (Scale_check.info array, Scale_check.violation list) result
 (** Mutates the graph in place.  On success the graph passes
-    {!Scale_check.run}. *)
+    {!Scale_check.run} and the returned array is that final analysis
+    (indexed by node id) — callers wanting the managed graph's scales and
+    levels should reuse it instead of re-running {!Scale_check.infer},
+    mirroring the [?info] sharing of {!Latency}. *)

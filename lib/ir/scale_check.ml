@@ -22,16 +22,26 @@ let analyse ~strict (prm : Ckks.Params.t) g =
   in
   let q = prm.scale_bits and qw = prm.waterline_bits in
   (* Constant scales are decided by their consumers; resolve each constant
-     from its first ciphertext-bearing use and verify the others agree. *)
+     from its ciphertext-bearing uses and verify they agree.  Conflicting
+     demands resolve to the smallest wanted scale so the result is a
+     function of the graph, not of node numbering (the topological order
+     visits consumers in id-dependent order).  Only genuine [Const] nodes
+     enter the table: on malformed graphs a plaintext slot can hold a
+     ciphertext, and back-patching that node would clobber its inferred
+     level with the [max_int] constant sentinel. *)
   let const_scale = Hashtbl.create 16 in
   let resolve_const id ~wanted ~user =
-    match Hashtbl.find_opt const_scale id with
-    | None -> Hashtbl.add const_scale id wanted
-    | Some s when s = wanted -> ()
-    | Some s ->
-        if strict then
-          report id "constant needs two encoding scales (2^%d for node %d, already 2^%d)"
-            wanted user s
+    match (Dfg.node g id).Dfg.kind with
+    | Op.Const _ -> (
+        match Hashtbl.find_opt const_scale id with
+        | None -> Hashtbl.add const_scale id wanted
+        | Some s when s = wanted -> ()
+        | Some s ->
+            if strict then
+              report id "constant needs two encoding scales (2^%d for node %d, already 2^%d)"
+                wanted user s;
+            if wanted < s then Hashtbl.replace const_scale id wanted)
+    | _ -> () (* ciphertext in a plaintext slot: Dfg.validate reports it *)
   in
   let order = Dfg.topo_order g in
   List.iter
@@ -40,6 +50,23 @@ let analyse ~strict (prm : Ckks.Params.t) g =
       let arg i = info.((node.args).(i)) in
       let capacity_ok ~scale_bits ~level =
         Ckks.Evaluator.capacity_ok prm ~scale_bits ~level
+      in
+      (* The ciphertext operand of a ct x pt operation.  Well-formed graphs
+         keep it in slot 0; on malformed graphs (lenient analysis of a
+         partially rewritten DFG) fall back to whichever slot carries a
+         ciphertext so the constant's [max_int] level sentinel never leaks
+         into downstream level arithmetic. *)
+      let ct_operand () =
+        let a = arg 0 in
+        if a.is_ct then a else let b = arg 1 in if b.is_ct then b else a
+      in
+      (* Join level of a binary ct operation, from ct operands only. *)
+      let join_level a b =
+        match (a.is_ct, b.is_ct) with
+        | true, true -> min a.level b.level
+        | true, false -> a.level
+        | false, true -> b.level
+        | false, false -> 0
       in
       let i =
         match node.kind with
@@ -58,23 +85,23 @@ let analyse ~strict (prm : Ckks.Params.t) g =
               report id "add_cc level mismatch (L%d vs L%d)" a.level b.level;
             if strict && a.scale_bits <> b.scale_bits then
               report id "add_cc scale mismatch (2^%d vs 2^%d)" a.scale_bits b.scale_bits;
-            { scale_bits = a.scale_bits; level = min a.level b.level; is_ct = true }
+            { scale_bits = (ct_operand ()).scale_bits; level = join_level a b; is_ct = true }
         | Op.Add_cp ->
-            let a = arg 0 in
-            resolve_const node.args.(1) ~wanted:a.scale_bits ~user:id;
+            let a = ct_operand () in
+            Array.iter (fun c -> resolve_const c ~wanted:a.scale_bits ~user:id) node.args;
             { a with is_ct = true }
         | Op.Mul_cc ->
             let a = arg 0 and b = arg 1 in
             if strict && a.level <> b.level then
               report id "mul_cc level mismatch (L%d vs L%d)" a.level b.level;
             let scale_bits = a.scale_bits + b.scale_bits in
-            let level = min a.level b.level in
+            let level = join_level a b in
             if strict && not (capacity_ok ~scale_bits ~level) then
               report id "mul_cc scale overflow (2^%d at level %d)" scale_bits level;
             { scale_bits; level; is_ct = true }
         | Op.Mul_cp ->
-            let a = arg 0 in
-            resolve_const node.args.(1) ~wanted:qw ~user:id;
+            let a = ct_operand () in
+            Array.iter (fun c -> resolve_const c ~wanted:qw ~user:id) node.args;
             let scale_bits = a.scale_bits + qw in
             if strict && not (capacity_ok ~scale_bits ~level:a.level) then
               report id "mul_cp scale overflow (2^%d at level %d)" scale_bits a.level;
@@ -101,9 +128,11 @@ let analyse ~strict (prm : Ckks.Params.t) g =
       in
       info.(id) <- i)
     order;
-  (* Back-patch the resolved constant scales. *)
+  (* Back-patch the resolved constant scales.  Only [Const] nodes are in
+     the table, so the [max_int] level sentinel stays confined to
+     plaintexts ([is_ct = false] entries). *)
   Hashtbl.iter
-    (fun id scale_bits -> info.(id) <- { info.(id) with scale_bits; level = max_int })
+    (fun id scale_bits -> info.(id) <- { info.(id) with scale_bits })
     const_scale;
   (info, List.rev !violations)
 

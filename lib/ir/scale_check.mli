@@ -26,6 +26,15 @@ val run : Ckks.Params.t -> Dfg.t -> (info array, violation list) result
 (** Full validation.  On success the array is indexed by node id (dead
     nodes carry a dummy entry). *)
 
+val analyse : strict:bool -> Ckks.Params.t -> Dfg.t -> info array * violation list
+(** The propagation engine behind {!run} and {!infer}.  In strict mode
+    every constraint violation of Table 1 is recorded; in lenient mode
+    propagation continues with clamped values.  Unlike {!run} this does
+    not check well-formedness first: callers analysing arbitrary graphs
+    must run {!Dfg.validate} themselves (argument ids must at least be in
+    range).  [Analysis.Verify] uses it to report scale violations under
+    its own rule ids after its well-formedness pass. *)
+
 val infer : Ckks.Params.t -> Dfg.t -> info array
 (** Best-effort propagation that never fails: constraint violations are
     ignored and levels are clamped at 0.  Used by planners and the latency

@@ -320,7 +320,7 @@ let legalize_level_mismatch () =
   let s = Dfg.add_cc g x low in
   Dfg.set_outputs g [ s ];
   (match Legalize.run prm g with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "legalisation failed");
   checkb "now legal" true (Result.is_ok (Scale_check.run prm g));
   (* two modswitches were inserted on the higher operand *)
@@ -338,7 +338,7 @@ let legalize_shares_chains () =
   let low2 = Dfg.modswitch g low in
   let s2 = Dfg.add_cc g s1 low2 in
   Dfg.set_outputs g [ s2 ];
-  (match Legalize.run prm g with Ok () -> () | Error _ -> Alcotest.fail "legalize");
+  (match Legalize.run prm g with Ok _ -> () | Error _ -> Alcotest.fail "legalize");
   checkb "legal" true (Result.is_ok (Scale_check.run prm g))
 
 let legalize_reports_scale_mismatch () =

@@ -13,6 +13,7 @@ let () =
       ("passes", Test_passes.suite);
       ("nn", Test_nn.suite);
       ("tooling", Test_tooling.suite);
+      ("analysis", Test_analysis.suite);
       ("frontend", Test_frontend.suite);
       ("waterline", Test_waterline.suite);
       ("coverage", Test_coverage.suite);
