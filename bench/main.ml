@@ -30,11 +30,14 @@ let lowered model =
       Hashtbl.add lowered_cache model.Nn.Model.name l;
       l
 
-let compiled_cache : (string * string * int, Dfg.t * Resbm.Report.t) Hashtbl.t =
+(* Keyed on the full parameter value: experiments vary more than l_max
+   (fig7 also changes input_level), and a key that drops a field silently
+   serves a variant compiled under different parameters. *)
+let compiled_cache : (string * string * Ckks.Params.t, Dfg.t * Resbm.Report.t) Hashtbl.t =
   Hashtbl.create 32
 
 let compile ?(params = prm) mgr model =
-  let key = (mgr.Resbm.Variants.name, model.Nn.Model.name, params.Ckks.Params.l_max) in
+  let key = (mgr.Resbm.Variants.name, model.Nn.Model.name, params) in
   match Hashtbl.find_opt compiled_cache key with
   | Some r -> r
   | None ->
@@ -490,11 +493,24 @@ let micro () =
 (* Per-model per-manager phase timings and pipeline counters, so compile
    performance is tracked as data rather than read off Table 3 by hand.
    The rescale/bootstrap fields mirror Table 4/Table 5; rerunning after
-   `sweep`-style parameter changes gives the Figure 7 trajectory. *)
+   `sweep`-style parameter changes gives the Figure 7 trajectory.  Each
+   manager entry also carries the static noise prediction, and each model
+   a "runtime" section from one traced interpreter run — so a latency or
+   precision regression shows up in the JSON diff, not just in Table 6. *)
 let bench_json () =
   section "BENCH_resbm.json" "machine-readable per-model per-manager compile profile";
+  let runtime_dim = 16 in
+  let const_magnitude l name =
+    Array.fold_left
+      (fun acc v -> Float.max acc (Float.abs v))
+      0.0
+      (Nn.Lowering.resolver l ~dim:runtime_dim name)
+  in
   let manager_entry model mgr =
-    let _, r = compile mgr model in
+    let managed, r = compile mgr model in
+    let noise =
+      Noise_check.analyse ~const_magnitude:(const_magnitude (lowered model)) prm managed
+    in
     let profile = r.Resbm.Report.profile in
     let phases =
       List.filter_map
@@ -512,12 +528,49 @@ let bench_json () =
         ("bootstrap_count", Obs.Json.Int r.Resbm.Report.stats.Stats.bootstrap_count);
         ("executed_rescales", Obs.Json.Int r.Resbm.Report.stats.Stats.executed_rescales);
         ("ms_opt_hoists", Obs.Json.Int r.Resbm.Report.ms_opt_hoists);
+        ("nodes", Obs.Json.Int r.Resbm.Report.stats.Stats.nodes);
+        ("region_count", Obs.Json.Int r.Resbm.Report.region_count);
+        ( "predicted_precision_bits",
+          Obs.Json.Float noise.Noise_check.output_precision_bits );
         ("phases", Obs.Json.Obj phases);
         ( "counters",
           Obs.Json.Obj
             (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (Obs.Profile.counters profile))
         );
       ]
+  in
+  (* One flight-recorded inference per model under the ReSBM manager: the
+     interpreter's simulated latency, freq-weighted op count and noise
+     floor, at a small image size so the whole suite stays fast. *)
+  let runtime_entry model =
+    let l = lowered model in
+    let managed, r = compile Resbm.Variants.resbm model in
+    let image = (Nn.Dataset.images ~seed:0xBE7CA5EL ~dim:runtime_dim ~count:1 ()).(0) in
+    let env =
+      {
+        Interp.inputs = [ (l.Nn.Lowering.input_name, image) ];
+        consts = Nn.Lowering.resolver l ~dim:runtime_dim;
+      }
+    in
+    let region_of id =
+      let attr = r.Resbm.Report.region_of in
+      if id >= 0 && id < Array.length attr then attr.(id) else -1
+    in
+    let tr = Obs.Trace.create () in
+    match Interp.run ~trace:tr ~region_of (Ckks.Evaluator.create prm) managed env with
+    | res ->
+        Obs.Json.Obj
+          [
+            ("manager", Obs.Json.String Resbm.Variants.resbm.Resbm.Variants.name);
+            ("dim", Obs.Json.Int runtime_dim);
+            ("latency_ms", Obs.Json.Float res.Interp.latency_ms);
+            ("op_count", Obs.Json.Int res.Interp.op_count);
+            ( "min_headroom_bits",
+              Obs.Json.Float res.Interp.noise.Interp.min_headroom_bits );
+            ("events_recorded", Obs.Json.Int (Obs.Trace.recorded tr));
+          ]
+    | exception Ckks.Evaluator.Fhe_error msg ->
+        Obs.Json.Obj [ ("error", Obs.Json.String msg) ]
   in
   let json =
     Obs.Json.Obj
@@ -534,6 +587,7 @@ let bench_json () =
                      ( "managers",
                        Obs.Json.List
                          (List.map (manager_entry model) Resbm.Variants.all) );
+                     ("runtime", runtime_entry model);
                    ])
                models) );
       ]

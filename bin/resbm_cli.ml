@@ -4,15 +4,17 @@
      list                      models and managers
      compile                   compile a model and print the plan report
      run                       simulated encrypted inference + fidelity
+     trace                     flight-recorded execution -> Perfetto trace
      regions                   show the region partition of a model
      sweep                     l_max sweep for one model (Figure 7 style)
      lint                      verify + lint a compiled model
 
-   Exit codes: 0 success, 1 usage error, 2 verifier/lint failure.
+   Exit codes: 0 success, 1 usage error, 2 verifier/lint/trace failure.
 
    Examples:
      resbm compile --model resnet20 --manager fhelipe
      resbm run --model tiny --samples 10 --dim 32
+     resbm trace --model resnet20 --out trace.json --summary
      resbm sweep --model resnet20 --l-max 16,14,12,10
      resbm lint --model resnet20 --deny-warnings *)
 
@@ -78,6 +80,105 @@ let profile_arg =
           "Write the compilation profile (per-phase wall times, min-cut and planner \
            counters) as JSON to $(docv).")
 
+(* --- traced execution (shared by `trace` and `run --trace`) ---------------- *)
+
+let trace_seed = 0x7AB1E6L
+
+(* One flight-recorded simulated inference on a deterministic synthetic
+   image.  The trace is returned even when the execution dies with
+   [Fhe_error] — the tail of a crashing run is the whole point of a flight
+   recorder. *)
+let traced_inference prm lowered ~managed ~(report : Resbm.Report.t) ~dim =
+  let tr = Obs.Trace.create () in
+  let region_of id =
+    if id >= 0 && id < Array.length report.Resbm.Report.region_of then
+      report.Resbm.Report.region_of.(id)
+    else -1
+  in
+  let ev = Ckks.Evaluator.create ~seed:trace_seed prm in
+  let image = (Nn.Dataset.images ~seed:trace_seed ~dim ~count:1 ()).(0) in
+  let env =
+    {
+      Fhe_ir.Interp.inputs = [ (lowered.Nn.Lowering.input_name, image) ];
+      consts = Nn.Lowering.resolver lowered ~dim;
+    }
+  in
+  let outcome =
+    try Ok (Fhe_ir.Interp.run ~trace:tr ~region_of ev managed env)
+    with Ckks.Evaluator.Fhe_error msg -> Error msg
+  in
+  (tr, outcome)
+
+(* Compile spans (pid 0) and the simulated execution (pid 1) in one
+   Perfetto timeline. *)
+let write_chrome_trace path (report : Resbm.Report.t) tr =
+  write_json path
+    (Obs.chrome_trace
+       (Obs.profile_chrome_events ~pid:0 report.Resbm.Report.profile
+       @ Obs.Trace.chrome_events ~pid:1 tr));
+  Format.printf "wrote Chrome trace to %s (open in https://ui.perfetto.dev)@." path
+
+let write_jsonl path tr =
+  let oc = open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (Obs.Trace.to_jsonl tr);
+  close_out oc;
+  Format.printf "wrote %d JSONL events to %s@." (Obs.Trace.recorded tr) path
+
+let print_trace_summary (report : Resbm.Report.t) tr (result : Fhe_ir.Interp.result) =
+  Format.printf "executed %d ops, %.1f ms simulated latency (static estimate %.1f ms)@."
+    result.Fhe_ir.Interp.op_count result.Fhe_ir.Interp.latency_ms
+    report.Resbm.Report.latency_ms;
+  Format.printf "trace: %d events recorded, %d dropped by the ring buffer@."
+    (Obs.Trace.recorded tr) (Obs.Trace.dropped tr);
+  let n = result.Fhe_ir.Interp.noise in
+  Format.printf "min noise headroom: %.1f bits (node %d)@."
+    n.Fhe_ir.Interp.min_headroom_bits n.Fhe_ir.Interp.min_headroom_node;
+  let bts = n.Fhe_ir.Interp.bootstrap_headroom in
+  if bts <> [] then begin
+    Format.printf "headroom at each bootstrap (%d executed):@." (List.length bts);
+    List.iteri
+      (fun i (node, bits) ->
+        if i < 12 then Format.printf "  node %-6d %7.1f bits@." node bits)
+      bts;
+    if List.length bts > 12 then Format.printf "  ... (%d more)@." (List.length bts - 12)
+  end;
+  Format.printf "noisiest nodes (least headroom):@.";
+  List.iter
+    (fun (node, bits) -> Format.printf "  node %-6d %7.1f bits@." node bits)
+    n.Fhe_ir.Interp.noisiest;
+  (* Per-region latency attribution, consistent with Report.t's partition. *)
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Fhe_ir.Interp.node_cost) ->
+      let ms, ops =
+        Option.value (Hashtbl.find_opt totals c.Fhe_ir.Interp.region) ~default:(0.0, 0)
+      in
+      Hashtbl.replace totals c.Fhe_ir.Interp.region
+        (ms +. c.Fhe_ir.Interp.cost_ms, ops + 1))
+    result.Fhe_ir.Interp.node_costs;
+  let rows =
+    Hashtbl.fold (fun r (ms, ops) acc -> (r, ms, ops) :: acc) totals []
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  in
+  Format.printf "per-region latency attribution (%d regions, top %d by latency):@."
+    report.Resbm.Report.region_count
+    (min 12 (List.length rows));
+  List.iteri
+    (fun i (r, ms, ops) ->
+      if i < 12 then
+        Format.printf "  %-14s %12.1f ms %6.1f%% %6d nodes@."
+          (if r < 0 then "(unattributed)" else Printf.sprintf "region %d" r)
+          ms
+          (100.0 *. ms /. Float.max 1e-9 result.Fhe_ir.Interp.latency_ms)
+          ops)
+    rows;
+  if List.length rows > 12 then
+    Format.printf "  ... (%d more regions)@." (List.length rows - 12)
+
 (* --- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -98,7 +199,7 @@ let list_cmd =
 (* --- compile --------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run model manager l_max verify_each verbose emit_path profile_path =
+  let run model manager l_max verify_each verbose emit_path profile_path trace_out =
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
@@ -121,6 +222,13 @@ let compile_cmd =
     | Some path ->
         write_json path (report_json ~model:model.Nn.Model.name ~l_max report);
         Format.printf "wrote profile to %s@." path
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+        write_json path
+          (Obs.chrome_trace
+             (Obs.profile_chrome_events ~pid:0 report.Resbm.Report.profile));
+        Format.printf "wrote compile-pipeline Chrome trace to %s@." path
     | None -> ());
     if verbose then begin
       (* one scale/level inference shared by every analysis below *)
@@ -167,16 +275,26 @@ let compile_cmd =
       & info [ "verify-each" ]
           ~doc:"Run the invariant verifier after every compiler pass (fail fast).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the compile-pipeline spans as Chrome trace-event JSON to $(docv) \
+             (same dialect as `resbm trace`, so compile and run phases load into one \
+             Perfetto timeline).")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
     Term.(
       const run $ model_arg $ manager_arg $ l_max_arg $ verify_each $ verbose $ emit_path
-      $ profile_arg)
+      $ profile_arg $ trace_out)
 
 (* --- run -------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run model manager l_max samples dim =
+  let run model manager l_max samples dim trace_path =
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
@@ -187,13 +305,128 @@ let run_cmd =
     let fid = Nn.Inference.fidelity ~samples ~dim prm lowered ~managed in
     Format.printf "%a@." Nn.Inference.pp_fidelity fid;
     Format.printf "mean simulated latency per inference: %.1f s@."
-      (fid.Nn.Inference.mean_latency_ms /. 1000.0)
+      (fid.Nn.Inference.mean_latency_ms /. 1000.0);
+    match trace_path with
+    | None -> ()
+    | Some path -> (
+        let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
+        write_chrome_trace path report tr;
+        match outcome with
+        | Ok _ -> ()
+        | Error msg ->
+            Format.eprintf "error: traced execution failed: %s@." msg;
+            exit 2)
   in
   let samples = Arg.(value & opt int 10 & info [ "samples" ] ~docv:"N" ~doc:"Samples.") in
   let dim = Arg.(value & opt int 64 & info [ "dim" ] ~docv:"D" ~doc:"Slots per image.") in
+  let trace_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Additionally flight-record one inference and write the Chrome \
+             trace-event JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run simulated encrypted inference and report fidelity.")
-    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ samples $ dim)
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ samples $ dim $ trace_path)
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run model manager l_max dim out jsonl summary verify_each =
+    let model = or_die (resolve_model model) in
+    let manager = or_die (resolve_manager manager) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let managed, report =
+      try Resbm.Variants.compile ~verify_each manager prm lowered.Nn.Lowering.dfg
+      with Resbm.Driver.Verification_failed (pass, diags) ->
+        Format.eprintf "error: verification failed after pass %s:@." pass;
+        List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
+        exit 2
+    in
+    Format.printf "compiled %s with %s in %.1f ms@." model.Nn.Model.name
+      manager.Resbm.Variants.name report.Resbm.Report.compile_ms;
+    let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
+    (match out with Some path -> write_chrome_trace path report tr | None -> ());
+    (match jsonl with Some path -> write_jsonl path tr | None -> ());
+    match outcome with
+    | Error msg ->
+        Format.eprintf
+          "error: execution failed (the trace above ends with the fhe_error \
+           instant):@.%s@."
+          msg;
+        exit 2
+    | Ok result ->
+        if summary then print_trace_summary report tr result;
+        if verify_each then begin
+          let const_magnitude name =
+            Array.fold_left
+              (fun acc v -> Float.max acc (Float.abs v))
+              0.0
+              (Nn.Lowering.resolver lowered ~dim name)
+          in
+          let static = Fhe_ir.Noise_check.analyse ~const_magnitude prm managed in
+          let mismatches =
+            Fhe_ir.Noise_check.check_trace static (Obs.Trace.op_events tr)
+          in
+          if mismatches = [] then
+            Format.printf "noise cross-validation: traced noise within the static \
+                           estimate on every attributed op@."
+          else begin
+            Format.eprintf "error: traced noise exceeds the static estimate:@.";
+            List.iter
+              (fun m -> Format.eprintf "  %a@." Fhe_ir.Noise_check.pp_trace_mismatch m)
+              mismatches;
+            exit 2
+          end
+        end
+  in
+  let dim =
+    Arg.(value & opt int 64 & info [ "dim" ] ~docv:"D" ~doc:"Slots per synthetic image.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) (Some "trace.json")
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the combined compile+execute Chrome trace-event JSON to $(docv) \
+             (loadable in Perfetto).")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also write the raw event stream as JSON Lines to $(docv).")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "Print the noise-budget summary (min headroom, headroom at each \
+             bootstrap, noisiest nodes) and per-region latency attribution.")
+  in
+  let verify_each =
+    Arg.(
+      value & flag
+      & info [ "verify-each" ]
+          ~doc:
+            "Verify after every compiler pass, then cross-validate the trace's \
+             recorded noise against the static estimate (exit 2 on mismatch).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one flight-recorded simulated inference and export the execution \
+          timeline (per-op events, noise/level/scale counter tracks) for Perfetto.")
+    Term.(
+      const run $ model_arg $ manager_arg $ l_max_arg $ dim $ out $ jsonl $ summary
+      $ verify_each)
 
 (* --- regions ------------------------------------------------------------------ *)
 
@@ -392,4 +625,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; run_cmd; regions_cmd; sweep_cmd; export_cmd; lint_cmd ]))
+          [
+            list_cmd;
+            compile_cmd;
+            run_cmd;
+            trace_cmd;
+            regions_cmd;
+            sweep_cmd;
+            export_cmd;
+            lint_cmd;
+          ]))

@@ -11,7 +11,44 @@ let create ?(seed = 0x5EEDL) prm =
 let params t = t.prm
 let op_count t = t.ops
 
-let fail fmt = Format.kasprintf (fun msg -> raise (Fhe_error msg)) fmt
+(* Every runtime-constraint failure leaves a final "fhe_error" instant on
+   the ambient trace (when one is installed) before raising, so a crashing
+   unmanaged run — Figure 1a — ends its flight record with the faulting
+   node and message. *)
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      Obs.trace_instant ~name:"fhe_error"
+        ~detail:[ ("message", Obs.Json.String msg) ]
+        ();
+      raise (Fhe_error msg))
+    fmt
+
+(* Per-op tracing: when an ambient trace is installed, record the result's
+   scheme state (level/scale/size/noise) plus the operand noise, charging
+   the Table 2 cost at [charge_level] (the operand level, or the target
+   level for bootstrap — the same convention as Fhe_ir.Latency).  An
+   interpreter-installed context overrides the cost with the node's
+   freq-weighted attribution.  Without a trace this is one option check. *)
+let traced op cost_op ~charge_level ?(noise_before = 0.0) (ct : Ciphertext.t) =
+  (match Obs.current_trace () with
+  | None -> ()
+  | Some tr ->
+      let cost_ms =
+        match cost_op with
+        | Some o -> Cost_model.cost o ~level:charge_level
+        | None -> 0.0
+      in
+      Obs.Trace.record tr ~op ~cost_ms ~noise_before ~level:ct.Ciphertext.level
+        ~scale_bits:ct.Ciphertext.scale_bits ~size:ct.Ciphertext.size
+        ~noise:ct.Ciphertext.err ());
+  ct
+
+let level_transition name ~from_level ~to_level =
+  Obs.trace_instant ~name
+    ~detail:
+      [ ("from_level", Obs.Json.Int from_level); ("to_level", Obs.Json.Int to_level) ]
+    ()
 
 let capacity_ok prm ~scale_bits ~level =
   (* ct.level >= ceil(log(ct.scale)/log(q)) - 1, in bits *)
@@ -49,7 +86,8 @@ let encrypt t ?level ?scale_bits slots =
   check_capacity t ~what:"encrypt" ~scale_bits ~level;
   let err = pow2 (fresh_noise_bits -. float_of_int scale_bits) in
   let slots = Array.map (jitter t ~bound:err) slots in
-  Ciphertext.make ~slots ~scale_bits ~level ~size:2 ~err
+  traced "encrypt" None ~charge_level:level
+    (Ciphertext.make ~slots ~scale_bits ~level ~size:2 ~err)
 
 let decrypt _t (ct : Ciphertext.t) =
   if ct.size <> 2 then fail "decrypt: ciphertext not relinearised";
@@ -77,8 +115,10 @@ let add_cc t (a : Ciphertext.t) (b : Ciphertext.t) =
   if a.scale_bits <> b.scale_bits then
     fail "add_cc: scale mismatch (2^%d vs 2^%d)" a.scale_bits b.scale_bits;
   let slots = binary_slots ~what:"add_cc" a.slots b.slots ( +. ) in
-  Ciphertext.make ~slots ~scale_bits:a.scale_bits ~level:a.level ~size:2
-    ~err:(rms2 a.err b.err)
+  traced "add_cc" (Some Cost_model.Add_cc) ~charge_level:a.level
+    ~noise_before:(Float.max a.err b.err)
+    (Ciphertext.make ~slots ~scale_bits:a.scale_bits ~level:a.level ~size:2
+       ~err:(rms2 a.err b.err))
 
 let add_cp t (a : Ciphertext.t) (pt : Plaintext.t) =
   t.ops <- t.ops + 1;
@@ -86,8 +126,9 @@ let add_cp t (a : Ciphertext.t) (pt : Plaintext.t) =
   if a.scale_bits <> pt.scale_bits then
     fail "add_cp: scale mismatch (ct 2^%d vs pt 2^%d)" a.scale_bits pt.scale_bits;
   let slots = binary_slots ~what:"add_cp" a.slots pt.slots ( +. ) in
-  Ciphertext.make ~slots ~scale_bits:a.scale_bits ~level:a.level ~size:2
-    ~err:(rms2 a.err pt.err)
+  traced "add_cp" (Some Cost_model.Add_cp) ~charge_level:a.level ~noise_before:a.err
+    (Ciphertext.make ~slots ~scale_bits:a.scale_bits ~level:a.level ~size:2
+       ~err:(rms2 a.err pt.err))
 
 let mul_err ~a_max ~b_max ~a_err ~b_err ~fresh =
   rms2 (rms2 (a_max *. b_err) (b_max *. a_err)) fresh
@@ -107,7 +148,9 @@ let mul_cc t (a : Ciphertext.t) (b : Ciphertext.t) =
   let slots =
     binary_slots ~what:"mul_cc" a.slots b.slots (fun x y -> jitter t ~bound:fresh (x *. y))
   in
-  Ciphertext.make ~slots ~scale_bits ~level:a.level ~size:3 ~err
+  traced "mul_cc" (Some Cost_model.Mul_cc) ~charge_level:a.level
+    ~noise_before:(Float.max a.err b.err)
+    (Ciphertext.make ~slots ~scale_bits ~level:a.level ~size:3 ~err)
 
 let mul_cp t (a : Ciphertext.t) (pt : Plaintext.t) =
   t.ops <- t.ops + 1;
@@ -122,7 +165,8 @@ let mul_cp t (a : Ciphertext.t) (pt : Plaintext.t) =
   let slots =
     binary_slots ~what:"mul_cp" a.slots pt.slots (fun x y -> jitter t ~bound:fresh (x *. y))
   in
-  Ciphertext.make ~slots ~scale_bits ~level:a.level ~size:2 ~err
+  traced "mul_cp" (Some Cost_model.Mul_cp) ~charge_level:a.level ~noise_before:a.err
+    (Ciphertext.make ~slots ~scale_bits ~level:a.level ~size:2 ~err)
 
 let rotate t (ct : Ciphertext.t) k =
   t.ops <- t.ops + 1;
@@ -132,16 +176,18 @@ let rotate t (ct : Ciphertext.t) k =
   let k = ((k mod n) + n) mod n in
   let extra = pow2 (rotate_noise_bits -. float_of_int ct.scale_bits) in
   let slots = Array.init n (fun i -> jitter t ~bound:extra ct.slots.((i + k) mod n)) in
-  Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level ~size:2
-    ~err:(rms2 ct.err extra)
+  traced "rotate" (Some Cost_model.Rotate) ~charge_level:ct.level ~noise_before:ct.err
+    (Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level ~size:2
+       ~err:(rms2 ct.err extra))
 
 let relin t (ct : Ciphertext.t) =
   t.ops <- t.ops + 1;
   if ct.size <> 3 then fail "relin: expected size-3 ciphertext (got %d)" ct.size;
   let extra = pow2 (rotate_noise_bits -. float_of_int ct.scale_bits) in
   let slots = Array.map (jitter t ~bound:extra) ct.slots in
-  Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level ~size:2
-    ~err:(rms2 ct.err extra)
+  traced "relin" (Some Cost_model.Relin) ~charge_level:ct.level ~noise_before:ct.err
+    (Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level ~size:2
+       ~err:(rms2 ct.err extra))
 
 let rescale t (ct : Ciphertext.t) =
   t.ops <- t.ops + 1;
@@ -153,15 +199,21 @@ let rescale t (ct : Ciphertext.t) =
   let scale_bits = ct.scale_bits - q in
   let extra = pow2 (fresh_noise_bits -. float_of_int scale_bits) in
   let slots = Array.map (jitter t ~bound:extra) ct.slots in
-  Ciphertext.make ~slots ~scale_bits ~level:(ct.level - 1) ~size:2 ~err:(rms2 ct.err extra)
+  level_transition "rescale" ~from_level:ct.level ~to_level:(ct.level - 1);
+  traced "rescale" (Some Cost_model.Rescale) ~charge_level:ct.level ~noise_before:ct.err
+    (Ciphertext.make ~slots ~scale_bits ~level:(ct.level - 1) ~size:2
+       ~err:(rms2 ct.err extra))
 
 let modswitch t (ct : Ciphertext.t) =
   t.ops <- t.ops + 1;
   check_size ~what:"modswitch" ct;
   if ct.level < 1 then fail "modswitch: no level to drop (level %d)" ct.level;
   check_capacity t ~what:"modswitch" ~scale_bits:ct.scale_bits ~level:(ct.level - 1);
-  Ciphertext.make ~slots:(Array.copy ct.slots) ~scale_bits:ct.scale_bits
-    ~level:(ct.level - 1) ~size:2 ~err:ct.err
+  level_transition "modswitch" ~from_level:ct.level ~to_level:(ct.level - 1);
+  traced "modswitch" (Some Cost_model.Modswitch) ~charge_level:ct.level
+    ~noise_before:ct.err
+    (Ciphertext.make ~slots:(Array.copy ct.slots) ~scale_bits:ct.scale_bits
+       ~level:(ct.level - 1) ~size:2 ~err:ct.err)
 
 let bootstrap t (ct : Ciphertext.t) ~target_level =
   t.ops <- t.ops + 1;
@@ -170,5 +222,8 @@ let bootstrap t (ct : Ciphertext.t) ~target_level =
     fail "bootstrap: target level %d outside [1, %d]" target_level t.prm.Params.l_max;
   let extra = pow2 (-.bootstrap_precision_bits) in
   let slots = Array.map (jitter t ~bound:extra) ct.slots in
-  Ciphertext.make ~slots ~scale_bits:t.prm.Params.scale_bits ~level:target_level ~size:2
-    ~err:(rms2 ct.err extra)
+  level_transition "bootstrap" ~from_level:ct.level ~to_level:target_level;
+  traced "bootstrap" (Some Cost_model.Bootstrap) ~charge_level:target_level
+    ~noise_before:ct.err
+    (Ciphertext.make ~slots ~scale_bits:t.prm.Params.scale_bits ~level:target_level
+       ~size:2 ~err:(rms2 ct.err extra))

@@ -14,7 +14,15 @@
     A violated constraint raises {!Fhe_error} — this is how the test suite
     proves that unmanaged programs fail (Figure 1a) while compiled ones
     run.  The evaluator also injects deterministic noise so the Table 6
-    fidelity experiment measures a real end-to-end error. *)
+    fidelity experiment measures a real end-to-end error.
+
+    When an ambient {!Obs.Trace} is installed ({!Obs.with_trace}), every
+    Table 1 operation records an op event (result level/scale/size, noise
+    before/after, Table 2 cost); rescale, modswitch and bootstrap add
+    level-transition instants; and a constraint failure leaves a final
+    ["fhe_error"] instant before {!Fhe_error} is raised.  Tracing never
+    changes results (the noise PRNG is untouched) and costs one option
+    check per operation when disabled. *)
 
 exception Fhe_error of string
 

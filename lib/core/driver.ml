@@ -56,6 +56,42 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
         Fhe_ir.Latency.total ~info prm managed)
   in
   let stats = Obs.span "stats" (fun () -> Fhe_ir.Stats.collect managed) in
+  (* Region attribution of the managed graph, for runtime traces and the
+     trace summary: plan application copies the input graph (ids are
+     preserved), so original nodes keep their partition assignment, and
+     every inserted management node — created after its tail, hence with a
+     larger id — inherits its tail's region in one increasing-id pass. *)
+  let region_of =
+    Obs.span "region_attr" (fun () ->
+        let attr = Array.make (Fhe_ir.Dfg.node_count managed) (-1) in
+        let orig = Array.length regioned.Region.region_of in
+        let live = Fhe_ir.Dfg.live_nodes managed in
+        List.iter
+          (fun (node : Fhe_ir.Dfg.node) ->
+            if node.Fhe_ir.Dfg.id < orig then
+              attr.(node.Fhe_ir.Dfg.id) <- regioned.Region.region_of.(node.Fhe_ir.Dfg.id))
+          live;
+        (* Inserted chains usually point backwards (a node is created after
+           its tail), but retargeting can leave an inserted node reading a
+           newer one, so iterate to a fixpoint; chains are short, two or
+           three rounds settle everything. *)
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun (node : Fhe_ir.Dfg.node) ->
+              if attr.(node.Fhe_ir.Dfg.id) < 0 then
+                Array.iter
+                  (fun a ->
+                    if attr.(node.Fhe_ir.Dfg.id) < 0 && attr.(a) >= 0 then begin
+                      attr.(node.Fhe_ir.Dfg.id) <- attr.(a);
+                      changed := true
+                    end)
+                  node.Fhe_ir.Dfg.args)
+            live
+        done;
+        attr)
+  in
   let compile_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
   let report =
     {
@@ -67,6 +103,8 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
       repair_bootstraps = outcome.Plan.repair_bootstraps;
       ms_opt_hoists;
       profile;
+      region_count = regioned.Region.count;
+      region_of;
     }
   in
   (managed, report)

@@ -7,6 +7,8 @@ type t = {
   repair_bootstraps : int;
   ms_opt_hoists : int;
   profile : Obs.Profile.t;
+  region_count : int;
+  region_of : int array;
 }
 
 let pp ppf t =
@@ -35,6 +37,7 @@ let to_json t =
       ("manager", String t.manager);
       ("compile_ms", Float t.compile_ms);
       ("latency_ms", Float t.latency_ms);
+      ("region_count", Int t.region_count);
       ("ms_opt_hoists", Int t.ms_opt_hoists);
       ("repair_bootstraps", Int t.repair_bootstraps);
       ( "segments",

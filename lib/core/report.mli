@@ -14,6 +14,14 @@ type t = {
   profile : Obs.Profile.t;
       (** Per-phase wall times and pipeline counters collected during the
           compile; see README "Profiling" for the JSON schema. *)
+  region_count : int;  (** Regions of the partition the plan was built on. *)
+  region_of : int array;
+      (** Region attribution of the {e managed} graph, indexed by node id:
+          original nodes keep their {!Region.t} assignment, management
+          nodes inserted by plan application / legalisation / ms_opt
+          inherit the region of the value they were inserted after; [-1]
+          when unattributable.  This is what gives runtime traces
+          ({!Fhe_ir.Interp.run}) their per-region tracks. *)
 }
 
 val pp : Format.formatter -> t -> unit

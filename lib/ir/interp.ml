@@ -1,26 +1,93 @@
 type env = { inputs : (string * float array) list; consts : string -> float array }
 
+type node_cost = { node : int; op : string; region : int; cost_ms : float }
+
+type noise_summary = {
+  min_headroom_bits : float;
+  min_headroom_node : int;
+  bootstrap_headroom : (int * float) list;
+  noisiest : (int * float) list;
+}
+
 type result = {
   outputs : Ckks.Ciphertext.t list;
   latency_ms : float;
   op_count : int;
+  node_costs : node_cost list;
+  noise : noise_summary;
 }
 
 exception Missing_input of string
 
 type value = Ct of Ckks.Ciphertext.t | Pt of Ckks.Plaintext.t
 
-let run ev g env =
+let headroom = Obs.Trace.headroom_bits
+
+(* Noise-budget summary over the executed ciphertexts: min headroom across
+   the run, headroom of each bootstrap's operand (the budget left at the
+   moment the manager spends a refresh — how close the plan cut it), and
+   the [top_k] nodes with the least headroom. *)
+let summarise_noise g values ~top_k =
+  let ct_err id =
+    match Hashtbl.find_opt values id with Some (Ct c) -> Some c.Ckks.Ciphertext.err | _ -> None
+  in
+  let min_bits = ref Float.infinity and min_node = ref (-1) in
+  let bts = ref [] and all = ref [] in
+  List.iter
+    (fun id ->
+      match ct_err id with
+      | None -> ()
+      | Some err ->
+          let bits = headroom err in
+          all := (id, bits) :: !all;
+          if bits < !min_bits then begin
+            min_bits := bits;
+            min_node := id
+          end;
+          (match (Dfg.node g id).Dfg.kind with
+          | Op.Bootstrap _ -> (
+              match (Dfg.node g id).Dfg.args with
+              | [| a |] -> (
+                  match ct_err a with
+                  | Some e -> bts := (id, headroom e) :: !bts
+                  | None -> ())
+              | _ -> ())
+          | _ -> ()))
+    (Dfg.topo_order g);
+  let noisiest =
+    List.filteri
+      (fun i _ -> i < top_k)
+      (List.sort (fun (_, a) (_, b) -> compare a b) !all)
+  in
+  {
+    min_headroom_bits = (if !min_node < 0 then Float.infinity else !min_bits);
+    min_headroom_node = !min_node;
+    bootstrap_headroom = List.rev !bts;
+    noisiest;
+  }
+
+let run ?trace ?(region_of = fun _ -> -1) ev g env =
   let prm = Ckks.Evaluator.params ev in
   let info =
     match Scale_check.run prm g with
     | Ok info -> info
     | Error vs ->
+        let failing = match vs with v :: _ -> [ v ] | [] -> [] in
         let msg =
           Format.asprintf "Interp.run: graph not legal:@ %a"
             (Format.pp_print_list Scale_check.pp_violation)
-            (match vs with v :: _ -> [ v ] | [] -> [])
+            failing
         in
+        (* A statically illegal graph is the compile-time face of Figure 1a:
+           leave the same final flight-recorder marker a runtime failure
+           would, naming the faulting node. *)
+        (match trace with
+        | Some tr ->
+            Obs.Trace.instant tr ~name:"fhe_error"
+              ~node:(match failing with v :: _ -> v.Scale_check.node | [] -> -1)
+              ~detail:[ ("message", Obs.Json.String msg) ]
+              ()
+        | None -> ());
         raise (Ckks.Evaluator.Fhe_error msg)
   in
   let values = Hashtbl.create (Dfg.node_count g) in
@@ -34,38 +101,74 @@ let run ev g env =
     | Some (Pt p) -> p
     | _ -> invalid_arg "Interp: expected plaintext value"
   in
-  let latency = ref 0.0 and ops = ref 0 in
-  List.iter
-    (fun id ->
-      let node = Dfg.node g id in
-      let v =
-        match node.Dfg.kind with
-        | Op.Input { name; level; scale_bits } ->
-            let data =
-              match List.assoc_opt name env.inputs with
-              | Some d -> d
-              | None -> raise (Missing_input name)
-            in
-            Ct (Ckks.Evaluator.encrypt ev ?level ?scale_bits data)
-        | Op.Const { name } ->
-            let scale_bits = info.(id).Scale_check.scale_bits in
-            Pt (Ckks.Evaluator.encode ev ~scale_bits (env.consts name))
-        | Op.Add_cc -> Ct (Ckks.Evaluator.add_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
-        | Op.Add_cp -> Ct (Ckks.Evaluator.add_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
-        | Op.Mul_cc -> Ct (Ckks.Evaluator.mul_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
-        | Op.Mul_cp -> Ct (Ckks.Evaluator.mul_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
-        | Op.Rotate k -> Ct (Ckks.Evaluator.rotate ev (ct node.Dfg.args.(0)) k)
-        | Op.Relin -> Ct (Ckks.Evaluator.relin ev (ct node.Dfg.args.(0)))
-        | Op.Rescale -> Ct (Ckks.Evaluator.rescale ev (ct node.Dfg.args.(0)))
-        | Op.Modswitch -> Ct (Ckks.Evaluator.modswitch ev (ct node.Dfg.args.(0)))
-        | Op.Bootstrap target_level ->
-            Ct (Ckks.Evaluator.bootstrap ev (ct node.Dfg.args.(0)) ~target_level)
-      in
-      (match node.Dfg.kind with
-      | Op.Input _ | Op.Const _ -> ()
-      | _ ->
-          latency := !latency +. Latency.node_cost prm g info id;
-          ops := !ops + node.Dfg.freq);
-      Hashtbl.replace values id v)
-    (Dfg.topo_order g);
-  { outputs = List.map ct (Dfg.outputs g); latency_ms = !latency; op_count = !ops }
+  let latency = ref 0.0 and ops = ref 0 and costs = ref [] in
+  let exec () =
+    List.iter
+      (fun id ->
+        let node = Dfg.node g id in
+        (* Attribution for the events the evaluator is about to record:
+           node identity, region, loop frequency and the freq-weighted
+           Table 2 cost of this node. *)
+        let cost =
+          match node.Dfg.kind with
+          | Op.Input _ | Op.Const _ -> 0.0
+          | _ -> Latency.node_cost prm g info id
+        in
+        (match trace with
+        | Some tr ->
+            Obs.Trace.set_ctx tr
+              (Some
+                 {
+                   Obs.Trace.node = id;
+                   region = region_of id;
+                   freq = node.Dfg.freq;
+                   cost_ms = cost;
+                 })
+        | None -> ());
+        let v =
+          match node.Dfg.kind with
+          | Op.Input { name; level; scale_bits } ->
+              let data =
+                match List.assoc_opt name env.inputs with
+                | Some d -> d
+                | None -> raise (Missing_input name)
+              in
+              Ct (Ckks.Evaluator.encrypt ev ?level ?scale_bits data)
+          | Op.Const { name } ->
+              let scale_bits = info.(id).Scale_check.scale_bits in
+              Pt (Ckks.Evaluator.encode ev ~scale_bits (env.consts name))
+          | Op.Add_cc -> Ct (Ckks.Evaluator.add_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
+          | Op.Add_cp -> Ct (Ckks.Evaluator.add_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
+          | Op.Mul_cc -> Ct (Ckks.Evaluator.mul_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
+          | Op.Mul_cp -> Ct (Ckks.Evaluator.mul_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
+          | Op.Rotate k -> Ct (Ckks.Evaluator.rotate ev (ct node.Dfg.args.(0)) k)
+          | Op.Relin -> Ct (Ckks.Evaluator.relin ev (ct node.Dfg.args.(0)))
+          | Op.Rescale -> Ct (Ckks.Evaluator.rescale ev (ct node.Dfg.args.(0)))
+          | Op.Modswitch -> Ct (Ckks.Evaluator.modswitch ev (ct node.Dfg.args.(0)))
+          | Op.Bootstrap target_level ->
+              Ct (Ckks.Evaluator.bootstrap ev (ct node.Dfg.args.(0)) ~target_level)
+        in
+        (match node.Dfg.kind with
+        | Op.Input _ | Op.Const _ -> ()
+        | kind ->
+            latency := !latency +. cost;
+            ops := !ops + node.Dfg.freq;
+            costs :=
+              { node = id; op = Op.name kind; region = region_of id; cost_ms = cost }
+              :: !costs);
+        Hashtbl.replace values id v)
+      (Dfg.topo_order g)
+  in
+  (match trace with
+  | Some tr ->
+      Fun.protect
+        (fun () -> Obs.with_trace tr exec)
+        ~finally:(fun () -> Obs.Trace.set_ctx tr None)
+  | None -> exec ());
+  {
+    outputs = List.map ct (Dfg.outputs g);
+    latency_ms = !latency;
+    op_count = !ops;
+    node_costs = List.rev !costs;
+    noise = summarise_noise g values ~top_k:5;
+  }

@@ -7,22 +7,68 @@
 
     Nodes with [freq > 1] (rolled loops) execute once as a representative
     iteration; their latency is charged [freq] times, exactly as the
-    paper's cost model does for rolled loops. *)
+    paper's cost model does for rolled loops.
+
+    Passing [?trace] turns the run into a flight-recorded execution: the
+    interpreter installs the trace as ambient ({!Obs.with_trace}) and, for
+    each node, a {!Obs.Trace.ctx} carrying the node id, its region
+    ([?region_of], e.g. {!Resbm.Report.t}'s attribution), the loop
+    frequency and the freq-weighted {!Latency.node_cost} — so every event
+    the evaluator records is fully attributed and the trace's simulated
+    clock ends at [result.latency_ms].  Without [?trace] no event is
+    recorded and results are bit-identical (tracing never touches the
+    noise PRNG). *)
 
 type env = {
   inputs : (string * float array) list;
   consts : string -> float array;  (** Resolver for constant payloads. *)
 }
 
+type node_cost = {
+  node : int;
+  op : string;  (** {!Op.name} of the node kind. *)
+  region : int;  (** From [?region_of]; [-1] when unattributed. *)
+  cost_ms : float;  (** Freq-weighted simulated latency. *)
+}
+
+type noise_summary = {
+  min_headroom_bits : float;
+      (** Minimum {!Obs.Trace.headroom_bits} over every ciphertext produced
+          by the run — how close the execution came to drowning the
+          message in noise.  [infinity] when no ciphertext was produced. *)
+  min_headroom_node : int;  (** Node achieving the minimum; [-1] if none. *)
+  bootstrap_headroom : (int * float) list;
+      (** For each executed bootstrap, its node id and the headroom of its
+          {e operand} — the budget left at the refresh point, execution
+          order. *)
+  noisiest : (int * float) list;
+      (** The (up to) five nodes with the least headroom, ascending. *)
+}
+
 type result = {
   outputs : Ckks.Ciphertext.t list;
   latency_ms : float;  (** Simulated execution latency. *)
   op_count : int;  (** Freq-weighted number of executed FHE operations. *)
+  node_costs : node_cost list;
+      (** Per-node latency attribution, execution (topological) order;
+          [Input]/[Const] nodes are omitted (they charge nothing). *)
+  noise : noise_summary;
 }
 
 exception Missing_input of string
 
-val run : Ckks.Evaluator.t -> Dfg.t -> env -> result
-(** @raise Ckks.Evaluator.Fhe_error when the program violates a runtime
-    constraint (e.g. an unmanaged program as in Figure 1a).
+val run :
+  ?trace:Obs.Trace.t ->
+  ?region_of:(int -> int) ->
+  Ckks.Evaluator.t ->
+  Dfg.t ->
+  env ->
+  result
+(** [region_of] (default [fun _ -> -1]) maps node ids of [g] to region ids
+    for event attribution and [node_costs].
+
+    @raise Ckks.Evaluator.Fhe_error when the program violates a runtime
+    constraint (e.g. an unmanaged program as in Figure 1a); with [?trace]
+    the trace then ends with an ["fhe_error"] instant naming the faulting
+    node.
     @raise Missing_input when [env] lacks a named input. *)

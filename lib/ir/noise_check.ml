@@ -66,3 +66,41 @@ let analyse ?(input_magnitude = 1.0) ?(magnitude_cap = 1.0)
 
 let predicts report ~measured =
   measured <= report.output_noise *. 100.0
+
+type trace_mismatch = {
+  node : int;
+  op : string;
+  traced_bits : float;
+  predicted_bits : float;
+}
+
+let pp_trace_mismatch ppf m =
+  Format.fprintf ppf "node %d (%s): traced headroom %.1f bits, predicted %.1f bits"
+    m.node m.op m.traced_bits m.predicted_bits
+
+(* Cross-validate a flight recording against the static estimate: an op
+   event whose measured noise exceeds the per-node prediction by more than
+   [tolerance_bits] means the static model no longer tracks the evaluator
+   (or the plan ran the program outside the analysed magnitude domain).
+   The static analysis is an estimate, not a bound, so the default
+   tolerance mirrors [predicts]'s two orders of magnitude. *)
+let check_trace ?(tolerance_bits = 10.0) report events =
+  List.filter_map
+    (fun (e : Obs.Trace.op_event) ->
+      if e.Obs.Trace.node < 0 || e.Obs.Trace.node >= Array.length report.per_node then
+        None
+      else begin
+        let predicted = report.per_node.(e.Obs.Trace.node).noise in
+        let traced = e.Obs.Trace.noise_after in
+        if predicted > 0.0 && traced > predicted *. (2.0 ** tolerance_bits) then
+          Some
+            {
+              node = e.Obs.Trace.node;
+              op = e.Obs.Trace.op;
+              traced_bits = Obs.Trace.headroom_bits traced;
+              predicted_bits = Obs.Trace.headroom_bits predicted;
+            }
+        else None
+      end)
+    events
+

@@ -44,3 +44,31 @@ val predicts : report -> measured:float -> bool
 (** Sanity predicate used by tests: the measured end-to-end error is
     within two orders of magnitude of the prediction (the model is an
     estimate, not a bound). *)
+
+(** {1 Trace cross-validation}
+
+    The runtime flight recorder ({!Obs.Trace}) records the noise the
+    simulated evaluator actually accumulated; [check_trace] compares it
+    against this module's static per-node estimate.  [resbm trace
+    --verify-each] runs it after a traced execution, completing the
+    verify-each story across the compile/run boundary. *)
+
+type trace_mismatch = {
+  node : int;
+  op : string;
+  traced_bits : float;  (** {!Obs.Trace.headroom_bits} of the recorded noise. *)
+  predicted_bits : float;  (** Headroom of the static estimate. *)
+}
+
+val pp_trace_mismatch : Format.formatter -> trace_mismatch -> unit
+
+val check_trace :
+  ?tolerance_bits:float ->
+  report ->
+  Obs.Trace.op_event list ->
+  trace_mismatch list
+(** Events whose recorded noise exceeds the static per-node estimate by
+    more than [tolerance_bits] (default 10.0 — two orders of magnitude,
+    the same slack as {!predicts}).  Events without node attribution are
+    skipped.  The [report] must come from {!analyse} on the {e same} graph
+    the trace was recorded from. *)

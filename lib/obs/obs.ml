@@ -356,6 +356,297 @@ module Profile = struct
     Format.fprintf ppf "@]"
 end
 
+module Trace = struct
+  (* Runtime execution tracing: a ring-buffered flight recorder of per-op
+     CKKS events.  The simulated evaluator records the scheme-state facts
+     (level, scale, size, noise before/after); the DFG interpreter supplies
+     attribution (node id, region, loop frequency, Table 2 cost) through a
+     mutable context set before each node executes.  Timestamps live on a
+     *simulated* timeline: the clock advances by each op's freq-weighted
+     Table 2 cost, so the exported trace shows where the modelled latency
+     goes, not where the host CPU went. *)
+
+  type op_event = {
+    seq : int;
+    op : string;
+    node : int;
+    region : int;
+    freq : int;
+    level : int;
+    scale_bits : int;
+    size : int;
+    noise_before : float;
+    noise_after : float;
+    start_ms : float;
+    dur_ms : float;
+  }
+
+  type instant = {
+    iseq : int;
+    iname : string;
+    inode : int;
+    iregion : int;
+    its_ms : float;
+    detail : (string * Json.t) list;
+  }
+
+  type event = Op of op_event | Instant of instant
+
+  type ctx = { node : int; region : int; freq : int; cost_ms : float }
+
+  type t = {
+    capacity : int;
+    buf : event option array;
+    mutable next : int;  (* total events recorded, including overwritten *)
+    mutable clock : float;  (* simulated timeline, ms *)
+    mutable ctx : ctx option;
+  }
+
+  let create ?(capacity = 65536) () =
+    if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+    { capacity; buf = Array.make capacity None; next = 0; clock = 0.0; ctx = None }
+
+  let recorded t = t.next
+  let dropped t = max 0 (t.next - t.capacity)
+  let clock_ms t = t.clock
+  let set_ctx t ctx = t.ctx <- ctx
+
+  let push t e =
+    t.buf.(t.next mod t.capacity) <- Some e;
+    t.next <- t.next + 1
+
+  let record t ~op ?(cost_ms = 0.0) ?(noise_before = 0.0) ~level ~scale_bits ~size
+      ~noise () =
+    let node, region, freq, cost_ms =
+      match t.ctx with
+      | Some c -> (c.node, c.region, c.freq, c.cost_ms)
+      | None -> (-1, -1, 1, cost_ms)
+    in
+    let start_ms = t.clock in
+    t.clock <- t.clock +. cost_ms;
+    push t
+      (Op
+         {
+           seq = t.next;
+           op;
+           node;
+           region;
+           freq;
+           level;
+           scale_bits;
+           size;
+           noise_before;
+           noise_after = noise;
+           start_ms;
+           dur_ms = cost_ms;
+         })
+
+  let instant t ~name ?node ?(detail = []) () =
+    let inode, iregion =
+      match (node, t.ctx) with
+      | Some n, Some c -> (n, c.region)
+      | Some n, None -> (n, -1)
+      | None, Some c -> (c.node, c.region)
+      | None, None -> (-1, -1)
+    in
+    push t
+      (Instant { iseq = t.next; iname = name; inode; iregion; its_ms = t.clock; detail })
+
+  let events t =
+    let stored = min t.next t.capacity in
+    let first = t.next - stored in
+    List.filter_map
+      (fun i -> t.buf.((first + i) mod t.capacity))
+      (List.init stored (fun i -> i))
+
+  let op_events t =
+    List.filter_map (function Op e -> Some e | Instant _ -> None) (events t)
+
+  (* Noise is an absolute per-slot RMS error estimate; headroom is how many
+     bits of precision remain before that error reaches magnitude 1.  Zero
+     (never produced by the evaluator — every op injects fresh noise) and
+     sub-2^-200 errors are clamped so the exported counters stay finite. *)
+  let headroom_bits err =
+    if err <= 0.0 then 200.0 else Float.max 0.0 (Float.min 200.0 (-.Float.log2 err))
+
+  let usec ms = Float.round (ms *. 1000.0)
+
+  (* Chrome trace-event JSON (Perfetto-loadable).  One process holds the
+     execution: ops are "X" complete events on per-region threads, noise /
+     level / scale are process-wide counter tracks sampled at each op's end,
+     and rescale/modswitch/bootstrap/fhe_error markers are instants. *)
+  let tid_of_region r = if r < 0 then 1 else r + 2
+
+  let chrome_events ?(pid = 1) ?(name = "resbm execute") t =
+    let evs = events t in
+    let meta =
+      Json.Obj
+        [
+          ("name", Json.String "process_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int pid);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj [ ("name", Json.String name) ]);
+        ]
+    in
+    let regions =
+      List.sort_uniq compare
+        (List.map (function Op e -> e.region | Instant i -> i.iregion) evs)
+    in
+    let threads =
+      List.concat_map
+        (fun r ->
+          let tid = tid_of_region r in
+          let tname = if r < 0 then "(unattributed)" else Printf.sprintf "region %d" r in
+          [
+            Json.Obj
+              [
+                ("name", Json.String "thread_name");
+                ("ph", Json.String "M");
+                ("pid", Json.Int pid);
+                ("tid", Json.Int tid);
+                ("args", Json.Obj [ ("name", Json.String tname) ]);
+              ];
+            Json.Obj
+              [
+                ("name", Json.String "thread_sort_index");
+                ("ph", Json.String "M");
+                ("pid", Json.Int pid);
+                ("tid", Json.Int tid);
+                ("args", Json.Obj [ ("sort_index", Json.Int tid) ]);
+              ];
+          ])
+        regions
+    in
+    let body =
+      List.concat_map
+        (function
+          | Op e ->
+              let op =
+                Json.Obj
+                  [
+                    ("name", Json.String e.op);
+                    ("cat", Json.String "op");
+                    ("ph", Json.String "X");
+                    ("ts", Json.Float (usec e.start_ms));
+                    ("dur", Json.Float (usec e.dur_ms));
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int (tid_of_region e.region));
+                    ( "args",
+                      Json.Obj
+                        [
+                          ("node", Json.Int e.node);
+                          ("region", Json.Int e.region);
+                          ("freq", Json.Int e.freq);
+                          ("level", Json.Int e.level);
+                          ("scale_bits", Json.Int e.scale_bits);
+                          ("size", Json.Int e.size);
+                          ("noise_before_bits", Json.Float (headroom_bits e.noise_before));
+                          ("noise_after_bits", Json.Float (headroom_bits e.noise_after));
+                        ] );
+                  ]
+              in
+              let counter cname value =
+                Json.Obj
+                  [
+                    ("name", Json.String cname);
+                    ("cat", Json.String "state");
+                    ("ph", Json.String "C");
+                    ("ts", Json.Float (usec (e.start_ms +. e.dur_ms)));
+                    ("pid", Json.Int pid);
+                    ("args", Json.Obj [ (cname, value) ]);
+                  ]
+              in
+              [
+                op;
+                counter "noise_headroom_bits" (Json.Float (headroom_bits e.noise_after));
+                counter "level" (Json.Int e.level);
+                counter "scale_bits" (Json.Int e.scale_bits);
+              ]
+          | Instant i ->
+              [
+                Json.Obj
+                  [
+                    ("name", Json.String i.iname);
+                    ("cat", Json.String "instant");
+                    ("ph", Json.String "i");
+                    ("ts", Json.Float (usec i.its_ms));
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int (tid_of_region i.iregion));
+                    ("s", Json.String "t");
+                    ("args", Json.Obj (("node", Json.Int i.inode) :: i.detail));
+                  ];
+              ])
+        evs
+    in
+    (meta :: threads) @ body
+
+  let event_to_json = function
+    | Op e ->
+        Json.Obj
+          [
+            ("type", Json.String "op");
+            ("seq", Json.Int e.seq);
+            ("op", Json.String e.op);
+            ("node", Json.Int e.node);
+            ("region", Json.Int e.region);
+            ("freq", Json.Int e.freq);
+            ("level", Json.Int e.level);
+            ("scale_bits", Json.Int e.scale_bits);
+            ("size", Json.Int e.size);
+            ("noise_before", Json.Float e.noise_before);
+            ("noise_after", Json.Float e.noise_after);
+            ("start_ms", Json.Float e.start_ms);
+            ("dur_ms", Json.Float e.dur_ms);
+          ]
+    | Instant i ->
+        Json.Obj
+          ([
+             ("type", Json.String "instant");
+             ("seq", Json.Int i.iseq);
+             ("name", Json.String i.iname);
+             ("node", Json.Int i.inode);
+             ("region", Json.Int i.iregion);
+             ("ts_ms", Json.Float i.its_ms);
+           ]
+          @ match i.detail with [] -> [] | d -> [ ("detail", Json.Obj d) ])
+
+  let to_jsonl t = List.map (fun e -> Json.to_string (event_to_json e)) (events t)
+end
+
+(* Profile spans in the same Chrome trace-event dialect, so one Perfetto
+   timeline can hold the compile pipeline (one pid) next to the simulated
+   execution (another). *)
+let profile_chrome_events ?(pid = 0) ?(name = "resbm compile") p =
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  meta
+  :: List.map
+       (fun (s : Profile.span) ->
+         Json.Obj
+           [
+             ("name", Json.String s.name);
+             ("cat", Json.String "compile");
+             ("ph", Json.String "X");
+             ("ts", Json.Float (Trace.usec s.start_ms));
+             ("dur", Json.Float (Trace.usec s.dur_ms));
+             ("pid", Json.Int pid);
+             ("tid", Json.Int 0);
+             ("args", Json.Obj [ ("depth", Json.Int s.depth) ]);
+           ])
+       (Profile.spans p)
+
+let chrome_trace events =
+  Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
+
 let current_profile : Profile.t option ref = ref None
 let current () = !current_profile
 
@@ -371,3 +662,16 @@ let observe name v =
   match !current_profile with Some p -> Profile.observe p name v | None -> ()
 
 let span name f = match !current_profile with Some p -> Profile.span p name f | None -> f ()
+
+let current_trace_ref : Trace.t option ref = ref None
+let current_trace () = !current_trace_ref
+
+let with_trace tr f =
+  let saved = !current_trace_ref in
+  current_trace_ref := Some tr;
+  Fun.protect f ~finally:(fun () -> current_trace_ref := saved)
+
+let trace_instant ~name ?node ?detail () =
+  match !current_trace_ref with
+  | Some tr -> Trace.instant tr ~name ?node ?detail ()
+  | None -> ()

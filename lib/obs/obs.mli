@@ -80,6 +80,115 @@ module Profile : sig
   (** Top-level phase durations and counters, one per line. *)
 end
 
+(** Runtime execution tracing — a ring-buffered flight recorder of per-op
+    CKKS events on a {e simulated} timeline.
+
+    The simulated evaluator ({!Ckks.Evaluator}) records the scheme-state
+    facts of every Table 1 operation (level, scale, size, noise
+    before/after); the DFG interpreter supplies attribution (node id,
+    region id, loop frequency, freq-weighted Table 2 cost) through a
+    mutable {!Trace.ctx} installed before each node executes.  The clock
+    advances by each op's cost, so exported traces show where the modelled
+    latency goes.  When the buffer wraps, the oldest events are dropped —
+    the tail of a crashing run (e.g. the Figure 1a [Fhe_error]) always
+    survives. *)
+module Trace : sig
+  type op_event = {
+    seq : int;  (** Global event sequence number (0-based). *)
+    op : string;  (** Evaluator operation, e.g. ["mul_cc"]. *)
+    node : int;  (** DFG node id, [-1] outside an interpreter run. *)
+    region : int;  (** Region id, [-1] when unattributed. *)
+    freq : int;  (** Loop frequency charged for the node. *)
+    level : int;  (** Result level. *)
+    scale_bits : int;  (** Result scale, bits. *)
+    size : int;  (** Result ciphertext size (3 before relin). *)
+    noise_before : float;  (** Worst operand noise (absolute RMS). *)
+    noise_after : float;  (** Result noise (absolute RMS). *)
+    start_ms : float;  (** Simulated start time. *)
+    dur_ms : float;  (** Freq-weighted simulated cost. *)
+  }
+
+  type instant = {
+    iseq : int;
+    iname : string;  (** ["rescale"], ["modswitch"], ["bootstrap"], ["fhe_error"]. *)
+    inode : int;
+    iregion : int;
+    its_ms : float;
+    detail : (string * Json.t) list;
+  }
+
+  type event = Op of op_event | Instant of instant
+
+  type ctx = { node : int; region : int; freq : int; cost_ms : float }
+  (** Attribution installed by the interpreter for the node being executed.
+      [cost_ms] (freq-weighted {!Fhe_ir.Latency.node_cost}) overrides the
+      evaluator's own per-op cost estimate. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Ring buffer of [capacity] events (default 65536); older events are
+      overwritten once full. *)
+
+  val set_ctx : t -> ctx option -> unit
+
+  val record :
+    t ->
+    op:string ->
+    ?cost_ms:float ->
+    ?noise_before:float ->
+    level:int ->
+    scale_bits:int ->
+    size:int ->
+    noise:float ->
+    unit ->
+    unit
+  (** Record one op event and advance the simulated clock.  [cost_ms] is
+      used only when no {!ctx} is installed. *)
+
+  val instant : t -> name:string -> ?node:int -> ?detail:(string * Json.t) list -> unit -> unit
+  (** Record an instant marker at the current clock; [node] defaults to the
+      ambient {!ctx}'s node. *)
+
+  val events : t -> event list
+  (** Surviving events, chronological. *)
+
+  val op_events : t -> op_event list
+
+  val recorded : t -> int
+  (** Total events ever recorded, including overwritten ones. *)
+
+  val dropped : t -> int
+  (** Events lost to ring-buffer wrap-around. *)
+
+  val clock_ms : t -> float
+  (** Current simulated time — equals the accumulated cost of all recorded
+      ops. *)
+
+  val headroom_bits : float -> float
+  (** [-log2 err] clamped to [[0, 200]]: bits of precision left before the
+      absolute error reaches magnitude 1. *)
+
+  val chrome_events : ?pid:int -> ?name:string -> t -> Json.t list
+  (** Chrome trace-event objects (Perfetto-loadable): ops as ["X"] duration
+      events on per-region threads, [noise_headroom_bits] / [level] /
+      [scale_bits] counter tracks, instants as ["i"] markers, plus
+      process/thread metadata.  Wrap with {!chrome_trace}. *)
+
+  val event_to_json : event -> Json.t
+
+  val to_jsonl : t -> string list
+  (** One compact JSON object per event, chronological. *)
+end
+
+val profile_chrome_events : ?pid:int -> ?name:string -> Profile.t -> Json.t list
+(** Compile-pipeline spans in the same Chrome trace-event dialect, so
+    compile (one pid) and execution (another) land in one Perfetto
+    timeline. *)
+
+val chrome_trace : Json.t list -> Json.t
+(** Wrap event objects as [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
 val with_profile : Profile.t -> (unit -> 'a) -> 'a
 (** Install [p] as the ambient profile for the extent of the callback
     (restoring the previous one after, also on exceptions). *)
@@ -94,3 +203,15 @@ val observe : string -> float -> unit
 
 val span : string -> (unit -> 'a) -> 'a
 (** Time [f] as a span on the ambient profile; just runs [f] when none. *)
+
+val with_trace : Trace.t -> (unit -> 'a) -> 'a
+(** Install [tr] as the ambient trace for the extent of the callback
+    (restoring the previous one after, also on exceptions). *)
+
+val current_trace : unit -> Trace.t option
+(** The ambient trace, if any.  Instrumentation sites match on this so the
+    trace-off path pays exactly one option check and allocates nothing. *)
+
+val trace_instant :
+  name:string -> ?node:int -> ?detail:(string * Json.t) list -> unit -> unit
+(** Record an instant on the ambient trace; no-op when none. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("graphlib", Test_graphlib.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("ckks", Test_ckks.suite);
       ("exact-ckks", Test_exact_ckks.suite);
       ("ir", Test_ir.suite);
