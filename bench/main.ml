@@ -4,15 +4,62 @@
      dune exec bench/main.exe            -- all experiments
      dune exec bench/main.exe -- table4 fig6
      dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks only
+     dune exec bench/main.exe -- json --trials 5 --seed 1 \
+         --models alexnet,squeezenet --managers resbm,fhelipe --out B.json
 
    Compile-time rows are real wall-clock measurements; inference rows are
    simulated CPU milliseconds from the Table 2 latency oracle.  The
    paper's published values are printed alongside for shape comparison
-   (see EXPERIMENTS.md). *)
+   (see EXPERIMENTS.md).
+
+   Flags (combine freely with experiment names):
+     --models a,b     restrict model-driven experiments to these models
+     --managers a,b   restrict the json experiment to these managers
+     --trials N       compile-time trials per (model, manager) cell (json)
+     --warmup N       discarded warmup compiles before the trials (json)
+     --seed S         bootstrap-CI seed, for reproducible summaries (json)
+     --out FILE       where the json experiment writes its report *)
 
 open Fhe_ir
 
 let prm = Ckks.Params.default
+
+(* Knobs set by the command line before any experiment runs. *)
+let trials = ref 3
+let warmup = ref 1
+let seed = ref 0x5EED
+let out_path = ref "BENCH_resbm.json"
+let models_filter : string list ref = ref []
+let managers_filter : string list ref = ref []
+
+let canon s =
+  String.lowercase_ascii (String.map (function '_' | '-' -> '-' | c -> c) s)
+
+let models () =
+  match !models_filter with
+  | [] -> Nn.Model.paper_models
+  | names ->
+      List.filter (fun m -> List.mem (canon m.Nn.Model.name) names) Nn.Model.paper_models
+
+let managers () =
+  match !managers_filter with
+  | [] -> Resbm.Variants.all
+  | names ->
+      List.filter (fun m -> List.mem (canon m.Resbm.Variants.name) names) Resbm.Variants.all
+
+(* The commit the numbers were measured at, so a bench file is traceable
+   after the working tree moves on.  Informational only — Bench_diff never
+   compares it. *)
+let git_rev () =
+  match Sys.getenv_opt "RESBM_GIT_REV" with
+  | Some r when String.trim r <> "" -> String.trim r
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try String.trim (input_line ic) with End_of_file -> "" in
+        ignore (Unix.close_process_in ic);
+        if line = "" then "unknown" else line
+      with _ -> "unknown")
 
 let line = String.make 78 '-'
 
@@ -44,8 +91,6 @@ let compile ?(params = prm) mgr model =
       let r = Resbm.Variants.compile mgr params (lowered model).Nn.Lowering.dfg in
       Hashtbl.add compiled_cache key r;
       r
-
-let models = Nn.Model.paper_models
 
 (* --- Table 1: operation semantics ----------------------------------------- *)
 
@@ -98,11 +143,6 @@ let table2 () =
 
 (* --- Table 3: compile times -------------------------------------------------- *)
 
-let median xs =
-  let a = Array.of_list xs in
-  Array.sort compare a;
-  a.(Array.length a / 2)
-
 let table3 () =
   section "Table 3" "compile times (s); paper columns quoted for comparison";
   let dacapo = function
@@ -130,7 +170,7 @@ let table3 () =
     (fun model ->
       let g = (lowered model).Nn.Lowering.dfg in
       let time mgr =
-        median
+        Obs.Stat.median
           (List.init 3 (fun _ ->
                let _, r = Resbm.Variants.compile mgr prm g in
                r.Resbm.Report.compile_ms /. 1000.0))
@@ -145,7 +185,7 @@ let table3 () =
         (match dacapo model.Nn.Model.name with
         | Some d -> Printf.sprintf "%7.0fx" (d /. t_resbm)
         | None -> "       -"))
-    models
+    (models ())
 
 (* --- Table 4: executed rescaling operations ----------------------------------- *)
 
@@ -174,7 +214,7 @@ let table4 () =
         (float_of_int nf /. float_of_int (max nr 1))
         pr pf
         (float_of_int pf /. float_of_int pr))
-    models
+    (models ())
 
 (* --- Table 5: bootstrapping levels ----------------------------------------------- *)
 
@@ -203,7 +243,7 @@ let table5 () =
            (List.map
               (fun (l, c) -> Printf.sprintf "L%d:%d" l c)
               r.Resbm.Report.stats.Stats.bootstrap_levels)))
-    models;
+    (models ());
   Format.printf "  (Fhelipe bootstraps exclusively at l_max = 16, as in the paper)@."
 
 (* --- Table 6: inference accuracy ---------------------------------------------------- *)
@@ -224,7 +264,7 @@ let table6 () =
         (100.0 *. fid.Nn.Inference.accuracy_loss)
         (100.0 *. fid.Nn.Inference.agreement)
         fid.Nn.Inference.max_abs_err)
-    models;
+    (models ());
   Format.printf "  (paper: losses between -0.2%% and 1.7%%, average 0.3%%)@."
 
 (* --- Figure 1: the motivating example ------------------------------------------------ *)
@@ -371,7 +411,7 @@ let fig6 () =
       let gain = 100.0 *. (1.0 -. (base /. f.Resbm.Report.latency_ms)) in
       improvements := gain :: !improvements;
       Format.printf "%11.1f%%@." gain)
-    models;
+    (models ());
   let avg =
     List.fold_left ( +. ) 0.0 !improvements /. float_of_int (List.length !improvements)
   in
@@ -447,7 +487,7 @@ let memory () =
         r.Liveness.total_ciphertexts r.Liveness.peak_live
         (r.Liveness.peak_bytes /. 1024.0 /. 1024.0)
         (Liveness.ciphertext_bytes prm ~level:prm.Ckks.Params.l_max /. 1024.0 /. 1024.0))
-    models;
+    (models ());
   Format.printf
     "  (one level-16 ciphertext is ~17 MiB; the paper's evaluation machine has 512 GB)@."
 
@@ -511,6 +551,17 @@ let bench_json () =
     let noise =
       Noise_check.analyse ~const_magnitude:(const_magnitude (lowered model)) prm managed
     in
+    (* Multi-trial compile timing: the cached compile above provides the
+       deterministic fields; the trials below (warmup discarded) make the
+       wall-clock number stable enough to gate on.  compile_ms is the
+       median, the full summary (median/MAD/bootstrap CI) rides along. *)
+    let stat =
+      Obs.Stat.sample ~warmup:!warmup ~seed:!seed ~trials:!trials (fun () ->
+          let _, fresh =
+            Resbm.Variants.compile mgr prm (lowered model).Nn.Lowering.dfg
+          in
+          fresh.Resbm.Report.compile_ms)
+    in
     let profile = r.Resbm.Report.profile in
     let phases =
       List.filter_map
@@ -523,7 +574,8 @@ let bench_json () =
     Obs.Json.Obj
       [
         ("manager", Obs.Json.String mgr.Resbm.Variants.name);
-        ("compile_ms", Obs.Json.Float r.Resbm.Report.compile_ms);
+        ("compile_ms", Obs.Json.Float stat.Obs.Stat.median);
+        ("compile_stat", Obs.Stat.to_json stat);
         ("latency_ms", Obs.Json.Float r.Resbm.Report.latency_ms);
         ("bootstrap_count", Obs.Json.Int r.Resbm.Report.stats.Stats.bootstrap_count);
         ("executed_rescales", Obs.Json.Int r.Resbm.Report.stats.Stats.executed_rescales);
@@ -576,6 +628,11 @@ let bench_json () =
     Obs.Json.Obj
       [
         ("bench", Obs.Json.String "resbm");
+        ("schema_version", Obs.Json.Int Obs.Bench_diff.schema_version);
+        ("git_rev", Obs.Json.String (git_rev ()));
+        ("trials", Obs.Json.Int !trials);
+        ("warmup", Obs.Json.Int !warmup);
+        ("seed", Obs.Json.Int !seed);
         ("l_max", Obs.Json.Int prm.Ckks.Params.l_max);
         ( "models",
           Obs.Json.List
@@ -586,19 +643,21 @@ let bench_json () =
                      ("model", Obs.Json.String model.Nn.Model.name);
                      ( "managers",
                        Obs.Json.List
-                         (List.map (manager_entry model) Resbm.Variants.all) );
+                         (List.map (manager_entry model) (managers ())) );
                      ("runtime", runtime_entry model);
                    ])
-               models) );
+               (models ())) );
       ]
   in
-  let path = "BENCH_resbm.json" in
+  let path = !out_path in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Format.printf "  wrote %s (%d models x %d managers)@." path (List.length models)
-    (List.length Resbm.Variants.all)
+  Format.printf "  wrote %s (%d models x %d managers, %d+%d compile trials each)@." path
+    (List.length (models ()))
+    (List.length (managers ()))
+    !warmup !trials
 
 (* --- driver --------------------------------------------------------------------------------------- *)
 
@@ -622,19 +681,88 @@ let all_experiments =
     ("json", bench_json);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+let usage () =
+  Format.eprintf
+    "usage: bench [EXPERIMENT...] [--models a,b] [--managers a,b]@\n\
+    \       [--trials N] [--warmup N] [--seed S] [--out FILE]@\n\
+     experiments: %s@."
+    (String.concat " " (List.map fst all_experiments));
+  exit 2
+
+let die fmt = Format.kasprintf (fun msg -> Format.eprintf "bench: %s@." msg; exit 2) fmt
+
+let split_names s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun n -> n <> "")
+  |> List.map canon
+
+(* Reject filters naming nothing we know: a typo'd --models would
+   otherwise silently produce an empty (but valid-looking) report. *)
+let validate_names kind known names =
+  let known_canon = List.map canon known in
+  List.iter
+    (fun n ->
+      if not (List.mem n known_canon) then
+        die "unknown %s %s (known: %s)" kind n (String.concat " " known))
+    names
+
+let pos_int flag s =
+  match int_of_string_opt s with
+  | Some n when n > 0 -> n
+  | _ -> die "%s wants a positive integer, got %s" flag s
+
+let parse_args argv =
+  let experiments = ref [] in
+  let rec go = function
+    | [] -> ()
+    | flag :: rest when String.length flag > 2 && String.sub flag 0 2 = "--" -> (
+        match (flag, rest) with
+        | "--models", v :: rest ->
+            let names = split_names v in
+            validate_names "model"
+              (List.map (fun m -> m.Nn.Model.name) Nn.Model.paper_models)
+              names;
+            models_filter := names;
+            go rest
+        | "--managers", v :: rest ->
+            let names = split_names v in
+            validate_names "manager"
+              (List.map (fun m -> m.Resbm.Variants.name) Resbm.Variants.all)
+              names;
+            managers_filter := names;
+            go rest
+        | "--trials", v :: rest ->
+            trials := pos_int "--trials" v;
+            go rest
+        | "--warmup", v :: rest ->
+            (match int_of_string_opt v with
+            | Some n when n >= 0 -> warmup := n
+            | _ -> die "--warmup wants a non-negative integer, got %s" v);
+            go rest
+        | "--seed", v :: rest ->
+            (match int_of_string_opt v with
+            | Some n -> seed := n
+            | None -> die "--seed wants an integer, got %s" v);
+            go rest
+        | "--out", v :: rest ->
+            out_path := v;
+            go rest
+        | ("--models" | "--managers" | "--trials" | "--warmup" | "--seed" | "--out"), [] ->
+            die "%s wants a value" flag
+        | "--help", _ -> usage ()
+        | _ -> die "unknown flag %s (try --help)" flag)
+    | name :: rest ->
+        if not (List.mem_assoc name all_experiments) then
+          die "unknown experiment %s (known: %s)" name
+            (String.concat " " (List.map fst all_experiments));
+        experiments := name :: !experiments;
+        go rest
   in
+  go argv;
+  match List.rev !experiments with [] -> List.map fst all_experiments | names -> names
+
+let () =
+  let requested = parse_args (List.tl (Array.to_list Sys.argv)) in
   Format.printf "ReSBM benchmark harness — every table and figure of the evaluation@.";
   Format.printf "parameters: %a@." Ckks.Params.pp prm;
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_experiments with
-      | Some f -> f ()
-      | None ->
-          Format.printf "unknown experiment %s (known: %s)@." name
-            (String.concat " " (List.map fst all_experiments)))
-    requested
+  List.iter (fun name -> (List.assoc name all_experiments) ()) requested

@@ -8,15 +8,19 @@
      regions                   show the region partition of a model
      sweep                     l_max sweep for one model (Figure 7 style)
      lint                      verify + lint a compiled model
+     bench-diff                gate a candidate bench file against a baseline
+     metrics                   aggregate-metrics dump (Prometheus text or JSON)
 
-   Exit codes: 0 success, 1 usage error, 2 verifier/lint/trace failure.
+   Exit codes: 0 success, 1 usage error, 2 verifier/lint/trace/gate failure.
 
    Examples:
      resbm compile --model resnet20 --manager fhelipe
      resbm run --model tiny --samples 10 --dim 32
      resbm trace --model resnet20 --out trace.json --summary
      resbm sweep --model resnet20 --l-max 16,14,12,10
-     resbm lint --model resnet20 --deny-warnings *)
+     resbm lint --model resnet20 --deny-warnings
+     resbm bench-diff bench/baseline/BENCH_small.json BENCH_resbm.json --json diff.json
+     resbm metrics --model tiny --dim 16 --format prom *)
 
 open Cmdliner
 
@@ -617,6 +621,167 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Sweep l_max for one model (Figure 7 style).")
     Term.(const run $ model_arg $ levels $ profile_arg)
 
+(* --- bench-diff ------------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let run base_path cand_path json_path fail_on noise_mult min_tolerance strict_wallclock
+      all =
+    let load path =
+      let content =
+        try
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        with Sys_error msg ->
+          Format.eprintf "error: cannot read %s: %s@." path msg;
+          exit 1
+      in
+      match Obs.Bench_diff.load content with
+      | Ok src -> src
+      | Error msg ->
+          Format.eprintf "error: %s: %s@." path msg;
+          exit 1
+    in
+    let base = load base_path and cand = load cand_path in
+    match
+      Obs.Bench_diff.diff ~noise_mult ~min_tolerance_ms:min_tolerance ~base ~cand ()
+    with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 1
+    | Ok outcome ->
+        Format.printf "%a@." (Obs.Bench_diff.pp_outcome ~all) outcome;
+        (match json_path with
+        | Some path ->
+            write_json path (Obs.Bench_diff.outcome_to_json outcome);
+            Format.printf "wrote diff report to %s@." path
+        | None -> ());
+        exit (Obs.Bench_diff.exit_code ~fail_on ~strict_wallclock outcome)
+  in
+  let base_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+  in
+  let cand_path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CANDIDATE" ~doc:"Candidate bench JSON.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-cell diff report as JSON to $(docv).")
+  in
+  let fail_on =
+    let when_c =
+      Arg.enum [ ("changed", `Changed); ("regressed", `Regressed); ("never", `Never) ]
+    in
+    Arg.(
+      value & opt when_c `Changed
+      & info [ "fail-on" ] ~docv:"WHEN"
+          ~doc:
+            "When to exit non-zero: $(b,changed) (default) on any deterministic drift \
+             — improvements too, since they invalidate the committed baseline — or \
+             misaligned rows; $(b,regressed) only on deterministic regressions; \
+             $(b,never) to always report and exit 0.")
+  in
+  let noise_mult =
+    Arg.(
+      value & opt float 4.0
+      & info [ "noise-mult" ] ~docv:"X"
+          ~doc:"Wall-clock tolerance multiplier over the runs' summed MADs.")
+  in
+  let min_tolerance =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-tolerance" ] ~docv:"MS"
+          ~doc:"Wall-clock tolerance floor in milliseconds.")
+  in
+  let strict_wallclock =
+    Arg.(
+      value & flag
+      & info [ "strict-wallclock" ]
+          ~doc:"Let out-of-tolerance wall-clock regressions fail the gate too.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Print every cell, not just the changed ones.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench JSON files cell by cell: deterministic planner metrics \
+          exactly, wall-clock compile times within a MAD-derived noise band.  Exit 0 \
+          when the gate passes, 2 when it fails, 1 on unreadable input.")
+    Term.(
+      const run $ base_path $ cand_path $ json_path $ fail_on $ noise_mult
+      $ min_tolerance $ strict_wallclock $ all)
+
+(* --- metrics ---------------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run model manager l_max dim format out =
+    let model = or_die (resolve_model model) in
+    let manager = or_die (resolve_manager manager) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let m = Obs.Metrics.create () in
+    (* Everything below runs with the registry installed, so the Driver and
+       Evaluator hot paths publish into it; the flight-recorded trace is
+       folded in afterwards for the per-op and per-region distributions. *)
+    let failure =
+      Obs.with_metrics m (fun () ->
+          let managed, report =
+            Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg
+          in
+          let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
+          ignore (Obs.Metrics.of_trace ~into:m tr);
+          match outcome with Ok _ -> None | Error msg -> Some msg)
+    in
+    let rendered =
+      match format with
+      | `Prometheus -> Obs.Metrics.to_prometheus m
+      | `Json -> Obs.Json.to_string (Obs.Metrics.to_json m) ^ "\n"
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Format.printf "wrote metrics to %s@." path
+    | None -> print_string rendered);
+    match failure with
+    | None -> ()
+    | Some msg ->
+        Format.eprintf
+          "error: traced execution failed (metrics above cover the run up to the \
+           failure): %s@."
+          msg;
+        exit 2
+  in
+  let dim =
+    Arg.(value & opt int 64 & info [ "dim" ] ~docv:"D" ~doc:"Slots per synthetic image.")
+  in
+  let format =
+    let fmt_c = Arg.enum [ ("prom", `Prometheus); ("json", `Json) ] in
+    Arg.(
+      value & opt fmt_c `Prometheus
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,prom) (Prometheus text exposition) or $(b,json).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Compile a model and run one flight-recorded simulated inference with the \
+          aggregate-metrics registry installed, then dump every counter, gauge and \
+          latency/noise histogram as Prometheus text or JSON.")
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ dim $ format $ out)
+
 let () =
   let info =
     Cmd.info "resbm" ~version:"1.0.0"
@@ -634,4 +799,6 @@ let () =
             sweep_cmd;
             export_cmd;
             lint_cmd;
+            bench_diff_cmd;
+            metrics_cmd;
           ]))

@@ -21,6 +21,7 @@ let fail fmt =
       Obs.trace_instant ~name:"fhe_error"
         ~detail:[ ("message", Obs.Json.String msg) ]
         ();
+      Obs.metric_incr "fhe_errors_total";
       raise (Fhe_error msg))
     fmt
 
@@ -42,6 +43,15 @@ let traced op cost_op ~charge_level ?(noise_before = 0.0) (ct : Ciphertext.t) =
       Obs.Trace.record tr ~op ~cost_ms ~noise_before ~level:ct.Ciphertext.level
         ~scale_bits:ct.Ciphertext.scale_bits ~size:ct.Ciphertext.size
         ~noise:ct.Ciphertext.err ());
+  (* Aggregate-metrics tier: per-op-kind execution counts and the
+     noise-headroom distribution, independent of any flight recorder. *)
+  (match Obs.current_metrics () with
+  | None -> ()
+  | Some m ->
+      let labels = [ ("op", op) ] in
+      Obs.Metrics.incr m ~labels "fhe_ops_total";
+      Obs.Metrics.observe m ~labels "fhe_noise_headroom_bits"
+        (Obs.Trace.headroom_bits ct.Ciphertext.err));
   ct
 
 let level_transition name ~from_level ~to_level =

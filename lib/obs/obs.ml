@@ -614,6 +614,862 @@ module Trace = struct
   let to_jsonl t = List.map (fun e -> Json.to_string (event_to_json e)) (events t)
 end
 
+(* Multi-trial measurement statistics: wall-clock timings are noisy, so a
+   single-shot number is useless as a regression baseline.  Everything
+   here is deterministic given the input sample and the seed — the
+   bootstrap confidence interval uses its own splitmix64 stream, never the
+   global Random state — so two runs over the same data produce
+   byte-identical summaries. *)
+module Stat = struct
+  let sorted xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a
+
+  let median_sorted a =
+    let n = Array.length a in
+    if n = 0 then nan
+    else if n land 1 = 1 then a.(n / 2)
+    else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+  let median xs = median_sorted (sorted xs)
+
+  let mean xs =
+    match xs with
+    | [] -> nan
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+  (* Median absolute deviation around [center] (default: the median).
+     Unscaled — this is a tolerance band, not a sigma estimate. *)
+  let mad ?center xs =
+    match xs with
+    | [] -> nan
+    | _ ->
+        let c = match center with Some c -> c | None -> median xs in
+        median (List.map (fun v -> Float.abs (v -. c)) xs)
+
+  (* splitmix64: tiny, seedable, and good enough for bootstrap resampling. *)
+  let splitmix_next state =
+    let open Int64 in
+    state := add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let rand_int state ~bound =
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (splitmix_next state) 1)
+                    (Int64.of_int bound))
+
+  type summary = {
+    trials : int;
+    warmup : int;
+    mean : float;
+    median : float;
+    mad : float;
+    min : float;
+    max : float;
+    ci95 : float * float;
+    values : float list;
+  }
+
+  (* Percentile bootstrap of the median: resample with replacement
+     [resamples] times, take the 2.5th/97.5th percentiles of the resampled
+     medians. *)
+  let bootstrap_ci ~seed ~resamples values =
+    match values with
+    | [] -> (nan, nan)
+    | [ v ] -> (v, v)
+    | _ ->
+        let a = Array.of_list values in
+        let n = Array.length a in
+        let state = ref (Int64.of_int seed) in
+        let medians =
+          Array.init resamples (fun _ ->
+              median_sorted
+                (let r = Array.init n (fun _ -> a.(rand_int state ~bound:n)) in
+                 Array.sort compare r;
+                 r))
+        in
+        Array.sort compare medians;
+        let pick q =
+          let i = int_of_float (Float.round (q *. float_of_int (resamples - 1))) in
+          medians.(max 0 (min (resamples - 1) i))
+        in
+        (pick 0.025, pick 0.975)
+
+  let summarise ?(seed = 0x5EED) ?(resamples = 200) ?(warmup = 0) values =
+    let a = sorted values in
+    let n = Array.length a in
+    {
+      trials = n;
+      warmup;
+      mean = mean values;
+      median = median_sorted a;
+      mad = mad values;
+      min = (if n = 0 then nan else a.(0));
+      max = (if n = 0 then nan else a.(n - 1));
+      ci95 = bootstrap_ci ~seed ~resamples values;
+      values;
+    }
+
+  (* [sample ~trials f] runs [f] warmup + trials times and summarises the
+     measurements [f] returns (e.g. a compile's self-reported wall time).
+     Warmup runs are discarded: they absorb cold caches and allocator
+     ramp-up so the retained trials are comparable. *)
+  let sample ?(warmup = 1) ?seed ?resamples ~trials f =
+    if trials < 1 then invalid_arg "Stat.sample: trials must be >= 1";
+    for _ = 1 to warmup do
+      ignore (f ())
+    done;
+    let values = List.init trials (fun _ -> f ()) in
+    summarise ?seed ?resamples ~warmup values
+
+  let time ?warmup ?seed ?resamples ~trials f =
+    sample ?warmup ?seed ?resamples ~trials (fun () ->
+        let t = Timer.start () in
+        f ();
+        Timer.elapsed_ms t)
+
+  let to_json s =
+    let lo, hi = s.ci95 in
+    Json.Obj
+      [
+        ("trials", Json.Int s.trials);
+        ("warmup", Json.Int s.warmup);
+        ("mean", Json.Float s.mean);
+        ("median", Json.Float s.median);
+        ("mad", Json.Float s.mad);
+        ("min", Json.Float s.min);
+        ("max", Json.Float s.max);
+        ("ci95", Json.List [ Json.Float lo; Json.Float hi ]);
+        ("values", Json.List (List.map (fun v -> Json.Float v) s.values));
+      ]
+
+  let number = function
+    | Json.Int i -> Some (float_of_int i)
+    | Json.Float f -> Some f
+    | Json.Null -> Some nan
+    | _ -> None
+
+  let of_json j =
+    let num field =
+      match Option.bind (Json.member field j) number with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "summary field %S missing or not a number" field)
+    in
+    let int field =
+      match Json.member field j with
+      | Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "summary field %S missing or not an int" field)
+    in
+    let ( let* ) = Result.bind in
+    let* trials = int "trials" in
+    let* warmup = int "warmup" in
+    let* mean = num "mean" in
+    let* median = num "median" in
+    let* mad = num "mad" in
+    let* min = num "min" in
+    let* max = num "max" in
+    let* ci95 =
+      match Json.member "ci95" j with
+      | Some (Json.List [ a; b ]) -> (
+          match (number a, number b) with
+          | Some lo, Some hi -> Ok (lo, hi)
+          | _ -> Error "ci95 entries not numbers")
+      | _ -> Error "summary field \"ci95\" missing or malformed"
+    in
+    let* values =
+      match Json.member "values" j with
+      | Some (Json.List vs) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | v :: rest -> (
+                match number v with
+                | Some f -> go (f :: acc) rest
+                | None -> Error "values entry not a number")
+          in
+          go [] vs
+      | _ -> Error "summary field \"values\" missing or malformed"
+    in
+    Ok { trials; warmup; mean; median; mad; min; max; ci95; values }
+end
+
+(* Aggregate metrics: a registry of counters, gauges and log-bucketed
+   histograms, exposable as Prometheus text or JSON.  Unlike Profile
+   (which keeps every observation of a series), a histogram is constant
+   space: observations land in log2-spaced buckets with half-step
+   resolution, and quantiles are estimated by interpolating inside the
+   covering bucket — exact min/max are tracked so the estimate is always
+   clamped into the observed range. *)
+module Metrics = struct
+  type labels = (string * string) list
+
+  (* Bucket [i] holds observations v with bound(i-1) < v <= bound(i),
+     bound(i) = 2^((i-40)/2): ~1e-6 ms .. ~5e11, enough for every latency
+     and noise-bits quantity in the system.  Index [finite_buckets] is the
+     overflow (+Inf) bucket. *)
+  let finite_buckets = 119
+  let bound i = Float.pow 2.0 ((float_of_int i -. 40.0) /. 2.0)
+
+  let bucket_of v =
+    if Float.is_nan v then finite_buckets
+    else if v <= bound 0 then 0
+    else if v > bound (finite_buckets - 1) then finite_buckets
+    else
+      let i = int_of_float (Float.ceil (2.0 *. Float.log2 v)) + 40 in
+      (* guard against log2 rounding right at a boundary *)
+      let i = max 0 (min (finite_buckets - 1) i) in
+      if v <= bound i then if i > 0 && v <= bound (i - 1) then i - 1 else i else i + 1
+
+  type hist = {
+    mutable count : int;
+    mutable sum : float;
+    mutable minv : float;
+    mutable maxv : float;
+    counts : int array;  (* finite_buckets + 1 *)
+  }
+
+  type t = {
+    counters : (string * labels, int ref) Hashtbl.t;
+    gauges : (string * labels, float ref) Hashtbl.t;
+    hists : (string * labels, hist) Hashtbl.t;
+  }
+
+  let create () =
+    { counters = Hashtbl.create 32; gauges = Hashtbl.create 16; hists = Hashtbl.create 32 }
+
+  let key name labels = (name, List.sort compare labels)
+
+  let incr ?(by = 1) ?(labels = []) t name =
+    let k = key name labels in
+    match Hashtbl.find_opt t.counters k with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t.counters k (ref by)
+
+  let set ?(labels = []) t name v =
+    let k = key name labels in
+    match Hashtbl.find_opt t.gauges k with
+    | Some r -> r := v
+    | None -> Hashtbl.add t.gauges k (ref v)
+
+  let observe ?(labels = []) t name v =
+    let k = key name labels in
+    let h =
+      match Hashtbl.find_opt t.hists k with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              count = 0;
+              sum = 0.0;
+              minv = infinity;
+              maxv = neg_infinity;
+              counts = Array.make (finite_buckets + 1) 0;
+            }
+          in
+          Hashtbl.add t.hists k h;
+          h
+    in
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.minv then h.minv <- v;
+    if v > h.maxv then h.maxv <- v;
+    let b = bucket_of v in
+    h.counts.(b) <- h.counts.(b) + 1
+
+  let counter_value ?(labels = []) t name =
+    match Hashtbl.find_opt t.counters (key name labels) with Some r -> !r | None -> 0
+
+  let gauge ?(labels = []) t name =
+    Option.map ( ! ) (Hashtbl.find_opt t.gauges (key name labels))
+
+  let quantile_of_hist h q =
+    if h.count = 0 then None
+    else if h.minv = h.maxv then Some h.minv
+    else begin
+      let need = Float.max 1.0 (Float.ceil (q *. float_of_int h.count)) in
+      let rec go i cum =
+        if i > finite_buckets then h.maxv
+        else
+          let c = h.counts.(i) in
+          if c > 0 && float_of_int (cum + c) >= need then begin
+            let lo = if i = 0 then 0.0 else bound (i - 1) in
+            let hi = if i >= finite_buckets then h.maxv else bound i in
+            let frac = (need -. float_of_int cum) /. float_of_int c in
+            Float.max h.minv (Float.min h.maxv (lo +. (frac *. (hi -. lo))))
+          end
+          else go (i + 1) (cum + c)
+      in
+      Some (go 0 0)
+    end
+
+  type hstats = {
+    hcount : int;
+    hsum : float;
+    hmin : float;
+    hmax : float;
+    p50 : float;
+    p90 : float;
+    p99 : float;
+  }
+
+  let stats_of_hist h =
+    let q p = Option.value (quantile_of_hist h p) ~default:nan in
+    {
+      hcount = h.count;
+      hsum = h.sum;
+      hmin = (if h.count = 0 then nan else h.minv);
+      hmax = (if h.count = 0 then nan else h.maxv);
+      p50 = q 0.5;
+      p90 = q 0.9;
+      p99 = q 0.99;
+    }
+
+  let histogram ?(labels = []) t name =
+    Option.map stats_of_hist (Hashtbl.find_opt t.hists (key name labels))
+
+  let quantile ?(labels = []) t name q =
+    Option.bind (Hashtbl.find_opt t.hists (key name labels)) (fun h ->
+        quantile_of_hist h q)
+
+  (* Non-empty cumulative bucket boundaries: (upper_bound, cumulative) at
+     each bucket that received observations — enough to reconstruct the
+     distribution without 120 mostly-zero rows per histogram. *)
+  let cumulative_buckets h =
+    let acc = ref [] and cum = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          cum := !cum + c;
+          let le = if i >= finite_buckets then infinity else bound i in
+          acc := (le, !cum) :: !acc
+        end)
+      h.counts;
+    List.rev !acc
+
+  let sorted_bindings tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+  let to_json t =
+    let counter ((name, labels), r) =
+      Json.Obj
+        [ ("name", Json.String name); ("labels", labels_json labels); ("value", Json.Int !r) ]
+    in
+    let gauge ((name, labels), r) =
+      Json.Obj
+        [ ("name", Json.String name); ("labels", labels_json labels); ("value", Json.Float !r) ]
+    in
+    let hist ((name, labels), h) =
+      let s = stats_of_hist h in
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("labels", labels_json labels);
+          ("count", Json.Int s.hcount);
+          ("sum", Json.Float s.hsum);
+          ("min", Json.Float s.hmin);
+          ("max", Json.Float s.hmax);
+          ("p50", Json.Float s.p50);
+          ("p90", Json.Float s.p90);
+          ("p99", Json.Float s.p99);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (le, cum) -> Json.List [ Json.Float le; Json.Int cum ])
+                 (cumulative_buckets h)) );
+        ]
+    in
+    Json.Obj
+      [
+        ("counters", Json.List (List.map counter (sorted_bindings t.counters)));
+        ("gauges", Json.List (List.map gauge (sorted_bindings t.gauges)));
+        ("histograms", Json.List (List.map hist (sorted_bindings t.hists)));
+      ]
+
+  (* --- Prometheus text exposition ---------------------------------------- *)
+
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+
+  let escape_label_value v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let label_text labels =
+    match labels with
+    | [] -> ""
+    | _ ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+               labels)
+        ^ "}"
+
+  let prom_float f =
+    if Float.is_nan f then "NaN"
+    else if f = infinity then "+Inf"
+    else if f = neg_infinity then "-Inf"
+    else Json.float_repr f
+
+  let to_prometheus ?(namespace = "resbm") t =
+    let buf = Buffer.create 4096 in
+    let full name = sanitize (namespace ^ "_" ^ name) in
+    let typed = Hashtbl.create 16 in
+    let type_line name kind =
+      if not (Hashtbl.mem typed name) then begin
+        Hashtbl.add typed name ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+      end
+    in
+    List.iter
+      (fun ((name, labels), r) ->
+        let n = full name in
+        type_line n "counter";
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" n (label_text labels) !r))
+      (sorted_bindings t.counters);
+    List.iter
+      (fun ((name, labels), r) ->
+        let n = full name in
+        type_line n "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" n (label_text labels) (prom_float !r)))
+      (sorted_bindings t.gauges);
+    List.iter
+      (fun ((name, labels), h) ->
+        let n = full name in
+        type_line n "histogram";
+        let cum = cumulative_buckets h in
+        List.iter
+          (fun (le, c) ->
+            let ls = labels @ [ ("le", prom_float le) ] in
+            Buffer.add_string buf (Printf.sprintf "%s_bucket%s %d\n" n (label_text ls) c))
+          cum;
+        let needs_inf =
+          match List.rev cum with (le, _) :: _ -> le <> infinity | [] -> true
+        in
+        if needs_inf then begin
+          let ls = labels @ [ ("le", "+Inf") ] in
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" n (label_text ls) h.count)
+        end;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" n (label_text labels) (prom_float h.sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" n (label_text labels) h.count))
+      (sorted_bindings t.hists);
+    Buffer.contents buf
+
+  (* --- folds from the other observability tiers --------------------------- *)
+
+  let region_label r = if r < 0 then "unattributed" else string_of_int r
+
+  (* Fold a flight-recorded trace into per-op-kind and per-region latency
+     and noise-headroom distributions. *)
+  let of_trace ?into tr =
+    let m = match into with Some m -> m | None -> create () in
+    List.iter
+      (function
+        | Trace.Op e ->
+            let op = [ ("op", e.Trace.op) ] in
+            let region = [ ("region", region_label e.Trace.region) ] in
+            incr m ~labels:op "trace_ops_total";
+            observe m ~labels:op "op_latency_ms" e.Trace.dur_ms;
+            observe m ~labels:region "region_latency_ms" e.Trace.dur_ms;
+            observe m ~labels:op "noise_headroom_bits"
+              (Trace.headroom_bits e.Trace.noise_after)
+        | Trace.Instant i ->
+            incr m ~labels:[ ("kind", i.Trace.iname) ] "trace_instants_total")
+      (Trace.events tr);
+    set m "trace_clock_ms" (Trace.clock_ms tr);
+    set m "trace_dropped_events" (float_of_int (Trace.dropped tr));
+    m
+
+  (* Fold a compile profile: top-level phase durations become one
+     histogram labelled by phase, pipeline counters one counter family. *)
+  let of_profile ?into p =
+    let m = match into with Some m -> m | None -> create () in
+    List.iter
+      (fun (s : Profile.span) ->
+        if s.Profile.depth = 0 then
+          observe m ~labels:[ ("phase", s.Profile.name) ] "compile_phase_ms" s.Profile.dur_ms)
+      (Profile.spans p);
+    List.iter
+      (fun (k, v) -> incr m ~by:v ~labels:[ ("counter", k) ] "pipeline_events_total")
+      (Profile.counters p);
+    m
+end
+
+(* Baseline regression gating: load two BENCH_resbm.json files, align
+   rows by (model, manager), compare deterministic metrics exactly and
+   wall-clock compile times within a MAD-derived noise band, and emit a
+   per-cell verdict.  Deterministic metrics (bootstrap counts, simulated
+   latency, node counts, predicted precision) come from the cost model
+   and planner, so any drift at all is a real behaviour change; compile
+   times are host wall-clock and only drift outside the band matters. *)
+module Bench_diff = struct
+  let schema_version = 2
+
+  type row = {
+    model : string;
+    manager : string;
+    metrics : (string * float) list;
+    compile : Stat.summary option;
+  }
+
+  type source = {
+    version : int;
+    git_rev : string;
+    trials : int;
+    l_max : int;
+    rows : row list;
+  }
+
+  type verdict = Unchanged | Improved | Regressed | Within_noise | Incomparable
+
+  let verdict_to_string = function
+    | Unchanged -> "unchanged"
+    | Improved -> "improved"
+    | Regressed -> "regressed"
+    | Within_noise -> "within-noise"
+    | Incomparable -> "incomparable"
+
+  type cell = {
+    cmodel : string;
+    cmanager : string;
+    metric : string;
+    base : float;
+    cand : float;
+    wall_clock : bool;
+    tolerance : float;  (* 0 for exact comparisons *)
+    verdict : verdict;
+  }
+
+  type outcome = {
+    cells : cell list;
+    missing : (string * string) list;  (* rows in base absent from candidate *)
+    added : (string * string) list;  (* rows in candidate absent from base *)
+  }
+
+  (* The deterministic per-manager metrics and their preferred direction. *)
+  let deterministic_metrics =
+    [
+      ("latency_ms", `Lower);
+      ("bootstrap_count", `Lower);
+      ("executed_rescales", `Lower);
+      ("nodes", `Lower);
+      ("predicted_precision_bits", `Higher);
+    ]
+
+  (* --- loading ------------------------------------------------------------ *)
+
+  let number = Stat.number
+
+  let load content =
+    let ( let* ) = Result.bind in
+    let* json =
+      match Json.of_string content with
+      | Ok j -> Ok j
+      | Error m -> Error ("not valid JSON: " ^ m)
+    in
+    let* () =
+      match Json.member "bench" json with
+      | Some (Json.String "resbm") -> Ok ()
+      | _ -> Error "not a resbm bench file (missing \"bench\": \"resbm\")"
+    in
+    let* version =
+      match Json.member "schema_version" json with
+      | Some (Json.Int v) when v = schema_version -> Ok v
+      | Some (Json.Int v) ->
+          Error
+            (Printf.sprintf
+               "schema_version %d is not supported (this build reads version %d); \
+                regenerate both files with `bench -- json`"
+               v schema_version)
+      | Some _ -> Error "schema_version is not an integer"
+      | None ->
+          Error
+            "unversioned bench file (no schema_version field); regenerate it with \
+             `bench -- json` before diffing"
+    in
+    let* l_max =
+      match Json.member "l_max" json with
+      | Some (Json.Int l) -> Ok l
+      | _ -> Error "missing l_max header field"
+    in
+    let git_rev =
+      match Json.member "git_rev" json with Some (Json.String s) -> s | _ -> "unknown"
+    in
+    let trials =
+      match Json.member "trials" json with Some (Json.Int t) -> t | _ -> 1
+    in
+    let* models =
+      match Json.member "models" json with
+      | Some (Json.List ms) -> Ok ms
+      | _ -> Error "missing models list"
+    in
+    let* rows =
+      List.fold_left
+        (fun acc model_json ->
+          let* acc = acc in
+          let* model =
+            match Json.member "model" model_json with
+            | Some (Json.String s) -> Ok s
+            | _ -> Error "model entry without a name"
+          in
+          let* managers =
+            match Json.member "managers" model_json with
+            | Some (Json.List ms) -> Ok ms
+            | _ -> Error (Printf.sprintf "model %s has no managers list" model)
+          in
+          List.fold_left
+            (fun acc mgr_json ->
+              let* acc = acc in
+              let* manager =
+                match Json.member "manager" mgr_json with
+                | Some (Json.String s) -> Ok s
+                | _ -> Error (Printf.sprintf "manager entry of %s without a name" model)
+              in
+              let metrics =
+                List.filter_map
+                  (fun (name, _) ->
+                    Option.bind (Json.member name mgr_json) number
+                    |> Option.map (fun v -> (name, v)))
+                  deterministic_metrics
+              in
+              let compile =
+                match Json.member "compile_stat" mgr_json with
+                | Some j -> Result.to_option (Stat.of_json j)
+                | None -> None
+              in
+              Ok ({ model; manager; metrics; compile } :: acc))
+            (Ok acc) managers)
+        (Ok []) models
+    in
+    Ok { version; git_rev; trials; l_max; rows = List.rev rows }
+
+  (* --- diffing ------------------------------------------------------------ *)
+
+  let float_equal a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+  let diff ?(noise_mult = 4.0) ?(min_tolerance_ms = 0.5) ~base ~cand () =
+    if base.l_max <> cand.l_max then
+      Error
+        (Printf.sprintf "l_max differs (%d vs %d): the files measure different sweeps"
+           base.l_max cand.l_max)
+    else begin
+      let key r = (r.model, r.manager) in
+      let cand_of k = List.find_opt (fun r -> key r = k) cand.rows in
+      let missing =
+        List.filter_map
+          (fun r -> if cand_of (key r) = None then Some (key r) else None)
+          base.rows
+      in
+      let added =
+        List.filter_map
+          (fun r ->
+            if List.exists (fun b -> key b = key r) base.rows then None else Some (key r))
+          cand.rows
+      in
+      let cells =
+        List.concat_map
+          (fun b ->
+            match cand_of (key b) with
+            | None -> []
+            | Some c ->
+                let det =
+                  List.filter_map
+                    (fun (metric, direction) ->
+                      let bv = List.assoc_opt metric b.metrics
+                      and cv = List.assoc_opt metric c.metrics in
+                      match (bv, cv) with
+                      | None, None -> None
+                      | _ ->
+                          let bv = Option.value bv ~default:nan
+                          and cv = Option.value cv ~default:nan in
+                          let verdict =
+                            if float_equal bv cv then Unchanged
+                            else if Float.is_nan bv || Float.is_nan cv then Incomparable
+                            else if
+                              match direction with
+                              | `Lower -> cv < bv
+                              | `Higher -> cv > bv
+                            then Improved
+                            else Regressed
+                          in
+                          Some
+                            {
+                              cmodel = b.model;
+                              cmanager = b.manager;
+                              metric;
+                              base = bv;
+                              cand = cv;
+                              wall_clock = false;
+                              tolerance = 0.0;
+                              verdict;
+                            })
+                    deterministic_metrics
+                in
+                let wall =
+                  match (b.compile, c.compile) with
+                  | Some sb, Some sc ->
+                      let tolerance =
+                        Float.max
+                          (noise_mult *. (sb.Stat.mad +. sc.Stat.mad))
+                          min_tolerance_ms
+                      in
+                      let d = sc.Stat.median -. sb.Stat.median in
+                      let verdict =
+                        if d = 0.0 then Unchanged
+                        else if Float.abs d <= tolerance then Within_noise
+                        else if d < 0.0 then Improved
+                        else Regressed
+                      in
+                      [
+                        {
+                          cmodel = b.model;
+                          cmanager = b.manager;
+                          metric = "compile_ms";
+                          base = sb.Stat.median;
+                          cand = sc.Stat.median;
+                          wall_clock = true;
+                          tolerance;
+                          verdict;
+                        };
+                      ]
+                  | _ -> []
+                in
+                det @ wall)
+          base.rows
+      in
+      Ok { cells; missing; added }
+    end
+
+  (* --- gating -------------------------------------------------------------- *)
+
+  let deterministic_changes o =
+    List.filter (fun c -> (not c.wall_clock) && c.verdict <> Unchanged) o.cells
+
+  let regressions ?(strict_wallclock = false) o =
+    List.filter
+      (fun c ->
+        match c.verdict with
+        | Regressed | Incomparable -> strict_wallclock || not c.wall_clock
+        | _ -> false)
+      o.cells
+
+  (* 0 = pass, 2 = gate failure.  [`Changed] (the default) treats any
+     deterministic drift — improvements included — as a failure: a better
+     bootstrap count still invalidates the committed baseline, and the
+     baseline refresh must be deliberate. *)
+  let exit_code ?(fail_on = `Changed) ?(strict_wallclock = false) o =
+    let aligned_bad = o.missing <> [] || o.added <> [] in
+    let failed =
+      match fail_on with
+      | `Never -> false
+      | `Regressed -> aligned_bad || regressions ~strict_wallclock o <> []
+      | `Changed ->
+          aligned_bad
+          || deterministic_changes o <> []
+          || (strict_wallclock
+             && List.exists (fun c -> c.wall_clock && c.verdict = Regressed) o.cells)
+    in
+    if failed then 2 else 0
+
+  (* --- reporting ----------------------------------------------------------- *)
+
+  let cell_to_json c =
+    Json.Obj
+      [
+        ("model", Json.String c.cmodel);
+        ("manager", Json.String c.cmanager);
+        ("metric", Json.String c.metric);
+        ("base", Json.Float c.base);
+        ("candidate", Json.Float c.cand);
+        ("wall_clock", Json.Bool c.wall_clock);
+        ("tolerance", Json.Float c.tolerance);
+        ("verdict", Json.String (verdict_to_string c.verdict));
+      ]
+
+  let outcome_to_json o =
+    let count v = List.length (List.filter (fun c -> c.verdict = v) o.cells) in
+    let pair_json (m, g) =
+      Json.Obj [ ("model", Json.String m); ("manager", Json.String g) ]
+    in
+    Json.Obj
+      [
+        ("cells", Json.List (List.map cell_to_json o.cells));
+        ("missing", Json.List (List.map pair_json o.missing));
+        ("added", Json.List (List.map pair_json o.added));
+        ( "summary",
+          Json.Obj
+            [
+              ("unchanged", Json.Int (count Unchanged));
+              ("improved", Json.Int (count Improved));
+              ("regressed", Json.Int (count Regressed));
+              ("within_noise", Json.Int (count Within_noise));
+              ("incomparable", Json.Int (count Incomparable));
+              ("missing", Json.Int (List.length o.missing));
+              ("added", Json.Int (List.length o.added));
+            ] );
+      ]
+
+  let value_text v =
+    if Float.is_nan v then "-"
+    else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.3f" v
+
+  let pp_cell ppf c =
+    Format.fprintf ppf "%-12s %-12s %-25s %12s -> %-12s %s%s" c.cmodel c.cmanager
+      (c.metric ^ if c.wall_clock then " (wall)" else "")
+      (value_text c.base) (value_text c.cand)
+      (verdict_to_string c.verdict)
+      (if c.wall_clock && c.tolerance > 0.0 then
+         Printf.sprintf " (tolerance %.3f ms)" c.tolerance
+       else "")
+
+  let pp_outcome ?(all = false) ppf o =
+    let interesting =
+      List.filter (fun c -> all || c.verdict <> Unchanged) o.cells
+    in
+    Format.fprintf ppf "@[<v>";
+    if interesting = [] && o.missing = [] && o.added = [] then
+      Format.fprintf ppf "no changes: %d cells identical or within noise@,"
+        (List.length o.cells)
+    else begin
+      List.iter (fun c -> Format.fprintf ppf "%a@," pp_cell c) interesting;
+      List.iter
+        (fun (m, g) -> Format.fprintf ppf "%-12s %-12s row missing from candidate@," m g)
+        o.missing;
+      List.iter
+        (fun (m, g) -> Format.fprintf ppf "%-12s %-12s row added in candidate@," m g)
+        o.added
+    end;
+    let count v = List.length (List.filter (fun c -> c.verdict = v) o.cells) in
+    Format.fprintf ppf
+      "%d cells: %d unchanged, %d improved, %d regressed, %d within-noise, %d \
+       incomparable%s%s@]"
+      (List.length o.cells) (count Unchanged) (count Improved) (count Regressed)
+      (count Within_noise) (count Incomparable)
+      (if o.missing <> [] then Printf.sprintf ", %d missing" (List.length o.missing)
+       else "")
+      (if o.added <> [] then Printf.sprintf ", %d added" (List.length o.added) else "")
+end
+
 (* Profile spans in the same Chrome trace-event dialect, so one Perfetto
    timeline can hold the compile pipeline (one pid) next to the simulated
    execution (another). *)
@@ -674,4 +1530,27 @@ let with_trace tr f =
 let trace_instant ~name ?node ?detail () =
   match !current_trace_ref with
   | Some tr -> Trace.instant tr ~name ?node ?detail ()
+  | None -> ()
+
+let current_metrics_ref : Metrics.t option ref = ref None
+let current_metrics () = !current_metrics_ref
+
+let with_metrics m f =
+  let saved = !current_metrics_ref in
+  current_metrics_ref := Some m;
+  Fun.protect f ~finally:(fun () -> current_metrics_ref := saved)
+
+let metric_incr ?by ?labels name =
+  match !current_metrics_ref with
+  | Some m -> Metrics.incr ?by ?labels m name
+  | None -> ()
+
+let metric_observe ?labels name v =
+  match !current_metrics_ref with
+  | Some m -> Metrics.observe ?labels m name v
+  | None -> ()
+
+let metric_set ?labels name v =
+  match !current_metrics_ref with
+  | Some m -> Metrics.set ?labels m name v
   | None -> ()

@@ -181,6 +181,198 @@ module Trace : sig
   (** One compact JSON object per event, chronological. *)
 end
 
+(** Multi-trial measurement statistics.  Wall-clock timings are noisy;
+    everything here is deterministic given the input sample and the seed
+    (the bootstrap confidence interval uses its own splitmix64 stream), so
+    two runs over the same data produce identical summaries. *)
+module Stat : sig
+  val median : float list -> float
+  (** Midpoint-averaged median; [nan] on the empty list. *)
+
+  val mean : float list -> float
+
+  val mad : ?center:float -> float list -> float
+  (** Median absolute deviation around [center] (default: the median).
+      Unscaled — a tolerance band, not a sigma estimate. *)
+
+  type summary = {
+    trials : int;  (** Retained measurements (excludes warmup). *)
+    warmup : int;  (** Discarded leading runs. *)
+    mean : float;
+    median : float;
+    mad : float;
+    min : float;
+    max : float;
+    ci95 : float * float;  (** Seeded percentile-bootstrap 95% CI of the median. *)
+    values : float list;  (** The retained measurements, in run order. *)
+  }
+
+  val summarise : ?seed:int -> ?resamples:int -> ?warmup:int -> float list -> summary
+  (** Summarise an existing sample.  [resamples] (default 200) bootstrap
+      rounds seeded by [seed] (default 0x5EED); [warmup] is recorded in the
+      summary but no values are dropped. *)
+
+  val sample :
+    ?warmup:int -> ?seed:int -> ?resamples:int -> trials:int -> (unit -> float) -> summary
+  (** Run [f] [warmup] (default 1) + [trials] times and summarise the
+      values it returns (e.g. a compile's self-reported wall time).
+      Warmup runs are discarded.  Raises [Invalid_argument] when
+      [trials < 1]. *)
+
+  val time :
+    ?warmup:int -> ?seed:int -> ?resamples:int -> trials:int -> (unit -> unit) -> summary
+  (** Like {!sample} but measures each call of [f] with {!Timer}. *)
+
+  val to_json : summary -> Json.t
+  val of_json : Json.t -> (summary, string) result
+end
+
+(** Aggregate metrics: a registry of counters, gauges and log-bucketed
+    histograms with quantile estimation, exposable as Prometheus text or
+    JSON.  Histograms are constant space — log2-spaced buckets with
+    half-step resolution covering ~1e-6 .. ~5e11 — and quantiles are
+    interpolated inside the covering bucket, clamped to the exact observed
+    min/max. *)
+module Metrics : sig
+  type labels = (string * string) list
+  (** Label order is irrelevant; keys are canonicalised by sorting. *)
+
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> ?labels:labels -> t -> string -> unit
+  val set : ?labels:labels -> t -> string -> float -> unit
+  (** Gauge assignment. *)
+
+  val observe : ?labels:labels -> t -> string -> float -> unit
+  (** Record one histogram observation. *)
+
+  val counter_value : ?labels:labels -> t -> string -> int
+  (** 0 when never incremented. *)
+
+  val gauge : ?labels:labels -> t -> string -> float option
+
+  type hstats = {
+    hcount : int;
+    hsum : float;
+    hmin : float;
+    hmax : float;
+    p50 : float;
+    p90 : float;
+    p99 : float;
+  }
+
+  val histogram : ?labels:labels -> t -> string -> hstats option
+  (** Summary of one histogram; quantiles are [nan] when empty. *)
+
+  val quantile : ?labels:labels -> t -> string -> float -> float option
+  (** [quantile t name q] estimates the [q]-quantile ([0..1]); [None] for
+      an unknown or empty histogram. *)
+
+  val of_trace : ?into:t -> Trace.t -> t
+  (** Fold a flight-recorded trace into per-op-kind and per-region latency
+      and noise-headroom distributions ([trace_ops_total{op}],
+      [op_latency_ms{op}], [region_latency_ms{region}],
+      [noise_headroom_bits{op}], [trace_instants_total{kind}], plus
+      [trace_clock_ms] / [trace_dropped_events] gauges). *)
+
+  val of_profile : ?into:t -> Profile.t -> t
+  (** Fold a compile profile: top-level phases into
+      [compile_phase_ms{phase}], pipeline counters into
+      [pipeline_events_total{counter}]. *)
+
+  val to_json : t -> Json.t
+  (** Deterministically ordered; histogram entries carry count/sum/min/max,
+      p50/p90/p99 and the non-empty cumulative buckets as [[le, count]]. *)
+
+  val to_prometheus : ?namespace:string -> t -> string
+  (** Prometheus text exposition (default namespace ["resbm"]); metric and
+      label names are sanitised, histograms expose [_bucket]/[_sum]/[_count]
+      series with cumulative [le] labels ending at [+Inf]. *)
+end
+
+(** Baseline regression gating over two bench JSON files: align rows by
+    (model, manager), compare deterministic metrics exactly and wall-clock
+    compile times within a MAD-derived noise band. *)
+module Bench_diff : sig
+  val schema_version : int
+  (** The bench-file schema this build reads and writes. *)
+
+  type row = {
+    model : string;
+    manager : string;
+    metrics : (string * float) list;  (** Deterministic metric cells. *)
+    compile : Stat.summary option;  (** Multi-trial wall-clock compile stats. *)
+  }
+
+  type source = {
+    version : int;
+    git_rev : string;
+    trials : int;
+    l_max : int;
+    rows : row list;
+  }
+
+  type verdict = Unchanged | Improved | Regressed | Within_noise | Incomparable
+
+  val verdict_to_string : verdict -> string
+
+  type cell = {
+    cmodel : string;
+    cmanager : string;
+    metric : string;
+    base : float;
+    cand : float;
+    wall_clock : bool;
+    tolerance : float;  (** 0 for exact comparisons. *)
+    verdict : verdict;
+  }
+
+  type outcome = {
+    cells : cell list;
+    missing : (string * string) list;  (** Rows in base absent from candidate. *)
+    added : (string * string) list;  (** Rows in candidate absent from base. *)
+  }
+
+  val deterministic_metrics : (string * [ `Lower | `Higher ]) list
+  (** The compared metrics and which direction counts as an improvement. *)
+
+  val load : string -> (source, string) result
+  (** Parse a bench file's contents.  Refuses unversioned files, wrong
+      [schema_version]s, and files that are not resbm bench output, each
+      with a distinct diagnostic. *)
+
+  val diff :
+    ?noise_mult:float ->
+    ?min_tolerance_ms:float ->
+    base:source ->
+    cand:source ->
+    unit ->
+    (outcome, string) result
+  (** Compare candidate against base.  Deterministic metrics compare
+      exactly (NaN on both sides is unchanged; NaN on one side is
+      incomparable); compile medians compare within
+      [max (noise_mult * (mad_base + mad_cand)) min_tolerance_ms]
+      (defaults 4.0 and 0.5 ms).  [Error] when the files' [l_max] differ. *)
+
+  val deterministic_changes : outcome -> cell list
+  val regressions : ?strict_wallclock:bool -> outcome -> cell list
+
+  val exit_code :
+    ?fail_on:[ `Changed | `Regressed | `Never ] -> ?strict_wallclock:bool -> outcome -> int
+  (** 0 = pass, 2 = gate failure.  [`Changed] (default) fails on any
+      deterministic drift — improvements included, since they invalidate
+      the committed baseline — and on misaligned rows; [`Regressed] only on
+      regressions/incomparable cells and misaligned rows.  Wall-clock cells
+      participate only with [strict_wallclock]. *)
+
+  val cell_to_json : cell -> Json.t
+  val outcome_to_json : outcome -> Json.t
+
+  val pp_outcome : ?all:bool -> Format.formatter -> outcome -> unit
+  (** Changed cells (all cells with [all]) plus a one-line summary. *)
+end
+
 val profile_chrome_events : ?pid:int -> ?name:string -> Profile.t -> Json.t list
 (** Compile-pipeline spans in the same Chrome trace-event dialect, so
     compile (one pid) and execution (another) land in one Perfetto
@@ -215,3 +407,21 @@ val current_trace : unit -> Trace.t option
 val trace_instant :
   name:string -> ?node:int -> ?detail:(string * Json.t) list -> unit -> unit
 (** Record an instant on the ambient trace; no-op when none. *)
+
+val with_metrics : Metrics.t -> (unit -> 'a) -> 'a
+(** Install [m] as the ambient metrics registry for the extent of the
+    callback (restoring the previous one after, also on exceptions).
+    Driver and evaluator hot paths publish into it through the
+    conveniences below, which cost one option check when none is
+    installed. *)
+
+val current_metrics : unit -> Metrics.t option
+
+val metric_incr : ?by:int -> ?labels:Metrics.labels -> string -> unit
+(** Increment a counter on the ambient registry; no-op when none. *)
+
+val metric_observe : ?labels:Metrics.labels -> string -> float -> unit
+(** Record a histogram observation on the ambient registry; no-op when none. *)
+
+val metric_set : ?labels:Metrics.labels -> string -> float -> unit
+(** Set a gauge on the ambient registry; no-op when none. *)

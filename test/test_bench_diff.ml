@@ -1,0 +1,225 @@
+(* Obs.Bench_diff: bench-file loading diagnostics, row alignment, verdicts
+   for deterministic and wall-clock metrics, NaN semantics, and the gate's
+   exit-code contract. *)
+open Test_util
+
+let metrics ?(latency = 100.0) ?(bts = 10.0) ?(rescales = 20.0) ?(nodes = 50.0)
+    ?(precision = 30.0) () =
+  [
+    ("latency_ms", latency);
+    ("bootstrap_count", bts);
+    ("executed_rescales", rescales);
+    ("nodes", nodes);
+    ("predicted_precision_bits", precision);
+  ]
+
+let row ?compile model manager metrics =
+  { Obs.Bench_diff.model; manager; metrics; compile }
+
+let src ?(l_max = 16) rows =
+  {
+    Obs.Bench_diff.version = Obs.Bench_diff.schema_version;
+    git_rev = "test";
+    trials = 3;
+    l_max;
+    rows;
+  }
+
+let diff_ok ?noise_mult ?min_tolerance_ms base cand =
+  match Obs.Bench_diff.diff ?noise_mult ?min_tolerance_ms ~base ~cand () with
+  | Ok o -> o
+  | Error m -> Alcotest.failf "diff failed: %s" m
+
+let verdict_of o metric =
+  match
+    List.find_opt (fun c -> c.Obs.Bench_diff.metric = metric) o.Obs.Bench_diff.cells
+  with
+  | Some c -> c.Obs.Bench_diff.verdict
+  | None -> Alcotest.failf "no cell for %s" metric
+
+(* --- alignment and verdicts ------------------------------------------------ *)
+
+let identical_passes () =
+  let s = src [ row "ResNet20" "ReSBM" (metrics ()) ] in
+  let o = diff_ok s s in
+  checki "five deterministic cells" 5 (List.length o.Obs.Bench_diff.cells);
+  checkb "all unchanged" true
+    (List.for_all
+       (fun c -> c.Obs.Bench_diff.verdict = Obs.Bench_diff.Unchanged)
+       o.Obs.Bench_diff.cells);
+  checkb "no drift" true (Obs.Bench_diff.deterministic_changes o = []);
+  checki "gate passes" 0 (Obs.Bench_diff.exit_code o)
+
+let direction_semantics () =
+  let base = src [ row "m" "g" (metrics ()) ] in
+  (* lower-is-better metric moving up regresses *)
+  let o = diff_ok base (src [ row "m" "g" (metrics ~latency:120.0 ()) ]) in
+  checkb "latency up regresses" true
+    (verdict_of o "latency_ms" = Obs.Bench_diff.Regressed);
+  checki "regression gates" 2 (Obs.Bench_diff.exit_code o);
+  (* lower-is-better metric moving down improves — and still gates under
+     the default policy, because it invalidates the committed baseline *)
+  let o = diff_ok base (src [ row "m" "g" (metrics ~bts:8.0 ()) ]) in
+  checkb "bootstrap count down improves" true
+    (verdict_of o "bootstrap_count" = Obs.Bench_diff.Improved);
+  checki "improvement still fails `Changed" 2 (Obs.Bench_diff.exit_code o);
+  checki "improvement passes `Regressed" 0
+    (Obs.Bench_diff.exit_code ~fail_on:`Regressed o);
+  checki "`Never always passes" 0 (Obs.Bench_diff.exit_code ~fail_on:`Never o);
+  (* higher-is-better direction flips the reading *)
+  let o = diff_ok base (src [ row "m" "g" (metrics ~precision:35.0 ()) ]) in
+  checkb "precision up improves" true
+    (verdict_of o "predicted_precision_bits" = Obs.Bench_diff.Improved);
+  let o = diff_ok base (src [ row "m" "g" (metrics ~precision:25.0 ()) ]) in
+  checkb "precision down regresses" true
+    (verdict_of o "predicted_precision_bits" = Obs.Bench_diff.Regressed)
+
+let misaligned_rows_gate () =
+  let base = src [ row "m" "ReSBM" (metrics ()); row "m" "Fhelipe" (metrics ()) ] in
+  let cand = src [ row "m" "ReSBM" (metrics ()); row "m2" "ReSBM" (metrics ()) ] in
+  let o = diff_ok base cand in
+  checkb "dropped manager reported" true
+    (o.Obs.Bench_diff.missing = [ ("m", "Fhelipe") ]);
+  checkb "new model reported" true (o.Obs.Bench_diff.added = [ ("m2", "ReSBM") ]);
+  checki "misalignment fails `Changed" 2 (Obs.Bench_diff.exit_code o);
+  checki "misalignment fails `Regressed too" 2
+    (Obs.Bench_diff.exit_code ~fail_on:`Regressed o)
+
+let nan_semantics () =
+  let base = src [ row "m" "g" (metrics ~precision:nan ()) ] in
+  (* NaN on both sides is the same (missing) measurement, not a change *)
+  let o = diff_ok base (src [ row "m" "g" (metrics ~precision:nan ()) ]) in
+  checkb "nan == nan is unchanged" true
+    (verdict_of o "predicted_precision_bits" = Obs.Bench_diff.Unchanged);
+  checki "both-nan passes" 0 (Obs.Bench_diff.exit_code o);
+  (* a measurement appearing or vanishing is incomparable and gates *)
+  let o = diff_ok base (src [ row "m" "g" (metrics ~precision:30.0 ()) ]) in
+  checkb "one-sided nan is incomparable" true
+    (verdict_of o "predicted_precision_bits" = Obs.Bench_diff.Incomparable);
+  checki "incomparable fails `Changed" 2 (Obs.Bench_diff.exit_code o);
+  checki "incomparable fails `Regressed" 2
+    (Obs.Bench_diff.exit_code ~fail_on:`Regressed o)
+
+(* --- wall-clock tolerance -------------------------------------------------- *)
+
+let wallclock_tolerance () =
+  let with_compile values = Obs.Stat.summarise ~seed:1 values in
+  let base = src [ row ~compile:(with_compile [ 10.0; 10.0; 10.0 ]) "m" "g" (metrics ()) ] in
+  (* zero MAD on both sides leaves the 0.5 ms floor: 10.3 is inside it *)
+  let cand = src [ row ~compile:(with_compile [ 10.3; 10.3; 10.3 ]) "m" "g" (metrics ()) ] in
+  let o = diff_ok base cand in
+  checkb "drift inside the floor is noise" true
+    (verdict_of o "compile_ms" = Obs.Bench_diff.Within_noise);
+  checki "noise never gates" 0 (Obs.Bench_diff.exit_code o);
+  (* 2 ms of drift clears the floor *)
+  let cand = src [ row ~compile:(with_compile [ 12.0; 12.0; 12.0 ]) "m" "g" (metrics ()) ] in
+  let o = diff_ok base cand in
+  checkb "drift beyond tolerance regresses" true
+    (verdict_of o "compile_ms" = Obs.Bench_diff.Regressed);
+  checki "wall-clock alone never fails the default gate" 0 (Obs.Bench_diff.exit_code o);
+  checki "strict wall-clock gates it" 2
+    (Obs.Bench_diff.exit_code ~strict_wallclock:true o);
+  (* a noisy baseline widens the band: MADs of 1 give 4*(1+1) = 8 ms *)
+  let base =
+    src [ row ~compile:(with_compile [ 9.0; 10.0; 11.0 ]) "m" "g" (metrics ()) ]
+  in
+  let cand =
+    src [ row ~compile:(with_compile [ 15.0; 16.0; 17.0 ]) "m" "g" (metrics ()) ]
+  in
+  let o = diff_ok base cand in
+  checkb "mad-scaled band absorbs 6 ms on noisy runs" true
+    (verdict_of o "compile_ms" = Obs.Bench_diff.Within_noise);
+  (* faster candidate is an improvement, not a regression *)
+  let cand = src [ row ~compile:(with_compile [ 1.0; 1.0; 1.0 ]) "m" "g" (metrics ()) ] in
+  let o = diff_ok base cand in
+  checkb "large speed-up is an improvement" true
+    (verdict_of o "compile_ms" = Obs.Bench_diff.Improved);
+  checki "wall-clock improvement passes even strict" 0
+    (Obs.Bench_diff.exit_code ~strict_wallclock:true o)
+
+(* --- loading --------------------------------------------------------------- *)
+
+let bench_file ?(version = Obs.Bench_diff.schema_version) () =
+  Printf.sprintf
+    {|{"bench": "resbm", "schema_version": %d, "git_rev": "abc", "trials": 3,
+       "l_max": 16,
+       "models": [{"model": "m",
+                   "managers": [{"manager": "g", "latency_ms": 100.0,
+                                 "bootstrap_count": 10, "nodes": 50,
+                                 "predicted_precision_bits": null}]}]}|}
+    version
+
+let load_diagnostics () =
+  let err s =
+    match Obs.Bench_diff.load s with
+    | Error m -> m
+    | Ok _ -> Alcotest.fail "load accepted a bad file"
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  checkb "non-JSON is called out" true (starts_with "not valid JSON" (err "nonsense"));
+  checkb "foreign JSON is called out" true
+    (starts_with "not a resbm bench file" (err {|{"other": 1}|}));
+  checkb "unversioned files are refused" true
+    (starts_with "unversioned bench file" (err {|{"bench": "resbm", "l_max": 16}|}));
+  checkb "future versions are refused with the version named" true
+    (starts_with "schema_version 99 is not supported" (err (bench_file ~version:99 ())))
+
+let load_roundtrip () =
+  match Obs.Bench_diff.load (bench_file ()) with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok s ->
+      checki "version" Obs.Bench_diff.schema_version s.Obs.Bench_diff.version;
+      check Alcotest.string "git_rev" "abc" s.Obs.Bench_diff.git_rev;
+      checki "one row" 1 (List.length s.Obs.Bench_diff.rows);
+      let r = List.hd s.Obs.Bench_diff.rows in
+      checkb "int cells read as floats" true
+        (List.assoc_opt "bootstrap_count" r.Obs.Bench_diff.metrics = Some 10.0);
+      checkb "null cells read as nan" true
+        (match List.assoc_opt "predicted_precision_bits" r.Obs.Bench_diff.metrics with
+        | Some v -> Float.is_nan v
+        | None -> false);
+      checkb "absent cells stay absent" true
+        (List.assoc_opt "executed_rescales" r.Obs.Bench_diff.metrics = None);
+      checkb "no compile stats in this file" true (r.Obs.Bench_diff.compile = None)
+
+let l_max_mismatch () =
+  let base = src ~l_max:16 [ row "m" "g" (metrics ()) ] in
+  let cand = src ~l_max:12 [ row "m" "g" (metrics ()) ] in
+  match Obs.Bench_diff.diff ~base ~cand () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "diff compared files from different sweeps"
+
+(* --- report JSON ----------------------------------------------------------- *)
+
+let outcome_json_roundtrip () =
+  let base = src [ row "m" "g" (metrics ()); row "m" "h" (metrics ()) ] in
+  let cand = src [ row "m" "g" (metrics ~latency:90.0 ()) ] in
+  let o = diff_ok base cand in
+  let text = Obs.Json.to_string (Obs.Bench_diff.outcome_to_json o) in
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.failf "report rejected by the strict parser: %s" e
+  | Ok json ->
+      (match Obs.Json.member "summary" json with
+      | Some summary ->
+          checkb "summary counts improvements" true
+            (Obs.Json.member "improved" summary = Some (Obs.Json.Int 1))
+      | None -> Alcotest.fail "no summary object");
+      (match Obs.Json.member "missing" json with
+      | Some (Obs.Json.List [ _ ]) -> ()
+      | _ -> Alcotest.fail "missing rows not reported")
+
+let suite =
+  [
+    case "identical files pass the gate" identical_passes;
+    case "verdicts follow each metric's direction" direction_semantics;
+    case "missing and added rows always gate" misaligned_rows_gate;
+    case "nan cells: equal-missing vs incomparable" nan_semantics;
+    case "wall-clock drift uses the mad band" wallclock_tolerance;
+    case "load rejects bad files with distinct diagnostics" load_diagnostics;
+    case "load reads header, cells, nan and absences" load_roundtrip;
+    case "different l_max refuses to diff" l_max_mismatch;
+    case "outcome report JSON round-trips" outcome_json_roundtrip;
+  ]
