@@ -621,8 +621,8 @@ let bench_json () =
               Obs.Json.Float res.Interp.noise.Interp.min_headroom_bits );
             ("events_recorded", Obs.Json.Int (Obs.Trace.recorded tr));
           ]
-    | exception Ckks.Evaluator.Fhe_error msg ->
-        Obs.Json.Obj [ ("error", Obs.Json.String msg) ]
+    | exception Ckks.Evaluator.Fhe_error e ->
+        Obs.Json.Obj [ ("error", Obs.Json.String (Ckks.Evaluator.error_message e)) ]
   in
   let json =
     Obs.Json.Obj

@@ -9,6 +9,7 @@
      sweep                     l_max sweep for one model (Figure 7 style)
      lint                      verify + lint a compiled model
      bench-diff                gate a candidate bench file against a baseline
+     chaos                     seeded fault-injection campaign + recovery report
      metrics                   aggregate-metrics dump (Prometheus text or JSON)
 
    Exit codes: 0 success, 1 usage error, 2 verifier/lint/trace/gate failure.
@@ -109,7 +110,7 @@ let traced_inference prm lowered ~managed ~(report : Resbm.Report.t) ~dim =
   in
   let outcome =
     try Ok (Fhe_ir.Interp.run ~trace:tr ~region_of ev managed env)
-    with Ckks.Evaluator.Fhe_error msg -> Error msg
+    with Ckks.Evaluator.Fhe_error e -> Error (Ckks.Evaluator.error_message e)
   in
   (tr, outcome)
 
@@ -203,18 +204,29 @@ let list_cmd =
 (* --- compile --------------------------------------------------------------- *)
 
 let compile_cmd =
-  let run model manager l_max verify_each verbose emit_path profile_path trace_out =
+  let run model manager l_max verify_each verbose emit_path profile_path trace_out robust
+      fuel =
     let model = or_die (resolve_model model) in
-    let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
     let lowered = Nn.Lowering.lower model in
     let managed, report =
-      try Resbm.Variants.compile ~verify_each manager prm lowered.Nn.Lowering.dfg with
+      try
+        if robust then
+          Resbm.Driver.compile_robust ?fuel_steps:fuel ~verify_each prm
+            lowered.Nn.Lowering.dfg
+        else
+          let manager = or_die (resolve_manager manager) in
+          Resbm.Variants.compile ~verify_each manager prm lowered.Nn.Lowering.dfg
+      with
       | Resbm.Driver.Verification_failed (pass, diags) ->
           Format.eprintf "error: verification failed after pass %s:@." pass;
           List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
           exit 2
     in
+    List.iter
+      (fun (tier, reason) ->
+        Format.printf "planner degraded: tier %s failed (%s)@." tier reason)
+      report.Resbm.Report.fallbacks;
     let diags = Analysis.Verify.run prm managed in
     List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
     if Analysis.Diag.has_errors diags then begin
@@ -289,11 +301,31 @@ let compile_cmd =
              (same dialect as `resbm trace`, so compile and run phases load into one \
              Perfetto timeline).")
   in
+  let robust =
+    Arg.(
+      value & flag
+      & info [ "robust" ]
+          ~doc:
+            "Compile through the graceful-degradation chain (resbm, then waterline, \
+             then eager) instead of a single manager; planner dead-ends and budget \
+             exhaustion downgrade to the next tier rather than failing.  Ignores \
+             $(b,--manager).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "With $(b,--robust): per-tier planning step budget (segment evaluations \
+             and min-cuts); exhausting it downgrades to the next tier.  The last tier \
+             always runs unbounded.")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
     Term.(
       const run $ model_arg $ manager_arg $ l_max_arg $ verify_each $ verbose $ emit_path
-      $ profile_arg $ trace_out)
+      $ profile_arg $ trace_out $ robust $ fuel)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -716,6 +748,173 @@ let bench_diff_cmd =
       const run $ base_path $ cand_path $ json_path $ fail_on $ noise_mult
       $ min_tolerance $ strict_wallclock $ all)
 
+(* --- chaos ------------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run models trials seed l_max dim rate budget max_attempts backoff floor json_path
+      min_recovery =
+    let models =
+      String.split_on_char ',' models
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if models = [] then or_die (Error (`Msg "no models given"));
+    List.iter (fun m -> ignore (or_die (resolve_model m))) models;
+    let seed =
+      match Int64.of_string_opt seed with
+      | Some s -> s
+      | None -> or_die (Error (`Msg (Printf.sprintf "bad seed %S" seed)))
+    in
+    let cfg =
+      {
+        Resilience.Chaos.seed;
+        trials;
+        models;
+        l_max;
+        dim;
+        rate;
+        budget;
+        max_attempts;
+        backoff_ms = backoff;
+        noise_floor_bits = floor;
+      }
+    in
+    let report = Resilience.Chaos.run cfg in
+    List.iter
+      (fun (m : Resilience.Chaos.model_summary) ->
+        Format.printf
+          "%-12s %d trials, %d faulted (%d faults): %d recovered (rate %.3f), %d \
+           retries, %d panic refreshes, tolerance %.2e@."
+          m.Resilience.Chaos.model m.Resilience.Chaos.trials_run
+          m.Resilience.Chaos.faulted_trials m.Resilience.Chaos.injected_faults
+          m.Resilience.Chaos.recovered_trials m.Resilience.Chaos.recovery_rate
+          m.Resilience.Chaos.total_retries m.Resilience.Chaos.total_panic_refreshes
+          m.Resilience.Chaos.tolerance;
+        List.iter
+          (fun (tier, reason) ->
+            Format.printf "  planner degraded: tier %s failed (%s)@." tier reason)
+          m.Resilience.Chaos.compile_fallbacks;
+        List.iter
+          (fun (kind, count) ->
+            let ms =
+              Option.value ~default:0.0
+                (List.assoc_opt kind m.Resilience.Chaos.recovery_ms_by_kind)
+            in
+            Format.printf "  %-14s %4d injected, %10.1f ms simulated recovery@." kind
+              count ms)
+          m.Resilience.Chaos.faults_by_kind)
+      report.Resilience.Chaos.models;
+    Format.printf "overall: %d/%d faulted trials recovered (rate %.3f)@."
+      report.Resilience.Chaos.total_recovered report.Resilience.Chaos.total_faulted
+      report.Resilience.Chaos.overall_recovery_rate;
+    (match json_path with
+    | Some path ->
+        write_json path (Resilience.Chaos.to_json report);
+        Format.printf "wrote campaign report to %s@." path
+    | None -> ());
+    let clean_broken =
+      List.filter
+        (fun (m : Resilience.Chaos.model_summary) ->
+          not m.Resilience.Chaos.clean_identical)
+        report.Resilience.Chaos.models
+    in
+    if clean_broken <> [] then begin
+      List.iter
+        (fun (m : Resilience.Chaos.model_summary) ->
+          Format.eprintf
+            "error: %s: an injection-free trial diverged from the reference (fault-off \
+             runs must be bit-identical)@."
+            m.Resilience.Chaos.model)
+        clean_broken;
+      exit 2
+    end;
+    match min_recovery with
+    | Some r when report.Resilience.Chaos.overall_recovery_rate < r ->
+        Format.eprintf "error: recovery rate %.3f below required %.3f@."
+          report.Resilience.Chaos.overall_recovery_rate r;
+        exit 2
+    | _ -> ()
+  in
+  let models =
+    Arg.(
+      value & opt string "tiny"
+      & info [ "models" ] ~docv:"M1,M2,.."
+          ~doc:"Comma-separated model names to subject to the campaign.")
+  in
+  let trials =
+    Arg.(value & opt int 25 & info [ "trials" ] ~docv:"N" ~doc:"Trials per model.")
+  in
+  let seed =
+    Arg.(
+      value & opt string "0xC4A05"
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign master seed (decimal or 0x hex).  Fault plans, the evaluator \
+             noise stream and the report are all deterministic in it.")
+  in
+  let dim =
+    Arg.(value & opt int 64 & info [ "dim" ] ~docv:"D" ~doc:"Slots per synthetic image.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.02
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Base per-op injection probability (scaled per fault kind).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 3
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Max injections per trial (negative for unlimited).")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Rollback-retries per checkpoint interval before escalating.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 5.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff charged to the simulated clock (doubles per attempt).")
+  in
+  let floor =
+    Arg.(
+      value & opt float 6.0
+      & info [ "floor" ] ~docv:"BITS"
+          ~doc:
+            "Noise-headroom floor: a ciphertext observed below it at a region boundary \
+             — though statically predicted safe — triggers retry, then panic \
+             re-bootstrap.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign report as JSON to $(docv) (byte-identical across runs \
+             with the same seed and config).")
+  in
+  let min_recovery =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-recovery" ] ~docv:"RATE"
+          ~doc:"Exit with code 2 when the overall recovery rate falls below $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injection campaign: N trials per model under randomized \
+          fault plans, each executed by the recovery-aware interpreter and compared \
+          against a fault-free reference run.  Injection-free trials must match the \
+          reference bit-for-bit (exit 2 otherwise).")
+    Term.(
+      const run $ models $ trials $ seed $ l_max_arg $ dim $ rate $ budget $ max_attempts
+      $ backoff $ floor $ json_path $ min_recovery)
+
 (* --- metrics ---------------------------------------------------------------------- *)
 
 let metrics_cmd =
@@ -800,5 +999,6 @@ let () =
             export_cmd;
             lint_cmd;
             bench_diff_cmd;
+            chaos_cmd;
             metrics_cmd;
           ]))

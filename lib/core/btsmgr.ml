@@ -70,14 +70,15 @@ let cross_edges_by_consumer regioned =
     (Fhe_ir.Dfg.live_nodes g);
   by_rb
 
-let plan ?(config = resbm_config) regioned prm =
+let plan ?(config = resbm_config) ?(fuel = Fuel.unlimited) ?(segment_scan = `Full)
+    regioned prm =
   let count = regioned.Region.count in
   let last = count - 1 in
   let cache = Region_eval.create_cache () in
   let l_max = prm.Ckks.Params.l_max in
   let cross_by_rb = cross_edges_by_consumer regioned in
   let eval ~region ~entry_level ~rescales ~bts =
-    Region_eval.eval cache regioned prm ~smo_mode:config.smo_mode
+    Region_eval.eval ~fuel cache regioned prm ~smo_mode:config.smo_mode
       ~bts_mode:config.bts_mode ~region ~entry_level ~rescales ~bts
   in
   (* DP table dimensions: one row per region boundary, l_max + 1 candidate
@@ -116,6 +117,7 @@ let plan ?(config = resbm_config) regioned prm =
     boundary_level.(0) <- prm.Ckks.Params.input_level;
     (* Evaluate a candidate segment; raises Not_found when infeasible. *)
     let try_segment ~src ~dst ~no_bts =
+      Fuel.spend fuel;
       Obs.incr "btsmgr.segment_evals";
       let sp =
         Scalemgr.plan regioned prm ~src ~dst ~src_entry_scale:boundary_scale.(src)
@@ -229,7 +231,11 @@ let plan ?(config = resbm_config) regioned prm =
         done;
         let continue_scan = ref true in
         let dst = ref (src + 1) in
-        while !continue_scan && !dst <= last do
+        (* `Adjacent: every boundary is a segment boundary (one region per
+           segment, a bootstrap at each source) — the O(regions) eager
+           scan used by the last fallback tier. *)
+        let scan_last = match segment_scan with `Full -> last | `Adjacent -> src + 1 in
+        while !continue_scan && !dst <= scan_last do
           let candidates =
             (if src = 0 then
                match try_segment ~src ~dst:!dst ~no_bts:true with

@@ -51,6 +51,22 @@ type plan = {
 
 exception No_plan of string
 
-val plan : ?config:config -> Region.t -> Ckks.Params.t -> plan
-(** @raise No_plan when no feasible bootstrapping plan exists (e.g. a
-    single region consumes more than [l_max] levels). *)
+val plan :
+  ?config:config ->
+  ?fuel:Fuel.t ->
+  ?segment_scan:[ `Full | `Adjacent ] ->
+  Region.t ->
+  Ckks.Params.t ->
+  plan
+(** [fuel] (default unlimited) is spent one unit per DP segment evaluation
+    and one per min-cut inside {!Region_eval} — the budget that lets
+    {!Driver.compile_robust} bound a tier's planning work.
+
+    [segment_scan] (default [`Full]) controls the DP's destination scan:
+    [`Adjacent] restricts every segment to one region ([dst = src + 1]),
+    the linear-time eager strategy of the last fallback tier — no search,
+    a bootstrap at every boundary.
+
+    @raise No_plan when no feasible bootstrapping plan exists (e.g. a
+    single region consumes more than [l_max] levels).
+    @raise Fuel.Exhausted when the step budget runs out. *)

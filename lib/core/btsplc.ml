@@ -6,7 +6,8 @@ let op_cost g ~level id =
   | None -> 0.0
   | Some op -> float_of_int node.Dfg.freq *. Ckks.Cost_model.cost op ~level
 
-let run regioned prm ~region ~lbts ~subgraph =
+let run ?(fuel = Fuel.unlimited) regioned prm ~region ~lbts ~subgraph =
+  Fuel.spend fuel;
   ignore region;
   if lbts < 1 then invalid_arg "Btsplc.run: bootstrap target below 1";
   if subgraph = [] then invalid_arg "Btsplc.run: empty subgraph";

@@ -13,11 +13,14 @@
     producers) is the zero-increase baseline. *)
 
 val run :
+  ?fuel:Fuel.t ->
   Region.t ->
   Ckks.Params.t ->
   region:int ->
   lbts:int ->
   subgraph:int list ->
   Cut.t
-(** [subgraph] lists the level-0 member ids (topological order).
-    @raise Invalid_argument on an empty subgraph or [lbts < 1]. *)
+(** [subgraph] lists the level-0 member ids (topological order).  Each
+    call spends one unit of [fuel] (default {!Fuel.unlimited}).
+    @raise Invalid_argument on an empty subgraph or [lbts < 1].
+    @raise Fuel.Exhausted when the step budget runs out. *)

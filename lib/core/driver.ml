@@ -10,7 +10,8 @@ let () =
     | _ -> None)
 
 let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
-    ?(verify_each = false) ?profile prm g =
+    ?(verify_each = false) ?profile ?(fuel = Fuel.unlimited) ?(segment_scan = `Full)
+    ?(fallbacks = []) prm g =
   let profile = match profile with Some p -> p | None -> Obs.Profile.create () in
   Obs.with_profile profile @@ fun () ->
   let t0 = Unix.gettimeofday () in
@@ -34,7 +35,9 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
         count = regioned.Region.count;
       }
     g;
-  let plan = Obs.span "plan" (fun () -> Btsmgr.plan ~config regioned prm) in
+  let plan =
+    Obs.span "plan" (fun () -> Btsmgr.plan ~config ~fuel ~segment_scan regioned prm)
+  in
   let outcome = Obs.span "apply" (fun () -> Plan.apply regioned prm plan) in
   let managed = outcome.Plan.dfg in
   verify "plan_apply" managed;
@@ -121,6 +124,87 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
       profile;
       region_count = regioned.Region.count;
       region_of;
+      fallbacks;
     }
   in
   (managed, report)
+
+(* --- Graceful degradation ------------------------------------------------- *)
+
+type tier = {
+  tier_name : string;
+  tier_config : Btsmgr.config;
+  tier_scan : [ `Full | `Adjacent ];
+}
+
+let waterline_config =
+  {
+    Btsmgr.min_level_bts = false;
+    smo_mode = Region_eval.Smo_eva;
+    bts_mode = Region_eval.Bts_region_end;
+    price_transits = false;
+  }
+
+(* resbm → waterline → eager: from the paper's full min-cut DP down to
+   EVA-style waterline rescaling with region-end bootstraps (no min-cut,
+   still a full segment scan), down to the linear eager strategy (one
+   region per segment, a full-elevation bootstrap at every boundary) —
+   each tier strictly cheaper and more conservative than the previous. *)
+let default_chain =
+  [
+    { tier_name = "resbm"; tier_config = Btsmgr.resbm_config; tier_scan = `Full };
+    { tier_name = "waterline"; tier_config = waterline_config; tier_scan = `Full };
+    { tier_name = "eager"; tier_config = waterline_config; tier_scan = `Adjacent };
+  ]
+
+(* Exceptions that mean "this tier failed" rather than "the input is
+   broken": planning dead-ends, budget exhaustion, plan application bugs
+   and per-stage verification failures all degrade; anything else (e.g.
+   Invalid_argument from a malformed graph) escapes untouched. *)
+let degrade_reason = function
+  | Btsmgr.No_plan msg -> Some ("no plan: " ^ msg)
+  | Plan.Apply_error msg -> Some ("apply error: " ^ msg)
+  | Fuel.Exhausted stage -> Some ("fuel exhausted in " ^ stage)
+  | Region_eval.Infeasible msg -> Some ("infeasible region: " ^ msg)
+  | Verification_failed (pass, _) -> Some ("verification failed after " ^ pass)
+  | _ -> None
+
+let compile_robust ?(chain = default_chain) ?fuel_steps ?(ms_opt = false)
+    ?(verify_each = false) ?profile prm g =
+  if chain = [] then invalid_arg "Driver.compile_robust: empty chain";
+  let rec go fallbacks = function
+    | [] -> assert false
+    | [ tier ] ->
+        (* Terminal tier: unlimited fuel — it must either plan or raise
+           the real failure for the caller. *)
+        compile ~config:tier.tier_config ~name:tier.tier_name ~ms_opt ~verify_each
+          ?profile ~segment_scan:tier.tier_scan ~fallbacks:(List.rev fallbacks) prm g
+    | tier :: rest -> (
+        let fuel =
+          match fuel_steps with
+          | None -> Fuel.unlimited
+          | Some n -> Fuel.create ~stage:tier.tier_name n
+        in
+        match
+          compile ~config:tier.tier_config ~name:tier.tier_name ~ms_opt ~verify_each
+            ?profile ~fuel ~segment_scan:tier.tier_scan
+            ~fallbacks:(List.rev fallbacks) prm g
+        with
+        | result -> result
+        | exception e -> (
+            match degrade_reason e with
+            | None -> raise e
+            | Some reason ->
+                Obs.metric_incr
+                  ~labels:[ ("tier", tier.tier_name) ]
+                  "planner_fallbacks_total";
+                Obs.trace_instant ~name:"planner_fallback"
+                  ~detail:
+                    [
+                      ("tier", Obs.Json.String tier.tier_name);
+                      ("reason", Obs.Json.String reason);
+                    ]
+                  ();
+                go ((tier.tier_name, reason) :: fallbacks) rest))
+  in
+  go [] chain

@@ -20,6 +20,9 @@ val compile :
   ?ms_opt:bool ->
   ?verify_each:bool ->
   ?profile:Obs.Profile.t ->
+  ?fuel:Fuel.t ->
+  ?segment_scan:[ `Full | `Adjacent ] ->
+  ?fallbacks:(string * string) list ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
   Fhe_ir.Dfg.t * Report.t
@@ -37,10 +40,55 @@ val compile :
     wrong latency.  Each verification is timed as a [verify.<pass>] span
     (with per-rule [verify.<rule>] children) in the ambient profile.
 
+    [fuel] and [segment_scan] are forwarded to {!Btsmgr.plan};
+    [fallbacks] (default empty) is recorded verbatim in the report —
+    {!compile_robust} uses both; plain callers leave them alone.
+
     Every phase (region build, plan, apply, ms_opt, latency, stats) is
     timed as a span, and the min-cut / planner counters are collected, in
     the ambient {!Obs} profile: a caller-supplied [?profile], or a fresh
     one otherwise.  Either way it is returned in {!Report.t.profile}.
     @raise Btsmgr.No_plan when no feasible plan exists for [l_max].
     @raise Plan.Apply_error when plan materialisation fails.
+    @raise Fuel.Exhausted when a caller-supplied step budget runs out.
     @raise Verification_failed under [~verify_each:true], see above. *)
+
+(** One rung of a {!compile_robust} fallback chain. *)
+type tier = {
+  tier_name : string;  (** Lands in {!Report.t.manager} / [fallbacks]. *)
+  tier_config : Btsmgr.config;
+  tier_scan : [ `Full | `Adjacent ];
+}
+
+val waterline_config : Btsmgr.config
+(** EVA-style degraded planning: waterline rescaling, region-end
+    bootstraps at [l_max], no min-cuts, no transit pricing. *)
+
+val default_chain : tier list
+(** [resbm → waterline → eager]: the paper's full min-cut DP, then
+    waterline planning over a full segment scan, then the linear eager
+    strategy (one region per segment, [`Adjacent]). *)
+
+val compile_robust :
+  ?chain:tier list ->
+  ?fuel_steps:int ->
+  ?ms_opt:bool ->
+  ?verify_each:bool ->
+  ?profile:Obs.Profile.t ->
+  Ckks.Params.t ->
+  Fhe_ir.Dfg.t ->
+  Fhe_ir.Dfg.t * Report.t
+(** Graceful planner degradation: try each tier of [chain] (default
+    {!default_chain}) in order; a tier failing with {!Btsmgr.No_plan},
+    {!Plan.Apply_error}, {!Fuel.Exhausted}, {!Region_eval.Infeasible} or
+    {!Verification_failed} falls through to the next instead of raising.
+    [fuel_steps] bounds every non-terminal tier's planning steps
+    (segment evaluations + min-cuts); the terminal tier always runs with
+    unlimited fuel.  Each downgrade is recorded in
+    {!Report.t.fallbacks} (tier name, reason), counted in the
+    [planner_fallbacks_total{tier}] metric and marked as a
+    ["planner_fallback"] trace instant.  Exceptions that indicate a
+    broken input rather than a planner dead-end (e.g.
+    [Invalid_argument]) are not caught; the terminal tier's failure, if
+    any, escapes as-is.
+    @raise Invalid_argument on an empty [chain]. *)

@@ -1,0 +1,23 @@
+type t = { stage : string; mutable remaining : int }
+
+exception Exhausted of string
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted stage -> Some (Printf.sprintf "Fuel.Exhausted(%s)" stage)
+    | _ -> None)
+
+let create ?(stage = "plan") remaining = { stage; remaining }
+let unlimited = { stage = "unlimited"; remaining = -1 }
+let remaining t = t.remaining
+let stage t = t.stage
+
+let spend ?(cost = 1) t =
+  if t.remaining >= 0 then begin
+    if t.remaining < cost then begin
+      Obs.metric_incr ~labels:[ ("stage", t.stage) ] "planner_fuel_exhausted_total";
+      raise (Exhausted t.stage)
+    end;
+    t.remaining <- t.remaining - cost;
+    Obs.metric_incr ~by:cost ~labels:[ ("stage", t.stage) ] "planner_fuel_spent_total"
+  end

@@ -1,0 +1,35 @@
+(** Step budgets for planner stages.
+
+    A fuel counter bounds how much work a planning stage may do before it
+    gives up: the bootstrapping manager spends one unit per DP segment
+    evaluation, the placement solvers one per min-cut.  When the budget
+    runs out the stage raises {!Exhausted}, which {!Driver.compile_robust}
+    catches to fall back to a cheaper manager tier instead of letting the
+    compile run unbounded — the graceful-degradation analogue of a
+    deadline.
+
+    A budget is deliberately a {e step} count, not wall-clock: step counts
+    are deterministic, so whether a compile degrades — and to which tier —
+    is reproducible across machines and runs. *)
+
+type t
+
+exception Exhausted of string
+(** Argument is the stage label of the counter that ran dry. *)
+
+val create : ?stage:string -> int -> t
+(** [create ~stage n] allows [n] spends; a negative [n] never exhausts.
+    [stage] (default ["plan"]) names the budget in {!Exhausted} and in the
+    [planner_fuel_spent_total] metric. *)
+
+val unlimited : t
+(** A shared counter that never exhausts (and never counts). *)
+
+val spend : ?cost:int -> t -> unit
+(** Consume [cost] (default 1) units.
+    @raise Exhausted when the remaining budget is smaller than [cost]. *)
+
+val remaining : t -> int
+(** Units left; negative = unlimited. *)
+
+val stage : t -> string

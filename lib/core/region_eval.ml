@@ -148,7 +148,7 @@ let region_end_bts_cut regioned ~region ~subgraph =
   ignore region;
   { Cut.edges; value = 0.0; sink_side = [] }
 
-let compute regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts =
+let compute ?fuel regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts =
   let g = regioned.Region.dfg in
   let members = Region.ct_members regioned region in
   if members = [] && rescales = 0 && bts = None then
@@ -163,7 +163,7 @@ let compute regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts
       if rescales = 0 then None
       else
         match smo_mode with
-        | Smo_min_cut -> Some (Smoplc.run regioned prm ~region ~level:entry_level)
+        | Smo_min_cut -> Some (Smoplc.run ?fuel regioned prm ~region ~level:entry_level)
         | Smo_eva -> Some (eva_cut regioned ~region)
         | Smo_pars -> Some (pars_cut regioned ~region)
     in
@@ -208,7 +208,7 @@ let compute regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts
           else
             match bts_mode with
             | Bts_min_cut ->
-                Some (Btsplc.run regioned prm ~region ~lbts ~subgraph:bts_subgraph)
+                Some (Btsplc.run ?fuel regioned prm ~region ~lbts ~subgraph:bts_subgraph)
             | Bts_region_end ->
                 Some (region_end_bts_cut regioned ~region ~subgraph:bts_subgraph))
     in
@@ -292,11 +292,17 @@ let compute regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts
     }
   end
 
-let eval cache regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts =
+let eval ?fuel cache regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts =
   let key = { region; entry_level; rescales; bts; smo_mode; bts_mode } in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-      let r = compute regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts in
+      (* Fuel is deliberately absent from the cache key: a hit costs no
+         steps, and cache population order is deterministic, so degraded
+         compiles stay reproducible. *)
+      let r =
+        compute ?fuel regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales
+          ~bts
+      in
       Hashtbl.add cache key r;
       r

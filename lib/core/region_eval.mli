@@ -37,6 +37,7 @@ val create_cache : unit -> cache
 exception Infeasible of string
 
 val eval :
+  ?fuel:Fuel.t ->
   cache ->
   Region.t ->
   Ckks.Params.t ->
@@ -47,5 +48,9 @@ val eval :
   rescales:int ->
   bts:int option ->
   result
-(** @raise Infeasible when the region cannot run at the requested level
-    (e.g. rescaling at level 0). *)
+(** [fuel] (default unlimited) is spent by the min-cut solvers on a cache
+    miss; hits are free, and fuel is not part of the memo key, so degraded
+    compiles remain deterministic.
+    @raise Infeasible when the region cannot run at the requested level
+    (e.g. rescaling at level 0).
+    @raise Fuel.Exhausted when the step budget runs out. *)

@@ -22,6 +22,12 @@ type t = {
           inherit the region of the value they were inserted after; [-1]
           when unattributable.  This is what gives runtime traces
           ({!Fhe_ir.Interp.run}) their per-region tracks. *)
+  fallbacks : (string * string) list;
+      (** Planner tiers that failed before the one that produced this
+          report, in attempt order, with the downgrade reason (e.g.
+          [("resbm", "fuel exhausted in plan")]).  Empty for a first-try
+          compile; non-empty means {!Driver.compile_robust} degraded and
+          [manager] names the surviving tier. *)
 }
 
 val pp : Format.formatter -> t -> unit

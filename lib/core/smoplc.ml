@@ -11,7 +11,8 @@ let region_latency_terms regioned prm ~region ~level =
   let g = regioned.Region.dfg in
   List.map (fun id -> (id, cost_of g prm ~level id)) (Region.ct_members regioned region)
 
-let run regioned prm ~region ~level =
+let run ?(fuel = Fuel.unlimited) regioned prm ~region ~level =
+  Fuel.spend fuel;
   if level < 1 then invalid_arg "Smoplc.run: rescaling needs level >= 1";
   let g = regioned.Region.dfg in
   let nodes = Region.ct_members regioned region in

@@ -15,8 +15,10 @@
 
     Edges from [Mul_cc] to its mandatory [Relin] are uncuttable. *)
 
-val run : Region.t -> Ckks.Params.t -> region:int -> level:int -> Cut.t
-(** @raise Invalid_argument on an empty region or [level < 1]. *)
+val run : ?fuel:Fuel.t -> Region.t -> Ckks.Params.t -> region:int -> level:int -> Cut.t
+(** Each call spends one unit of [fuel] (default {!Fuel.unlimited}).
+    @raise Invalid_argument on an empty region or [level < 1].
+    @raise Fuel.Exhausted when the step budget runs out. *)
 
 val region_latency_terms :
   Region.t -> Ckks.Params.t -> region:int -> level:int -> (int * float) list

@@ -66,109 +66,264 @@ let summarise_noise g values ~top_k =
     noisiest;
   }
 
-let run ?trace ?(region_of = fun _ -> -1) ev g env =
-  let prm = Ckks.Evaluator.params ev in
-  let info =
-    match Scale_check.run prm g with
-    | Ok info -> info
-    | Error vs ->
-        let failing = match vs with v :: _ -> [ v ] | [] -> [] in
-        let msg =
-          Format.asprintf "Interp.run: graph not legal:@ %a"
-            (Format.pp_print_list Scale_check.pp_violation)
-            failing
-        in
-        (* A statically illegal graph is the compile-time face of Figure 1a:
-           leave the same final flight-recorder marker a runtime failure
-           would, naming the faulting node. *)
-        (match trace with
-        | Some tr ->
-            Obs.Trace.instant tr ~name:"fhe_error"
-              ~node:(match failing with v :: _ -> v.Scale_check.node | [] -> -1)
-              ~detail:[ ("message", Obs.Json.String msg) ]
-              ()
-        | None -> ());
-        raise (Ckks.Evaluator.Fhe_error msg)
-  in
-  let values = Hashtbl.create (Dfg.node_count g) in
-  let ct id =
-    match Hashtbl.find_opt values id with
+module Session = struct
+  type session = {
+    ev : Ckks.Evaluator.t;
+    g : Dfg.t;
+    info : Scale_check.info array;
+    trace : Obs.Trace.t option;
+    region_of : int -> int;
+    values : (int, value) Hashtbl.t;
+    order : int array;
+    order_index : int array;  (* node id -> position in [order]; -1 if dead *)
+    is_output : bool array;
+    mutable latency : float;
+    mutable ops : int;
+    mutable costs : node_cost list;  (* reversed *)
+  }
+
+  type t = session
+
+  type snapshot = {
+    snap_at : int;
+    saved : (int * value) list;
+    snap_bytes : float;
+    s_latency : float;
+    s_ops : int;
+    s_costs : node_cost list;
+  }
+
+  let create ?trace ?(region_of = fun _ -> -1) ev g =
+    let prm = Ckks.Evaluator.params ev in
+    let info =
+      match Scale_check.run prm g with
+      | Ok info -> info
+      | Error vs ->
+          let failing = match vs with v :: _ -> [ v ] | [] -> [] in
+          let msg =
+            Format.asprintf "Interp.run: graph not legal:@ %a"
+              (Format.pp_print_list Scale_check.pp_violation)
+              failing
+          in
+          (* A statically illegal graph is the compile-time face of
+             Figure 1a: leave the same final flight-recorder marker a
+             runtime failure would, naming the faulting node — and count
+             it in [fhe_errors_total] like every other raise (the
+             [raise_error] funnel does both). *)
+          let node = match failing with v :: _ -> v.Scale_check.node | [] -> -1 in
+          let err =
+            Ckks.Evaluator.error ~node Ckks.Evaluator.Illegal_graph ~op:"interp" msg
+          in
+          let do_raise () = Ckks.Evaluator.raise_error err in
+          (match trace with
+          | Some tr -> Obs.with_trace tr do_raise
+          | None -> do_raise ())
+    in
+    let order = Array.of_list (Dfg.topo_order g) in
+    let order_index = Array.make (Dfg.node_count g) (-1) in
+    Array.iteri (fun i id -> order_index.(id) <- i) order;
+    let is_output = Array.make (Dfg.node_count g) false in
+    List.iter (fun id -> is_output.(id) <- true) (Dfg.outputs g);
+    {
+      ev;
+      g;
+      info;
+      trace;
+      region_of;
+      values = Hashtbl.create (Dfg.node_count g);
+      order;
+      order_index;
+      is_output;
+      latency = 0.0;
+      ops = 0;
+      costs = [];
+    }
+
+  let order s = s.order
+  let static_info s = s.info
+  let graph s = s.g
+  let evaluator s = s.ev
+  let region_of s id = s.region_of id
+  let latency_ms s = s.latency
+
+  let ct_opt s id =
+    match Hashtbl.find_opt s.values id with Some (Ct c) -> Some c | _ -> None
+
+  let set_ct s id c = Hashtbl.replace s.values id (Ct c)
+
+  let ct s id =
+    match Hashtbl.find_opt s.values id with
     | Some (Ct c) -> c
     | _ -> invalid_arg "Interp: expected ciphertext value"
-  in
-  let pt id =
-    match Hashtbl.find_opt values id with
+
+  let pt s id =
+    match Hashtbl.find_opt s.values id with
     | Some (Pt p) -> p
     | _ -> invalid_arg "Interp: expected plaintext value"
-  in
-  let latency = ref 0.0 and ops = ref 0 and costs = ref [] in
-  let exec () =
-    List.iter
-      (fun id ->
-        let node = Dfg.node g id in
-        (* Attribution for the events the evaluator is about to record:
-           node identity, region, loop frequency and the freq-weighted
-           Table 2 cost of this node. *)
-        let cost =
-          match node.Dfg.kind with
-          | Op.Input _ | Op.Const _ -> 0.0
-          | _ -> Latency.node_cost prm g info id
-        in
-        (match trace with
-        | Some tr ->
-            Obs.Trace.set_ctx tr
-              (Some
-                 {
-                   Obs.Trace.node = id;
-                   region = region_of id;
-                   freq = node.Dfg.freq;
-                   cost_ms = cost;
-                 })
-        | None -> ());
-        let v =
-          match node.Dfg.kind with
-          | Op.Input { name; level; scale_bits } ->
-              let data =
-                match List.assoc_opt name env.inputs with
-                | Some d -> d
-                | None -> raise (Missing_input name)
-              in
-              Ct (Ckks.Evaluator.encrypt ev ?level ?scale_bits data)
-          | Op.Const { name } ->
-              let scale_bits = info.(id).Scale_check.scale_bits in
-              Pt (Ckks.Evaluator.encode ev ~scale_bits (env.consts name))
-          | Op.Add_cc -> Ct (Ckks.Evaluator.add_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
-          | Op.Add_cp -> Ct (Ckks.Evaluator.add_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
-          | Op.Mul_cc -> Ct (Ckks.Evaluator.mul_cc ev (ct node.Dfg.args.(0)) (ct node.Dfg.args.(1)))
-          | Op.Mul_cp -> Ct (Ckks.Evaluator.mul_cp ev (ct node.Dfg.args.(0)) (pt node.Dfg.args.(1)))
-          | Op.Rotate k -> Ct (Ckks.Evaluator.rotate ev (ct node.Dfg.args.(0)) k)
-          | Op.Relin -> Ct (Ckks.Evaluator.relin ev (ct node.Dfg.args.(0)))
-          | Op.Rescale -> Ct (Ckks.Evaluator.rescale ev (ct node.Dfg.args.(0)))
-          | Op.Modswitch -> Ct (Ckks.Evaluator.modswitch ev (ct node.Dfg.args.(0)))
-          | Op.Bootstrap target_level ->
-              Ct (Ckks.Evaluator.bootstrap ev (ct node.Dfg.args.(0)) ~target_level)
-        in
-        (match node.Dfg.kind with
-        | Op.Input _ | Op.Const _ -> ()
-        | kind ->
-            latency := !latency +. cost;
-            ops := !ops + node.Dfg.freq;
-            costs :=
-              { node = id; op = Op.name kind; region = region_of id; cost_ms = cost }
-              :: !costs);
-        Hashtbl.replace values id v)
-      (Dfg.topo_order g)
-  in
-  (match trace with
-  | Some tr ->
-      Fun.protect
-        (fun () -> Obs.with_trace tr exec)
-        ~finally:(fun () -> Obs.Trace.set_ctx tr None)
-  | None -> exec ());
-  {
-    outputs = List.map ct (Dfg.outputs g);
-    latency_ms = !latency;
-    op_count = !ops;
-    node_costs = List.rev !costs;
-    noise = summarise_noise g values ~top_k:5;
-  }
+
+  let exec_raw s env id =
+    let node = Dfg.node s.g id in
+    (* Attribution for the events the evaluator is about to record: node
+       identity, region, loop frequency and the freq-weighted Table 2
+       cost of this node.  The execution site is published even when no
+       trace is installed, so structured errors and fault injections are
+       node-attributed on untraced runs too. *)
+    Ckks.Fault.set_site id;
+    let cost =
+      match node.Dfg.kind with
+      | Op.Input _ | Op.Const _ -> 0.0
+      | _ -> Latency.node_cost (Ckks.Evaluator.params s.ev) s.g s.info id
+    in
+    (match s.trace with
+    | Some tr ->
+        Obs.Trace.set_ctx tr
+          (Some
+             {
+               Obs.Trace.node = id;
+               region = s.region_of id;
+               freq = node.Dfg.freq;
+               cost_ms = cost;
+             })
+    | None -> ());
+    let v =
+      match node.Dfg.kind with
+      | Op.Input { name; level; scale_bits } ->
+          let data =
+            match List.assoc_opt name env.inputs with
+            | Some d -> d
+            | None -> raise (Missing_input name)
+          in
+          Ct (Ckks.Evaluator.encrypt s.ev ?level ?scale_bits data)
+      | Op.Const { name } ->
+          let scale_bits = s.info.(id).Scale_check.scale_bits in
+          Pt (Ckks.Evaluator.encode s.ev ~scale_bits (env.consts name))
+      | Op.Add_cc -> Ct (Ckks.Evaluator.add_cc s.ev (ct s node.Dfg.args.(0)) (ct s node.Dfg.args.(1)))
+      | Op.Add_cp -> Ct (Ckks.Evaluator.add_cp s.ev (ct s node.Dfg.args.(0)) (pt s node.Dfg.args.(1)))
+      | Op.Mul_cc -> Ct (Ckks.Evaluator.mul_cc s.ev (ct s node.Dfg.args.(0)) (ct s node.Dfg.args.(1)))
+      | Op.Mul_cp -> Ct (Ckks.Evaluator.mul_cp s.ev (ct s node.Dfg.args.(0)) (pt s node.Dfg.args.(1)))
+      | Op.Rotate k -> Ct (Ckks.Evaluator.rotate s.ev (ct s node.Dfg.args.(0)) k)
+      | Op.Relin -> Ct (Ckks.Evaluator.relin s.ev (ct s node.Dfg.args.(0)))
+      | Op.Rescale -> Ct (Ckks.Evaluator.rescale s.ev (ct s node.Dfg.args.(0)))
+      | Op.Modswitch -> Ct (Ckks.Evaluator.modswitch s.ev (ct s node.Dfg.args.(0)))
+      | Op.Bootstrap target_level ->
+          Ct (Ckks.Evaluator.bootstrap s.ev (ct s node.Dfg.args.(0)) ~target_level)
+    in
+    (match node.Dfg.kind with
+    | Op.Input _ | Op.Const _ -> ()
+    | kind ->
+        s.latency <- s.latency +. cost;
+        s.ops <- s.ops + node.Dfg.freq;
+        s.costs <-
+          { node = id; op = Op.name kind; region = s.region_of id; cost_ms = cost }
+          :: s.costs);
+    Hashtbl.replace s.values id v
+
+  let exec s env id =
+    match s.trace with
+    | Some tr -> Obs.with_trace tr (fun () -> exec_raw s env id)
+    | None -> exec_raw s env id
+
+  let refresh s id =
+    let c = ct s id in
+    let go () =
+      Ckks.Fault.set_site id;
+      (match s.trace with
+      | Some tr ->
+          Obs.Trace.set_ctx tr
+            (Some
+               {
+                 Obs.Trace.node = id;
+                 region = s.region_of id;
+                 freq = 1;
+                 cost_ms = Ckks.Cost_model.cost Ckks.Cost_model.Bootstrap ~level:c.Ckks.Ciphertext.level;
+               })
+      | None -> ());
+      let c' = Ckks.Evaluator.refresh s.ev c in
+      s.latency <-
+        s.latency +. Ckks.Cost_model.cost Ckks.Cost_model.Bootstrap ~level:c.Ckks.Ciphertext.level;
+      s.ops <- s.ops + 1;
+      set_ct s id c';
+      c'
+    in
+    match s.trace with Some tr -> Obs.with_trace tr go | None -> go ()
+
+  let is_live s ~at id =
+    s.is_output.(id)
+    || List.exists (fun u -> s.order_index.(u) >= at) (Dfg.succs s.g id)
+
+  let live_cts s ~at =
+    List.sort compare
+      (Hashtbl.fold
+         (fun id v acc ->
+           match v with
+           | Ct c when is_live s ~at id -> (id, c) :: acc
+           | _ -> acc)
+         s.values [])
+
+  (* A checkpoint keeps only the values still needed at position [at]:
+     outputs, plus any value with a use at or after [at].  Everything
+     downstream of [at] is recomputed on rollback, so dead values need
+     not be retained — this is what makes the liveness-derived memory
+     budget meaningful. *)
+  let snapshot s ~at =
+    let prm = Ckks.Evaluator.params s.ev in
+    let saved =
+      Hashtbl.fold
+        (fun id v acc -> if is_live s ~at id then (id, v) :: acc else acc)
+        s.values []
+    in
+    let snap_bytes =
+      List.fold_left
+        (fun acc (_, v) ->
+          match v with
+          | Ct c -> acc +. Liveness.ciphertext_bytes prm ~level:c.Ckks.Ciphertext.level
+          | Pt _ -> acc)
+        0.0 saved
+    in
+    {
+      snap_at = at;
+      saved;
+      snap_bytes;
+      s_latency = s.latency;
+      s_ops = s.ops;
+      s_costs = s.costs;
+    }
+
+  let snapshot_at snap = snap.snap_at
+  let snapshot_bytes snap = snap.snap_bytes
+
+  let rollback s snap =
+    Hashtbl.reset s.values;
+    List.iter (fun (id, v) -> Hashtbl.replace s.values id v) snap.saved;
+    s.latency <- snap.s_latency;
+    s.ops <- snap.s_ops;
+    s.costs <- snap.s_costs;
+    snap.snap_at
+
+  let charge_ms s ms =
+    s.latency <- s.latency +. ms;
+    (match s.trace with
+    | Some tr -> Obs.Trace.advance_clock tr ms
+    | None -> ())
+
+  let clear_ctx s =
+    Ckks.Fault.set_site (-1);
+    match s.trace with Some tr -> Obs.Trace.set_ctx tr None | None -> ()
+
+  let finish s =
+    {
+      outputs = List.map (ct s) (Dfg.outputs s.g);
+      latency_ms = s.latency;
+      op_count = s.ops;
+      node_costs = List.rev s.costs;
+      noise = summarise_noise s.g s.values ~top_k:5;
+    }
+end
+
+let run ?trace ?region_of ev g env =
+  let s = Session.create ?trace ?region_of ev g in
+  Fun.protect
+    ~finally:(fun () -> Session.clear_ctx s)
+    (fun () ->
+      Array.iter (fun id -> Session.exec s env id) (Session.order s);
+      Session.finish s)

@@ -17,7 +17,14 @@
     the evaluator records is fully attributed and the trace's simulated
     clock ends at [result.latency_ms].  Without [?trace] no event is
     recorded and results are bit-identical (tracing never touches the
-    noise PRNG). *)
+    noise PRNG).
+
+    {!run} drives a whole graph in one call.  {!Session} exposes the same
+    execution one node at a time — create, step through {!Session.order},
+    finish — so a supervisor (the resilience layer's recovery interpreter)
+    can interleave checkpointing, validation, rollback and repair between
+    nodes.  [run] is implemented on [Session] and is bit-identical to the
+    single-loop interpreter it replaced. *)
 
 type env = {
   inputs : (string * float array) list;
@@ -56,6 +63,85 @@ type result = {
 }
 
 exception Missing_input of string
+
+(** Stepwise execution with checkpoint/rollback, for supervised runs. *)
+module Session : sig
+  type t
+
+  type snapshot
+  (** A checkpoint: the values still live at a given execution position
+      (everything downstream is recomputed on rollback) plus the latency
+      and op counters at that point. *)
+
+  val create :
+    ?trace:Obs.Trace.t -> ?region_of:(int -> int) -> Ckks.Evaluator.t -> Dfg.t -> t
+  (** Validates the graph with {!Scale_check} (raising the same structured
+      [Illegal_graph] {!Ckks.Evaluator.Fhe_error} as {!run}) and prepares
+      the execution order.  Nothing executes yet. *)
+
+  val order : t -> int array
+  (** Node ids in execution (topological) order; {!exec} them in sequence. *)
+
+  val static_info : t -> Scale_check.info array
+  (** The scale checker's per-node level/scale — the static contract a
+      supervisor validates the runtime state against. *)
+
+  val graph : t -> Dfg.t
+  val evaluator : t -> Ckks.Evaluator.t
+  val region_of : t -> int -> int
+  val latency_ms : t -> float
+  (** Simulated latency accumulated so far (including charged backoff). *)
+
+  val exec : t -> env -> int -> unit
+  (** Execute one node: publishes the {!Ckks.Fault.site}, installs trace
+      attribution, runs the evaluator op, accumulates latency/op counts.
+      @raise Ckks.Evaluator.Fhe_error as the evaluator does.
+      @raise Missing_input when [env] lacks a named input. *)
+
+  val ct_opt : t -> int -> Ckks.Ciphertext.t option
+  (** The ciphertext computed for a node, when there is one. *)
+
+  val live_cts : t -> at:int -> (int * Ckks.Ciphertext.t) list
+  (** Computed ciphertexts still needed at position [at] of {!order}
+      (outputs, or used at or after [at]), ascending node id — the state a
+      supervisor validates at a region boundary. *)
+
+  val set_ct : t -> int -> Ckks.Ciphertext.t -> unit
+  (** Replace a node's computed ciphertext (recovery writes repaired
+      values back this way). *)
+
+  val refresh : t -> int -> Ckks.Ciphertext.t
+  (** Panic re-bootstrap of node's ciphertext in place
+      ({!Ckks.Evaluator.refresh}): bootstrap-priced, level/scale
+      preserved, noise estimate reset.  Returns the refreshed ct. *)
+
+  val snapshot : t -> at:int -> snapshot
+  (** Checkpoint for resuming at position [at] of {!order} (the index of
+      the next node to execute).  Keeps outputs and every value with a
+      use at or after [at]; dead values are dropped, which is what makes
+      a liveness-derived checkpoint budget meaningful. *)
+
+  val snapshot_at : snapshot -> int
+  val snapshot_bytes : snapshot -> float
+  (** Estimated ciphertext bytes held by the checkpoint
+      ({!Liveness.ciphertext_bytes} per live ct). *)
+
+  val rollback : t -> snapshot -> int
+  (** Restore values and counters from the checkpoint; returns the
+      position to resume {!exec} from. *)
+
+  val charge_ms : t -> float -> unit
+  (** Add [ms] to the simulated latency (and the trace clock, when one is
+      installed) — retry backoff is charged this way. *)
+
+  val clear_ctx : t -> unit
+  (** Clear the published fault site and trace attribution; call when
+      abandoning or finishing a session ({!run} does this on all paths). *)
+
+  val finish : t -> result
+  (** Collect outputs and summaries.  The session must have executed every
+      node in {!order}. *)
+end
 
 val run :
   ?trace:Obs.Trace.t ->

@@ -409,6 +409,7 @@ module Trace = struct
   let recorded t = t.next
   let dropped t = max 0 (t.next - t.capacity)
   let clock_ms t = t.clock
+  let advance_clock t ms = t.clock <- t.clock +. ms
   let set_ctx t ctx = t.ctx <- ctx
 
   let push t e =

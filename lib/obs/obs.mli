@@ -165,6 +165,11 @@ module Trace : sig
   (** Current simulated time — equals the accumulated cost of all recorded
       ops. *)
 
+  val advance_clock : t -> float -> unit
+  (** Move the simulated clock forward by [ms] without recording an event
+      — recovery charges retry backoff this way so subsequent events land
+      at the right simulated time. *)
+
   val headroom_bits : float -> float
   (** [-log2 err] clamped to [[0, 200]]: bits of precision left before the
       absolute error reaches magnitude 1. *)

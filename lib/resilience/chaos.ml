@@ -1,0 +1,358 @@
+type config = {
+  seed : int64;
+  trials : int;
+  models : string list;
+  l_max : int;
+  dim : int;
+  rate : float;
+  budget : int;
+  max_attempts : int;
+  backoff_ms : float;
+  noise_floor_bits : float;
+}
+
+let default =
+  {
+    seed = 0xC4A05L;
+    trials = 25;
+    models = [ "tiny" ];
+    l_max = 9;
+    dim = 64;
+    rate = 0.02;
+    budget = 3;
+    max_attempts = Recovery.default.Recovery.max_attempts;
+    backoff_ms = Recovery.default.Recovery.backoff_ms;
+    noise_floor_bits = Recovery.default.Recovery.noise_floor_bits;
+  }
+
+type trial = {
+  trial_index : int;
+  injected : int;
+  kinds : (string * int) list;
+  completed : bool;
+  recovered : bool;
+  max_abs_delta : float;
+  error : string option;
+  retries : int;
+  panic_refreshes : int;
+  recovery_ms_by_kind : (string * float) list;
+}
+
+type model_summary = {
+  model : string;
+  compile_manager : string;
+  compile_fallbacks : (string * string) list;
+  tolerance : float;
+  trials_run : int;
+  faulted_trials : int;
+  injected_faults : int;
+  completed_trials : int;
+  recovered_trials : int;
+  clean_identical : bool;
+  recovery_rate : float;
+  faults_by_kind : (string * int) list;
+  recovery_ms_by_kind : (string * float) list;
+  total_retries : int;
+  total_panic_refreshes : int;
+  trials : trial list;
+}
+
+type report = {
+  config_seed : int64;
+  models : model_summary list;
+  total_faulted : int;
+  total_recovered : int;
+  overall_recovery_rate : float;
+}
+
+(* Deterministic per-model salt so each model gets an independent fault
+   stream regardless of its position in [config.models]. *)
+let name_salt name =
+  String.fold_left
+    (fun a c -> Int64.add (Int64.mul a 131L) (Int64.of_int (Char.code c)))
+    7L name
+
+(* One fault plan per trial, every parameter drawn from the campaign
+   stream: a retryable transient, a large noise spike (caught by the
+   noise-floor validator), a bookkeeping scale drift (caught as
+   structural divergence), and a large slot corruption (its quadrature
+   noise bump drops the observed headroom below the floor).  Small silent
+   slot corruptions are deliberately not generated — see ROADMAP. *)
+let trial_plan rng ~rate ~budget =
+  let u lo hi = Ckks.Prng.uniform rng ~lo ~hi in
+  let seed = Ckks.Prng.int64 rng in
+  let rules =
+    [
+      Ckks.Fault.rule Ckks.Fault.Transient ~prob:(rate *. u 0.5 1.5) ~mag:0.0;
+      Ckks.Fault.rule Ckks.Fault.Noise_spike ~prob:(rate *. u 0.25 1.0) ~mag:(u 18.0 28.0);
+      Ckks.Fault.rule Ckks.Fault.Scale_drift ~prob:(rate *. u 0.1 0.5) ~mag:3.0;
+      Ckks.Fault.rule Ckks.Fault.Slot_corrupt ~prob:(rate *. u 0.25 1.0)
+        ~mag:(u (-4.0) (-1.0));
+    ]
+  in
+  { Ckks.Fault.seed; rules; budget }
+
+let max_abs_delta reference outputs =
+  List.fold_left2
+    (fun acc (a : Ckks.Ciphertext.t) (b : Ckks.Ciphertext.t) ->
+      let d = ref acc in
+      Array.iteri
+        (fun i v -> d := Float.max !d (Float.abs (v -. b.Ckks.Ciphertext.slots.(i))))
+        a.Ckks.Ciphertext.slots;
+      !d)
+    0.0 reference outputs
+
+let run_model cfg name =
+  let model =
+    match Nn.Model.by_name name with
+    | Some m -> m
+    | None -> invalid_arg (Printf.sprintf "Chaos.run: unknown model %S" name)
+  in
+  let lowered = Nn.Lowering.lower model in
+  let prm =
+    Ckks.Params.with_l_max
+      { Ckks.Params.default with Ckks.Params.input_level = cfg.l_max }
+      cfg.l_max
+  in
+  let managed, report = Resbm.Driver.compile_robust prm lowered.Nn.Lowering.dfg in
+  let region_of =
+    let attr = report.Resbm.Report.region_of in
+    fun id -> if id >= 0 && id < Array.length attr then attr.(id) else -1
+  in
+  let image = (Nn.Dataset.images ~seed:cfg.seed ~dim:cfg.dim ~count:1 ()).(0) in
+  let env =
+    {
+      Fhe_ir.Interp.inputs = [ (lowered.Nn.Lowering.input_name, image) ];
+      consts = Nn.Lowering.resolver lowered ~dim:cfg.dim;
+    }
+  in
+  (* Same evaluator seed for the reference and for every trial: an
+     injection-free trial replays the exact reference noise stream, so its
+     outputs must be bit-identical. *)
+  let ev_seed = Int64.logxor cfg.seed 0x9E3779B97F4A7C15L in
+  let reference =
+    Fhe_ir.Interp.run (Ckks.Evaluator.create ~seed:ev_seed prm) managed env
+  in
+  let ref_outputs = reference.Fhe_ir.Interp.outputs in
+  let max_err =
+    List.fold_left
+      (fun a (c : Ckks.Ciphertext.t) -> Float.max a c.Ckks.Ciphertext.err)
+      0.0 ref_outputs
+  in
+  let tolerance = Float.max 1e-6 (32.0 *. max_err) in
+  let rcfg =
+    {
+      Recovery.max_attempts = cfg.max_attempts;
+      backoff_ms = cfg.backoff_ms;
+      checkpoint_budget_bytes = None;
+      noise_floor_bits = cfg.noise_floor_bits;
+      noise_slack_bits = Recovery.default.Recovery.noise_slack_bits;
+    }
+  in
+  (* Sharp static noise prediction — the lowering knows its constant
+     amplitudes exactly, which widens the boundary validator's spike
+     detection window well beyond the sound default. *)
+  let noise =
+    let const_magnitude name =
+      Array.fold_left
+        (fun acc v -> Float.max acc (Float.abs v))
+        0.0
+        (Nn.Lowering.resolver lowered ~dim:cfg.dim name)
+    in
+    Fhe_ir.Noise_check.analyse ~const_magnitude prm managed
+  in
+  let rng = Ckks.Prng.create (Int64.logxor cfg.seed (name_salt name)) in
+  let trials =
+    List.init cfg.trials (fun t ->
+        let plan = trial_plan rng ~rate:cfg.rate ~budget:cfg.budget in
+        let injector = Ckks.Fault.create plan in
+        let ev = Ckks.Evaluator.create ~seed:ev_seed prm in
+        let outcome =
+          match
+            Ckks.Fault.with_faults injector (fun () ->
+                Recovery.run ~config:rcfg ~region_of ~noise ev managed env)
+          with
+          | result, stats -> Ok (result, stats)
+          | exception Ckks.Evaluator.Fhe_error e -> Error e
+        in
+        let injected = Ckks.Fault.injected injector in
+        let kinds =
+          let tbl = Hashtbl.create 4 in
+          List.iter
+            (fun (i : Ckks.Fault.injection) ->
+              let k = Ckks.Fault.kind_name i.Ckks.Fault.inj_kind in
+              Hashtbl.replace tbl k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+            (Ckks.Fault.injections injector);
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+        in
+        match outcome with
+        | Ok (result, stats) ->
+            let delta = max_abs_delta ref_outputs result.Fhe_ir.Interp.outputs in
+            {
+              trial_index = t;
+              injected;
+              kinds;
+              completed = true;
+              recovered = delta <= tolerance;
+              max_abs_delta = delta;
+              error = None;
+              retries = stats.Recovery.retries;
+              panic_refreshes = stats.Recovery.panic_refreshes;
+              recovery_ms_by_kind = stats.Recovery.recovery_ms_by_kind;
+            }
+        | Error e ->
+            {
+              trial_index = t;
+              injected;
+              kinds;
+              completed = false;
+              recovered = false;
+              max_abs_delta = Float.nan;
+              error = Some (Ckks.Evaluator.cause_name e.Ckks.Evaluator.cause);
+              retries = 0;
+              panic_refreshes = 0;
+              recovery_ms_by_kind = [];
+            })
+  in
+  let faulted = List.filter (fun t -> t.injected > 0) trials in
+  let clean = List.filter (fun t -> t.injected = 0) trials in
+  let recovered = List.filter (fun t -> t.recovered) faulted in
+  let merge_counts get =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          (get t))
+      trials;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  let merge_ms get =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k
+              (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+          (get t))
+      trials;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    model = name;
+    compile_manager = report.Resbm.Report.manager;
+    compile_fallbacks = report.Resbm.Report.fallbacks;
+    tolerance;
+    trials_run = List.length trials;
+    faulted_trials = List.length faulted;
+    injected_faults = List.fold_left (fun a t -> a + t.injected) 0 trials;
+    completed_trials = List.length (List.filter (fun t -> t.completed) trials);
+    recovered_trials = List.length recovered;
+    clean_identical =
+      List.for_all (fun t -> t.completed && t.max_abs_delta = 0.0) clean;
+    recovery_rate =
+      (if faulted = [] then 1.0
+       else float_of_int (List.length recovered) /. float_of_int (List.length faulted));
+    faults_by_kind = merge_counts (fun t -> t.kinds);
+    recovery_ms_by_kind = merge_ms (fun t -> t.recovery_ms_by_kind);
+    total_retries = List.fold_left (fun a t -> a + t.retries) 0 trials;
+    total_panic_refreshes = List.fold_left (fun a t -> a + t.panic_refreshes) 0 trials;
+    trials;
+  }
+
+let run ?metrics cfg =
+  let models = List.map (run_model cfg) cfg.models in
+  let total_faulted = List.fold_left (fun a m -> a + m.faulted_trials) 0 models in
+  let total_recovered = List.fold_left (fun a m -> a + m.recovered_trials) 0 models in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun ms ->
+          let labels = [ ("model", ms.model) ] in
+          Obs.Metrics.incr m ~labels ~by:ms.trials_run "chaos_trials_total";
+          Obs.Metrics.incr m ~labels ~by:ms.recovered_trials "chaos_recovered_total";
+          Obs.Metrics.incr m ~labels ~by:ms.total_retries "chaos_retries_total";
+          List.iter
+            (fun (k, v) ->
+              Obs.Metrics.incr m
+                ~labels:(labels @ [ ("kind", k) ])
+                ~by:v "chaos_faults_total")
+            ms.faults_by_kind)
+        models);
+  {
+    config_seed = cfg.seed;
+    models;
+    total_faulted;
+    total_recovered;
+    overall_recovery_rate =
+      (if total_faulted = 0 then 1.0
+       else float_of_int total_recovered /. float_of_int total_faulted);
+  }
+
+let json_kv_counts kvs =
+  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
+
+let json_kv_floats kvs =
+  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Float v)) kvs)
+
+let trial_to_json t =
+  Obs.Json.Obj
+    [
+      ("trial", Obs.Json.Int t.trial_index);
+      ("injected", Obs.Json.Int t.injected);
+      ("kinds", json_kv_counts t.kinds);
+      ("completed", Obs.Json.Bool t.completed);
+      ("recovered", Obs.Json.Bool t.recovered);
+      ( "max_abs_delta",
+        if Float.is_nan t.max_abs_delta then Obs.Json.Null
+        else Obs.Json.Float t.max_abs_delta );
+      ( "error",
+        match t.error with None -> Obs.Json.Null | Some e -> Obs.Json.String e );
+      ("retries", Obs.Json.Int t.retries);
+      ("panic_refreshes", Obs.Json.Int t.panic_refreshes);
+      ("recovery_ms_by_kind", json_kv_floats t.recovery_ms_by_kind);
+    ]
+
+let model_to_json m =
+  Obs.Json.Obj
+    [
+      ("model", Obs.Json.String m.model);
+      ("compile_manager", Obs.Json.String m.compile_manager);
+      ( "compile_fallbacks",
+        Obs.Json.List
+          (List.map
+             (fun (tier, reason) ->
+               Obs.Json.Obj
+                 [
+                   ("tier", Obs.Json.String tier);
+                   ("reason", Obs.Json.String reason);
+                 ])
+             m.compile_fallbacks) );
+      ("tolerance", Obs.Json.Float m.tolerance);
+      ("trials_run", Obs.Json.Int m.trials_run);
+      ("faulted_trials", Obs.Json.Int m.faulted_trials);
+      ("injected_faults", Obs.Json.Int m.injected_faults);
+      ("completed_trials", Obs.Json.Int m.completed_trials);
+      ("recovered_trials", Obs.Json.Int m.recovered_trials);
+      ("clean_identical", Obs.Json.Bool m.clean_identical);
+      ("recovery_rate", Obs.Json.Float m.recovery_rate);
+      ("faults_by_kind", json_kv_counts m.faults_by_kind);
+      ("recovery_ms_by_kind", json_kv_floats m.recovery_ms_by_kind);
+      ("total_retries", Obs.Json.Int m.total_retries);
+      ("total_panic_refreshes", Obs.Json.Int m.total_panic_refreshes);
+      ("trials", Obs.Json.List (List.map trial_to_json m.trials));
+    ]
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("seed", Obs.Json.String (Int64.to_string r.config_seed));
+      ("models", Obs.Json.List (List.map model_to_json r.models));
+      ("total_faulted", Obs.Json.Int r.total_faulted);
+      ("total_recovered", Obs.Json.Int r.total_recovered);
+      ("overall_recovery_rate", Obs.Json.Float r.overall_recovery_rate);
+    ]

@@ -1,0 +1,88 @@
+(** Seeded chaos campaigns: randomized fault-injection trials with
+    recovery measurement.
+
+    A campaign runs [trials] supervised inferences ({!Recovery}) per
+    model, each under a fault plan drawn from the campaign's SplitMix64
+    stream (per-kind probabilities scaled by [rate], magnitudes drawn from
+    kind-appropriate ranges, a per-trial fault budget), and compares every
+    output against a fault-free reference run of the same compiled graph
+    with the same evaluator seed.  Everything — fault plans, evaluator
+    noise, backoff (simulated clock) — is deterministic in [seed], so a
+    campaign report serialises byte-for-byte identically across runs; no
+    wall-clock value enters the report.
+
+    A trial {e recovers} when it completes and its worst output deviation
+    from the reference stays within the campaign tolerance (derived from
+    the reference's own noise estimate).  Trials whose injector never
+    fired must match the reference bit-for-bit — that is the fault-off
+    identity check running continuously inside every campaign. *)
+
+type config = {
+  seed : int64;  (** Master seed: fault plans and the evaluator stream. *)
+  trials : int;  (** Trials per model. *)
+  models : string list;  (** {!Nn.Model.by_name} names. *)
+  l_max : int;  (** Scheme max level for compilation. *)
+  dim : int;  (** Slot count of the synthetic input image. *)
+  rate : float;  (** Base per-op injection probability, scaled per kind. *)
+  budget : int;  (** Max injections per trial (negative = unlimited). *)
+  max_attempts : int;  (** {!Recovery.config.max_attempts}. *)
+  backoff_ms : float;  (** {!Recovery.config.backoff_ms}. *)
+  noise_floor_bits : float;  (** {!Recovery.config.noise_floor_bits}. *)
+}
+
+val default : config
+(** seed 0xC4A05, 25 trials, [tiny] model, l_max 9, dim 64, rate 0.02,
+    budget 3, recovery defaults. *)
+
+type trial = {
+  trial_index : int;
+  injected : int;  (** Faults the injector fired during the trial. *)
+  kinds : (string * int) list;  (** Injections by kind, sorted. *)
+  completed : bool;  (** The run produced outputs (recovery held). *)
+  recovered : bool;
+      (** [completed] and the output deviation is within tolerance. *)
+  max_abs_delta : float;  (** Worst |output - reference| ([nan] if failed). *)
+  error : string option;  (** Structured cause name when the run failed. *)
+  retries : int;
+  panic_refreshes : int;
+  recovery_ms_by_kind : (string * float) list;
+}
+
+type model_summary = {
+  model : string;
+  compile_manager : string;  (** Surviving planner tier. *)
+  compile_fallbacks : (string * string) list;
+  tolerance : float;  (** |delta| bound for "recovered". *)
+  trials_run : int;
+  faulted_trials : int;  (** Trials with at least one injection. *)
+  injected_faults : int;
+  completed_trials : int;
+  recovered_trials : int;  (** Faulted trials that recovered. *)
+  clean_identical : bool;
+      (** Every injection-free trial matched the reference exactly. *)
+  recovery_rate : float;  (** recovered / faulted; 1.0 when none faulted. *)
+  faults_by_kind : (string * int) list;
+  recovery_ms_by_kind : (string * float) list;
+      (** Total simulated recovery latency attributed per fault kind. *)
+  total_retries : int;
+  total_panic_refreshes : int;
+  trials : trial list;
+}
+
+type report = {
+  config_seed : int64;
+  models : model_summary list;
+  total_faulted : int;
+  total_recovered : int;
+  overall_recovery_rate : float;
+}
+
+val run : ?metrics:Obs.Metrics.t -> config -> report
+(** Runs the campaign.  When [metrics] is given, folds campaign counters
+    into it: [chaos_trials_total{model}], [chaos_faults_total{model,kind}],
+    [chaos_recovered_total{model}], [chaos_retries_total{model}].
+    @raise Invalid_argument on an unknown model name. *)
+
+val to_json : report -> Obs.Json.t
+(** Deterministic serialisation: identical seeds and configs produce
+    byte-identical strings via {!Obs.Json.to_string}. *)

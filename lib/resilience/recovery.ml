@@ -1,0 +1,264 @@
+module Session = Fhe_ir.Interp.Session
+
+type config = {
+  max_attempts : int;
+  backoff_ms : float;
+  checkpoint_budget_bytes : float option;
+  noise_floor_bits : float;
+  noise_slack_bits : float;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    backoff_ms = 5.0;
+    checkpoint_budget_bytes = None;
+    noise_floor_bits = 6.0;
+    noise_slack_bits = 12.0;
+  }
+
+type stats = {
+  retries : int;
+  rollbacks : int;
+  panic_refreshes : int;
+  checkpoints : int;
+  evictions : int;
+  checkpoint_bytes_peak : float;
+  backoff_ms_total : float;
+  recovery_ms_by_kind : (string * float) list;
+  faults_by_kind : (string * int) list;
+  injected_faults : int;
+}
+
+let headroom = Obs.Trace.headroom_bits
+
+(* Injection progress of the ambient injector; 0 when none is installed.
+   Recovery compares marks of this counter to tell fault-tainted execution
+   spans from clean ones. *)
+let injected_now () =
+  match Ckks.Fault.current () with None -> 0 | Some f -> Ckks.Fault.injected f
+
+(* The fault kind blamed for a retry: the most recent injection at or
+   after [mark] when there is one, otherwise [fallback] (the structured
+   error cause, or the boundary check that fired). *)
+let blame ~mark ~fallback =
+  match Ckks.Fault.current () with
+  | None -> fallback
+  | Some f ->
+      let recent =
+        List.filter (fun i -> i.Ckks.Fault.index >= mark) (Ckks.Fault.injections f)
+      in
+      let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl in
+      (match last recent with
+      | Some i -> Ckks.Fault.kind_name i.Ckks.Fault.inj_kind
+      | None -> fallback)
+
+let run ?(config = default) ?trace ?region_of ?noise ev g env =
+  let prm = Ckks.Evaluator.params ev in
+  let s = Session.create ?trace ?region_of ev g in
+  let order = Session.order s in
+  let n = Array.length order in
+  let info = Session.static_info s in
+  (* Default to the sound (uncapped) static estimate: it never predicts
+     less noise than the run accumulates, so the noise validator cannot
+     false-positive — a fault-free supervised run stays bit-identical to
+     {!Fhe_ir.Interp.run}.  Callers with real magnitude knowledge (the
+     chaos harness knows the lowering's constant amplitudes) pass a
+     sharper [?noise] for a wider detection window. *)
+  let predicted =
+    (match noise with
+    | Some report -> report
+    | None -> Fhe_ir.Noise_check.analyse ~magnitude_cap:Float.infinity prm g)
+      .Fhe_ir.Noise_check.per_node
+  in
+  let budget =
+    match config.checkpoint_budget_bytes with
+    | Some b -> b
+    | None ->
+        Float.max (2.0 *. (Fhe_ir.Liveness.analyse prm g).Fhe_ir.Liveness.peak_bytes) 1.0
+  in
+  (* Position [i] is a boundary when the next node starts a new region (or
+     the run is complete).  With no [region_of] only 0 and [n] qualify. *)
+  let boundary i =
+    i = n || i = 0 || Session.region_of s order.(i - 1) <> Session.region_of s order.(i)
+  in
+  let retries = ref 0 and refreshes = ref 0 in
+  let n_checkpoints = ref 0 and evictions = ref 0 in
+  let bytes_peak = ref 0.0 and backoff_total = ref 0.0 in
+  let recovery_ms : (string, float) Hashtbl.t = Hashtbl.create 7 in
+  let start_mark = injected_now () in
+  let fault_mark = ref start_mark in
+  let attempts = ref 0 in
+  let checkpoints = ref [] (* newest first *) in
+  let pos = ref 0 in
+  let instant name detail =
+    match trace with
+    | Some tr -> Obs.Trace.instant tr ~name ~detail ()
+    | None -> ()
+  in
+  let take_checkpoint i =
+    (match !checkpoints with
+    | cp :: _ when Session.snapshot_at cp = i -> ()
+    | _ ->
+        checkpoints := Session.snapshot s ~at:i :: !checkpoints;
+        incr n_checkpoints;
+        let total =
+          List.fold_left (fun a c -> a +. Session.snapshot_bytes c) 0.0 !checkpoints
+        in
+        bytes_peak := Float.max !bytes_peak total;
+        (* Evict oldest-first down to the budget, always keeping one. *)
+        let rec drop_oldest lst total =
+          if total <= budget then lst
+          else
+            match List.rev lst with
+            | [] | [ _ ] -> lst
+            | oldest :: newer_rev ->
+                incr evictions;
+                drop_oldest (List.rev newer_rev)
+                  (total -. Session.snapshot_bytes oldest)
+        in
+        checkpoints := drop_oldest !checkpoints total);
+    attempts := 0;
+    fault_mark := injected_now ()
+  in
+  let do_rollback ~why =
+    match !checkpoints with
+    | [] -> assert false
+    | cp :: _ ->
+        let kind = blame ~mark:!fault_mark ~fallback:why in
+        incr retries;
+        let before = Session.latency_ms s in
+        let resume = Session.rollback s cp in
+        let wasted = before -. Session.latency_ms s in
+        incr attempts;
+        let delay = config.backoff_ms *. (2.0 ** float_of_int (!attempts - 1)) in
+        Session.charge_ms s delay;
+        backoff_total := !backoff_total +. delay;
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt recovery_ms kind) in
+        Hashtbl.replace recovery_ms kind (prev +. wasted +. delay);
+        instant "rollback"
+          [
+            ("to", Obs.Json.Int resume);
+            ("attempt", Obs.Json.Int !attempts);
+            ("blame", Obs.Json.String kind);
+            ("backoff_ms", Obs.Json.Float delay);
+          ];
+        fault_mark := injected_now ();
+        pos := resume
+  in
+  let handle_exec_error e =
+    let faults_since = injected_now () > !fault_mark in
+    let retryable = Ckks.Evaluator.transient e || faults_since in
+    if retryable && !attempts < config.max_attempts then
+      do_rollback ~why:(Ckks.Evaluator.cause_name e.Ckks.Evaluator.cause)
+    else raise (Ckks.Evaluator.Fhe_error e)
+  in
+  let handle_boundary i =
+    let live = Session.live_cts s ~at:i in
+    let structural =
+      List.filter
+        (fun (id, (ct : Ckks.Ciphertext.t)) ->
+          info.(id).Fhe_ir.Scale_check.is_ct
+          && (ct.Ckks.Ciphertext.level <> info.(id).Fhe_ir.Scale_check.level
+             || ct.Ckks.Ciphertext.scale_bits <> info.(id).Fhe_ir.Scale_check.scale_bits))
+        live
+    in
+    let noisy =
+      List.filter
+        (fun (id, (ct : Ckks.Ciphertext.t)) ->
+          id < Array.length predicted
+          &&
+          let actual = headroom ct.Ckks.Ciphertext.err in
+          let pred = headroom predicted.(id).Fhe_ir.Noise_check.noise in
+          (* Damaged iff the observed headroom fell below a floor the
+             static analysis predicted safe — either the absolute floor,
+             or the node's own predicted headroom minus the validated
+             model slack (a spike can hurt precision long before the
+             absolute floor is near). *)
+          (actual < config.noise_floor_bits && pred >= config.noise_floor_bits)
+          || pred -. actual > config.noise_slack_bits)
+        live
+    in
+    let faults_since = injected_now () > !fault_mark in
+    if structural <> [] then
+      if faults_since && !attempts < config.max_attempts then
+        do_rollback ~why:"state_divergence"
+      else
+        let id, (ct : Ckks.Ciphertext.t) = List.hd structural in
+        Ckks.Evaluator.raise_error
+          (Ckks.Evaluator.error ~node:id ~level:ct.Ckks.Ciphertext.level
+             ~scale_bits:ct.Ckks.Ciphertext.scale_bits ~noise:ct.Ckks.Ciphertext.err
+             Ckks.Evaluator.State_divergence ~op:"recovery"
+             (Printf.sprintf
+                "recovery: node %d diverged from the plan (level %d scale %d, expected \
+                 level %d scale %d) beyond repair"
+                id ct.Ckks.Ciphertext.level ct.Ckks.Ciphertext.scale_bits
+                info.(id).Fhe_ir.Scale_check.level info.(id).Fhe_ir.Scale_check.scale_bits))
+    else if noisy <> [] then
+      if faults_since && !attempts < config.max_attempts then
+        do_rollback ~why:"noise_floor"
+      else begin
+        (* Retries exhausted (or nothing to retry against): re-bootstrap
+           the damaged ciphertexts in place and move on. *)
+        List.iter
+          (fun (id, (ct : Ckks.Ciphertext.t)) ->
+            let before = headroom ct.Ckks.Ciphertext.err in
+            let c' = Session.refresh s id in
+            incr refreshes;
+            instant "panic_refresh"
+              [
+                ("node", Obs.Json.Int id);
+                ("headroom_before_bits", Obs.Json.Float before);
+                ("headroom_after_bits", Obs.Json.Float (headroom c'.Ckks.Ciphertext.err));
+              ])
+          noisy;
+        if i < n then take_checkpoint i
+      end
+    else if i < n then take_checkpoint i
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Session.clear_ctx s)
+      (fun () ->
+        take_checkpoint 0;
+        while !pos < n do
+          let i = !pos in
+          (match Session.exec s env order.(i) with
+          | () -> pos := i + 1
+          | exception Ckks.Evaluator.Fhe_error e -> handle_exec_error e);
+          if !pos > i && boundary !pos then handle_boundary !pos
+        done;
+        (* Empty graphs still get their output validation pass. *)
+        if n = 0 then handle_boundary 0;
+        Session.finish s)
+  in
+  let faults, total_faults =
+    match Ckks.Fault.current () with
+    | None -> ([], 0)
+    | Some f ->
+        let mine =
+          List.filter (fun i -> i.Ckks.Fault.index >= start_mark) (Ckks.Fault.injections f)
+        in
+        let tbl = Hashtbl.create 4 in
+        List.iter
+          (fun i ->
+            let k = Ckks.Fault.kind_name i.Ckks.Fault.inj_kind in
+            Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          mine;
+        ( List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []),
+          List.length mine )
+  in
+  ( result,
+    {
+      retries = !retries;
+      rollbacks = !retries;
+      panic_refreshes = !refreshes;
+      checkpoints = !n_checkpoints;
+      evictions = !evictions;
+      checkpoint_bytes_peak = !bytes_peak;
+      backoff_ms_total = !backoff_total;
+      recovery_ms_by_kind =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) recovery_ms []);
+      faults_by_kind = faults;
+      injected_faults = total_faults;
+    } )

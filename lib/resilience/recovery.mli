@@ -1,0 +1,104 @@
+(** Recovery-aware execution: checkpoint, retry, panic re-bootstrap.
+
+    Wraps {!Fhe_ir.Interp.Session} with a supervisor that makes a run
+    survive the faults {!Ckks.Fault} injects (and, more generally, any
+    retryable divergence between the runtime ciphertext state and the
+    static plan):
+
+    - {b Checkpoints} are taken at region boundaries (the managed graph's
+      {!Resbm.Report.t.region_of} attribution), holding only the values
+      still live there; the set of retained checkpoints is bounded by a
+      liveness-derived byte budget (default: twice the program's
+      {!Fhe_ir.Liveness} peak working set), evicting oldest-first but
+      always keeping at least one.
+    - {b Retry with rollback}: a retryable failure (an
+      [Injected_transient] {!Ckks.Evaluator.Fhe_error}, or any error when
+      faults were injected since the newest checkpoint) rolls back to the
+      newest checkpoint and re-executes, up to [max_attempts] per
+      checkpoint interval, charging an exponential backoff delay to the
+      {e simulated} clock — determinism is preserved because no wall
+      clock is involved.
+    - {b Boundary validation}: at each boundary the live ciphertexts are
+      checked against the scale checker's static level/scale contract
+      (divergence — e.g. an undetected scale drift — triggers a retry,
+      and {!Ckks.Evaluator.State_divergence} when retries are exhausted)
+      and against a noise floor.
+    - {b Panic re-bootstrap}: a ciphertext whose observed noise headroom
+      fell below [noise_floor_bits] at a boundary {e although the static
+      noise analysis} ({!Fhe_ir.Noise_check}) {e predicted it safe} is —
+      once retries are exhausted or pointless — refreshed in place
+      ({!Fhe_ir.Interp.Session.refresh}): a bootstrap-priced noise reset
+      that keeps the plan's level/scale bookkeeping intact.
+
+    With no injector installed and no divergence, a run is bit-identical
+    to {!Fhe_ir.Interp.run}: the supervisor only reads state between
+    nodes and never touches the evaluator's PRNG. *)
+
+type config = {
+  max_attempts : int;
+      (** Rollback-retries per checkpoint interval before escalating
+          (re-raising, or panic-refreshing a noise violation). *)
+  backoff_ms : float;
+      (** Base retry delay, charged to the simulated clock; attempt [k]
+          waits [backoff_ms * 2^(k-1)]. *)
+  checkpoint_budget_bytes : float option;
+      (** Total bytes of retained checkpoints; [None] derives
+          [2 * Liveness.peak_bytes] from the graph.  At least one
+          checkpoint is always kept. *)
+  noise_floor_bits : float;
+      (** Headroom floor (bits) under which a ciphertext the static
+          analysis predicted safe is considered fault-damaged. *)
+  noise_slack_bits : float;
+      (** Relative trigger: a ciphertext whose observed headroom is more
+          than this many bits below its static prediction is damaged even
+          above the absolute floor.  Must exceed the noise model's
+          validated error ({!Fhe_ir.Noise_check.check_trace}'s 10-bit
+          tolerance) or clean runs would false-positive. *)
+}
+
+val default : config
+(** [max_attempts = 3], [backoff_ms = 5.0], derived budget,
+    [noise_floor_bits = 6.0], [noise_slack_bits = 12.0]. *)
+
+type stats = {
+  retries : int;  (** Rollback-retries performed. *)
+  rollbacks : int;  (** = [retries]; kept separate for future policies. *)
+  panic_refreshes : int;  (** In-place re-bootstraps of noisy ciphertexts. *)
+  checkpoints : int;  (** Checkpoints taken. *)
+  evictions : int;  (** Checkpoints dropped to stay under the budget. *)
+  checkpoint_bytes_peak : float;  (** Peak retained checkpoint bytes. *)
+  backoff_ms_total : float;  (** Simulated backoff charged by retries. *)
+  recovery_ms_by_kind : (string * float) list;
+      (** Simulated latency spent recovering (wasted re-execution +
+          backoff), attributed to the fault kind blamed for each retry
+          (or the error cause when no injection explains it), sorted. *)
+  faults_by_kind : (string * int) list;
+      (** Injections observed during this run, by kind, sorted. *)
+  injected_faults : int;  (** Total injections observed during this run. *)
+}
+
+val run :
+  ?config:config ->
+  ?trace:Obs.Trace.t ->
+  ?region_of:(int -> int) ->
+  ?noise:Fhe_ir.Noise_check.report ->
+  Ckks.Evaluator.t ->
+  Fhe_ir.Dfg.t ->
+  Fhe_ir.Interp.env ->
+  Fhe_ir.Interp.result * stats
+(** Supervised execution of [g].  [region_of] defines the checkpoint
+    boundaries (default: none, so only the initial checkpoint exists).
+    [noise] is the static per-node prediction the boundary validator
+    compares observed headroom against; it defaults to the {e sound}
+    uncapped estimate ([Noise_check.analyse ~magnitude_cap:infinity]),
+    which can never flag a fault-free run — pass a sharper analysis
+    (e.g. with the lowering's constant amplitudes) to widen the
+    detection window.  Rollbacks and panic refreshes are marked as
+    ["rollback"] / ["panic_refresh"] trace instants when a trace is
+    installed.
+
+    @raise Ckks.Evaluator.Fhe_error when recovery is exhausted: a
+    non-retryable error, a retryable one out of attempts, or
+    [State_divergence] when the runtime state cannot be reconciled with
+    the plan.
+    @raise Fhe_ir.Interp.Missing_input as {!Fhe_ir.Interp.run}. *)

@@ -20,4 +20,5 @@ let () =
       ("frontend", Test_frontend.suite);
       ("waterline", Test_waterline.suite);
       ("coverage", Test_coverage.suite);
+      ("resilience", Test_resilience.suite);
     ]
