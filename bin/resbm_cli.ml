@@ -8,6 +8,7 @@
      regions                   show the region partition of a model
      sweep                     l_max sweep for one model (Figure 7 style)
      lint                      verify + lint a compiled model
+     cache                     on-disk plan cache stats / clear
      bench-diff                gate a candidate bench file against a baseline
      chaos                     seeded fault-injection campaign + recovery report
      metrics                   aggregate-metrics dump (Prometheus text or JSON)
@@ -84,6 +85,39 @@ let profile_arg =
         ~doc:
           "Write the compilation profile (per-phase wall times, min-cut and planner \
            counters) as JSON to $(docv).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the planner's per-region work across $(docv) domains (default: \
+           $(b,RESBM_JOBS), else 1).  The plan and report are bit-identical at \
+           every job count.")
+
+(* The CLI's plan cache honours RESBM_CACHE_DIR out of the box so that
+   repeated compiles of unchanged models across processes are warm; an
+   explicit [--cache DIR] overrides it. *)
+let cache_dir_env () =
+  match Sys.getenv_opt "RESBM_CACHE_DIR" with
+  | Some d when String.trim d <> "" -> Some d
+  | _ -> None
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Consult (and fill) an on-disk plan cache rooted at $(docv) — a warm hit \
+           skips planning entirely and returns a bit-identical plan.  Defaults to \
+           $(b,RESBM_CACHE_DIR) when set; without either, no cache is used.")
+
+let cache_of ~flag =
+  match (flag, cache_dir_env ()) with
+  | Some dir, _ | None, Some dir -> Some (Resbm.Plan_cache.create ~dir ())
+  | None, None -> None
 
 (* --- traced execution (shared by `trace` and `run --trace`) ---------------- *)
 
@@ -205,18 +239,20 @@ let list_cmd =
 
 let compile_cmd =
   let run model manager l_max verify_each verbose emit_path profile_path trace_out robust
-      fuel =
+      fuel jobs cache_flag =
     let model = or_die (resolve_model model) in
     let prm = params_for l_max in
     let lowered = Nn.Lowering.lower model in
+    let cache = cache_of ~flag:cache_flag in
     let managed, report =
       try
         if robust then
-          Resbm.Driver.compile_robust ?fuel_steps:fuel ~verify_each prm
+          Resbm.Driver.compile_robust ?fuel_steps:fuel ~verify_each ?jobs ?cache prm
             lowered.Nn.Lowering.dfg
         else
           let manager = or_die (resolve_manager manager) in
-          Resbm.Variants.compile ~verify_each manager prm lowered.Nn.Lowering.dfg
+          Resbm.Variants.compile ~verify_each ?jobs ?cache manager prm
+            lowered.Nn.Lowering.dfg
       with
       | Resbm.Driver.Verification_failed (pass, diags) ->
           Format.eprintf "error: verification failed after pass %s:@." pass;
@@ -325,7 +361,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
     Term.(
       const run $ model_arg $ manager_arg $ l_max_arg $ verify_each $ verbose $ emit_path
-      $ profile_arg $ trace_out $ robust $ fuel)
+      $ profile_arg $ trace_out $ robust $ fuel $ jobs_arg $ cache_arg)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -371,13 +407,13 @@ let run_cmd =
 (* --- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run model manager l_max dim out jsonl summary verify_each =
+  let run model manager l_max dim out jsonl summary verify_each jobs =
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
     let lowered = Nn.Lowering.lower model in
     let managed, report =
-      try Resbm.Variants.compile ~verify_each manager prm lowered.Nn.Lowering.dfg
+      try Resbm.Variants.compile ~verify_each ?jobs manager prm lowered.Nn.Lowering.dfg
       with Resbm.Driver.Verification_failed (pass, diags) ->
         Format.eprintf "error: verification failed after pass %s:@." pass;
         List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
@@ -462,7 +498,7 @@ let trace_cmd =
           timeline (per-op events, noise/level/scale counter tracks) for Perfetto.")
     Term.(
       const run $ model_arg $ manager_arg $ l_max_arg $ dim $ out $ jsonl $ summary
-      $ verify_each)
+      $ verify_each $ jobs_arg)
 
 (* --- regions ------------------------------------------------------------------ *)
 
@@ -536,7 +572,7 @@ let export_cmd =
 (* --- lint ------------------------------------------------------------------------ *)
 
 let lint_cmd =
-  let run model manager l_max json_path deny_warnings =
+  let run model manager l_max json_path deny_warnings sources =
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
@@ -557,10 +593,14 @@ let lint_cmd =
         0.0
         (Nn.Lowering.resolver lowered ~dim:8 name)
     in
+    let source_diags =
+      List.concat_map (fun dir -> Analysis.Lint.scan_planner_sources ~dir) sources
+    in
     let diags =
       Analysis.Diag.sort
         (Analysis.Verify.run prm managed
-        @ Analysis.Lint.run ~magnitude_cap:0.5 ~const_magnitude prm managed)
+        @ Analysis.Lint.run ~magnitude_cap:0.5 ~const_magnitude prm managed
+        @ source_diags)
     in
     List.iter (fun d -> Format.printf "%a@." Analysis.Diag.pp_verbose d) diags;
     let errors = Analysis.Diag.count Analysis.Diag.Error diags in
@@ -602,17 +642,31 @@ let lint_cmd =
       & info [ "deny-warnings" ]
           ~doc:"Exit with code 2 when any warning-severity diagnostic fires.")
   in
+  let sources =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "sources" ] ~docv:"DIR"
+          ~doc:
+            "Additionally run the source-level determinism lint over the planner \
+             sources in $(docv) (repeatable): flags Hashtbl.iter/fold call sites, \
+             whose hash-order iteration breaks plan reproducibility — planner code \
+             drains hashtables through Det.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Compile a model with per-pass verification, then run the verifier and lint \
-          suite on the managed graph.")
-    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ json_path $ deny_warnings)
+          suite on the managed graph (plus the source-level determinism lint with \
+          $(b,--sources)).")
+    Term.(
+      const run $ model_arg $ manager_arg $ l_max_arg $ json_path $ deny_warnings
+      $ sources)
 
 (* --- sweep ----------------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run model levels profile_path =
+  let run model levels profile_path jobs =
     let model = or_die (resolve_model model) in
     let lowered = Nn.Lowering.lower model in
     let g = lowered.Nn.Lowering.dfg in
@@ -626,8 +680,8 @@ let sweep_cmd =
     List.iter
       (fun l_max ->
         let prm = params_for l_max in
-        let _, r = Resbm.Variants.(compile resbm) prm g in
-        let _, f = Resbm.Variants.(compile fhelipe) prm g in
+        let _, r = Resbm.Variants.compile ?jobs Resbm.Variants.resbm prm g in
+        let _, f = Resbm.Variants.compile ?jobs Resbm.Variants.fhelipe prm g in
         if profile_path <> None then
           profiled :=
             report_json ~model:model.Nn.Model.name ~l_max f
@@ -651,7 +705,54 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep l_max for one model (Figure 7 style).")
-    Term.(const run $ model_arg $ levels $ profile_arg)
+    Term.(const run $ model_arg $ levels $ profile_arg $ jobs_arg)
+
+(* --- cache ----------------------------------------------------------------------- *)
+
+let cache_cmd =
+  let run action dir_flag =
+    match (dir_flag, cache_dir_env ()) with
+    | None, None ->
+        Format.eprintf
+          "error: no cache directory; pass --dir or set RESBM_CACHE_DIR@.";
+        exit 1
+    | Some dir, _ | None, Some dir -> (
+        let c = Resbm.Plan_cache.create ~dir () in
+        match action with
+        | "stats" ->
+            Format.printf "%s@."
+              (Obs.Json.to_string
+                 (Resbm.Plan_cache.stats_json (Resbm.Plan_cache.stats c)))
+        | "clear" ->
+            let before = (Resbm.Plan_cache.stats c).Resbm.Plan_cache.disk_entries in
+            Resbm.Plan_cache.clear c;
+            Format.printf "cleared %d cached plan%s under %s@." before
+              (if before = 1 then "" else "s")
+              dir
+        | other ->
+            Format.eprintf "error: unknown cache action %S (stats or clear)@." other;
+            exit 1)
+  in
+  let action =
+    Arg.(
+      value
+      & pos 0 string "stats"
+      & info [] ~docv:"ACTION" ~doc:"$(b,stats) (default) or $(b,clear).")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Cache directory (default: $(b,RESBM_CACHE_DIR)).")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the on-disk plan cache: $(b,stats) prints the entry \
+          counts and hit/miss counters as JSON, $(b,clear) deletes every cached \
+          plan.")
+    Term.(const run $ action $ dir)
 
 (* --- bench-diff ------------------------------------------------------------------ *)
 
@@ -998,6 +1099,7 @@ let () =
             sweep_cmd;
             export_cmd;
             lint_cmd;
+            cache_cmd;
             bench_diff_cmd;
             chaos_cmd;
             metrics_cmd;

@@ -217,6 +217,62 @@ let noise_margin ?magnitude_cap ?const_magnitude ~min_precision_bits prm g =
     ]
   else []
 
+(* Source-level determinism lint: planner code must never drain a
+   hashtable in physical (hash) order — OCaml's Hashtbl.iter/fold order
+   depends on insertion history and the random seed, and a planner
+   decision taken in that order silently breaks plan reproducibility and
+   the parallel/cached bit-identity contract.  Planner sources drain
+   through [Det] instead (det.ml itself is the sanctioned wrapper and is
+   exempt, as is any line carrying a [det-ok] marker). *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let scan_planner_sources ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      let files = Array.to_list files in
+      let files = List.sort compare (List.filter (fun f -> Filename.check_suffix f ".ml") files) in
+      List.concat_map
+        (fun f ->
+          if f = "det.ml" then []
+          else begin
+            let path = Filename.concat dir f in
+            match open_in path with
+            | exception Sys_error _ -> []
+            | ic ->
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () ->
+                    let diags = ref [] in
+                    let lnum = ref 0 in
+                    (try
+                       while true do
+                         let line = input_line ic in
+                         incr lnum;
+                         if not (contains line "det-ok") then
+                           List.iter
+                             (fun callee ->
+                               if contains line ("Hashtbl." ^ callee) then
+                                 diags :=
+                                   Diag.warning
+                                     ~hint:
+                                       "drain through Det.sorted_bindings / \
+                                        Det.iter_sorted, or mark the line (* det-ok *)"
+                                     "unsorted-hashtbl-drain"
+                                     "%s:%d: Hashtbl.%s visits bindings in \
+                                      nondeterministic hash order inside planner code"
+                                     f !lnum callee
+                                   :: !diags)
+                             [ "iter"; "fold" ]
+                       done
+                     with End_of_file -> ());
+                    List.rev !diags)
+          end)
+        files
+
 let run ?(rules = all) ?(min_precision_bits = 8.0) ?magnitude_cap ?const_magnitude prm g =
   let info = Scale_check.infer prm g in
   let lint rule =

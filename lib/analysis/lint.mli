@@ -48,6 +48,16 @@ val rule_id : rule -> string
 
 val of_rule_id : string -> rule option
 
+val scan_planner_sources : dir:string -> Diag.t list
+(** Source-level determinism lint over the planner sources in [dir]: a
+    ["unsorted-hashtbl-drain"] warning (with file:line in the message)
+    for every [Hashtbl.iter] / [Hashtbl.fold] call site in a [.ml] file —
+    hash-order iteration makes planner decisions depend on insertion
+    history and seed, breaking plan reproducibility and the
+    parallel/cached bit-identity contract; planner code drains through
+    [Det].  [det.ml] itself and lines marked [(* det-ok *)] are exempt.
+    A missing or unreadable [dir] yields []. *)
+
 val run :
   ?rules:rule list ->
   ?min_precision_bits:float ->

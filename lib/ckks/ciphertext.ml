@@ -4,13 +4,24 @@ type t = {
   level : int;
   size : int;
   err : float;
+  chk : int64;
 }
+
+(* Order-independent XOR of the slot bit patterns: exact (no float
+   rounding, no absorption), so any corruption that changes a slot's
+   representable value changes the checksum — including single-slot
+   deltas far below the noise floor, which the err-based boundary
+   validator cannot see. *)
+let checksum slots =
+  Array.fold_left (fun acc v -> Int64.logxor acc (Int64.bits_of_float v)) 0L slots
 
 let make ~slots ~scale_bits ~level ~size ~err =
   if scale_bits <= 0 then invalid_arg "Ciphertext.make: scale must be positive";
   if level < 0 then invalid_arg "Ciphertext.make: negative level";
   if size < 2 then invalid_arg "Ciphertext.make: size below 2";
-  { slots; scale_bits; level; size; err }
+  { slots; scale_bits; level; size; err; chk = checksum slots }
+
+let integrity_ok ct = Int64.equal (checksum ct.slots) ct.chk
 
 let max_abs ct = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 ct.slots
 

@@ -13,10 +13,26 @@ type t = {
   level : int;
   size : int;
   err : float;  (** Absolute per-slot error bound (noise estimate). *)
+  chk : int64;
+      (** Slot integrity checksum, computed by {!make}.  Every legitimate
+          operation rebuilds its result through {!make}, so [chk] always
+          matches the slots — except after an injected [Slot_corrupt]
+          fault, which deliberately preserves the pre-fault checksum so
+          boundary validation ({!integrity_ok}) can detect silent
+          corruption that sits below the noise floor. *)
 }
 
 val make :
   slots:float array -> scale_bits:int -> level:int -> size:int -> err:float -> t
+
+val checksum : float array -> int64
+(** Order-independent XOR of the slot bit patterns — exact, so any
+    representable change to any slot changes the checksum. *)
+
+val integrity_ok : t -> bool
+(** Recompute the checksum of the current slots and compare with [chk].
+    False means the slots were mutated outside {!make} — in this
+    simulator, only injected slot corruption does that. *)
 
 val max_abs : t -> float
 

@@ -136,9 +136,17 @@ let apply_fault f op (ct : Ciphertext.t) =
         let slots = Array.copy ct.Ciphertext.slots in
         slots.(i) <- slots.(i) +. (sign *. delta);
         (* Bump the bookkept noise in quadrature so the corruption is
-           visible to headroom monitoring, not only at decryption. *)
-        Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level
-          ~size:ct.size ~err:(rms2 ct.err amp)
+           visible to headroom monitoring, not only at decryption.  Keep
+           the PRE-fault checksum: real memory corruption mutates slots
+           behind the scheme's back, so the stored [chk] no longer
+           matches — that mismatch is exactly what boundary integrity
+           validation uses to catch corruption too small for the noise
+           monitors. *)
+        let corrupted =
+          Ciphertext.make ~slots ~scale_bits:ct.scale_bits ~level:ct.level
+            ~size:ct.size ~err:(rms2 ct.err amp)
+        in
+        { corrupted with Ciphertext.chk = ct.Ciphertext.chk }
       end
 
 (* Per-op tracing: when an ambient trace is installed, record the result's

@@ -55,6 +55,8 @@ val plan :
   ?config:config ->
   ?fuel:Fuel.t ->
   ?segment_scan:[ `Full | `Adjacent ] ->
+  ?jobs:int ->
+  ?memo:Region_eval.Memo.t * (int -> int64) ->
   Region.t ->
   Ckks.Params.t ->
   plan
@@ -66,6 +68,17 @@ val plan :
     [`Adjacent] restricts every segment to one region ([dst = src + 1]),
     the linear-time eager strategy of the last fallback tier — no search,
     a bootstrap at every boundary.
+
+    [jobs] (default 1) fans candidate-segment evaluations — and through
+    them the per-region min-cut solves — across a {!Par} domain pool in
+    dst-ordered chunks.  The resulting plan is bit-identical to the
+    sequential scan for any [jobs]; with a {e finite} [fuel] the lookahead
+    may meter a few extra segment evaluations past the DP's stopping
+    point, so exhaustion can trigger at a different step than at [jobs=1].
+
+    [memo] is a cross-compile {!Region_eval.Memo} plus per-region content
+    hashes (see {!Plan_cache}): region solutions are reused across
+    compiles for regions whose hash is unchanged.
 
     @raise No_plan when no feasible bootstrapping plan exists (e.g. a
     single region consumes more than [l_max] levels).

@@ -65,8 +65,10 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~lbts ~subgraph =
     subgraph;
   let net = Graphlib.Maxflow.create !next_flow in
   let s = k and t = k + 1 in
-  (* Source-side arcs through the producer nodes. *)
-  Hashtbl.iter
+  (* Source-side arcs through the producer nodes, in producer-id order:
+     arc insertion order steers the augmenting-path search, so bucket
+     order would leak into min-cut tie-breaks. *)
+  Det.iter_sorted
     (fun p (fn, heads) ->
       let share =
         List.fold_left
@@ -112,7 +114,7 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~lbts ~subgraph =
   Obs.observe "btsplc.subgraph_nodes" (float_of_int k);
   let node_at = Array.of_list subgraph in
   let producer_heads = Hashtbl.create 8 in
-  Hashtbl.iter (fun _ (fn, heads) -> Hashtbl.add producer_heads fn heads) producers;
+  Det.iter_sorted (fun _ (fn, heads) -> Hashtbl.add producer_heads fn heads) producers;
   let edges =
     List.concat_map
       (fun (u, v) ->

@@ -9,9 +9,8 @@ let () =
              diags)
     | _ -> None)
 
-let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
-    ?(verify_each = false) ?profile ?(fuel = Fuel.unlimited) ?(segment_scan = `Full)
-    ?(fallbacks = []) prm g =
+let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
+    ~fallbacks ~jobs ~cache prm g =
   let profile = match profile with Some p -> p | None -> Obs.Profile.create () in
   Obs.with_profile profile @@ fun () ->
   let t0 = Unix.gettimeofday () in
@@ -36,7 +35,17 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
       }
     g;
   let plan =
-    Obs.span "plan" (fun () -> Btsmgr.plan ~config ~fuel ~segment_scan regioned prm)
+    Obs.span "plan" (fun () ->
+        (* The incremental tier: thread the cache's region-solution memo,
+           keyed by per-region content hashes, into the DP's evals. *)
+        let memo =
+          Option.map
+            (fun c ->
+              let hashes = Plan_cache.region_hashes prm regioned in
+              (Plan_cache.memo c, fun r -> hashes.(r)))
+            cache
+        in
+        Btsmgr.plan ~config ~fuel ~segment_scan ~jobs ?memo regioned prm)
   in
   let outcome = Obs.span "apply" (fun () -> Plan.apply regioned prm plan) in
   let managed = outcome.Plan.dfg in
@@ -129,6 +138,30 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
   in
   (managed, report)
 
+let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
+    ?(verify_each = false) ?profile ?(fuel = Fuel.unlimited) ?(segment_scan = `Full)
+    ?(fallbacks = []) ?jobs ?cache prm g =
+  let jobs = Par.resolve jobs in
+  match cache with
+  | None ->
+      compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
+        ~fallbacks ~jobs ~cache:None prm g
+  | Some c -> (
+      let ckey = Plan_cache.key ~config ~name ~ms_opt ~segment_scan prm g in
+      match Plan_cache.find c ckey with
+      | Some (managed, report) ->
+          (* Warm hit: the stored plan and report are bit-identical to
+             what the cold path would produce (fallbacks belong to this
+             call, compile_ms was already replaced by the lookup time). *)
+          (managed, { report with Report.fallbacks })
+      | None ->
+          let managed, report =
+            compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel
+              ~segment_scan ~fallbacks ~jobs ~cache:(Some c) prm g
+          in
+          Plan_cache.store c ckey managed report;
+          (managed, report))
+
 (* --- Graceful degradation ------------------------------------------------- *)
 
 type tier = {
@@ -170,7 +203,7 @@ let degrade_reason = function
   | _ -> None
 
 let compile_robust ?(chain = default_chain) ?fuel_steps ?(ms_opt = false)
-    ?(verify_each = false) ?profile prm g =
+    ?(verify_each = false) ?profile ?jobs ?cache prm g =
   if chain = [] then invalid_arg "Driver.compile_robust: empty chain";
   let rec go fallbacks = function
     | [] -> assert false
@@ -178,7 +211,8 @@ let compile_robust ?(chain = default_chain) ?fuel_steps ?(ms_opt = false)
         (* Terminal tier: unlimited fuel — it must either plan or raise
            the real failure for the caller. *)
         compile ~config:tier.tier_config ~name:tier.tier_name ~ms_opt ~verify_each
-          ?profile ~segment_scan:tier.tier_scan ~fallbacks:(List.rev fallbacks) prm g
+          ?profile ~segment_scan:tier.tier_scan ~fallbacks:(List.rev fallbacks) ?jobs
+          ?cache prm g
     | tier :: rest -> (
         let fuel =
           match fuel_steps with
@@ -188,7 +222,7 @@ let compile_robust ?(chain = default_chain) ?fuel_steps ?(ms_opt = false)
         match
           compile ~config:tier.tier_config ~name:tier.tier_name ~ms_opt ~verify_each
             ?profile ~fuel ~segment_scan:tier.tier_scan
-            ~fallbacks:(List.rev fallbacks) prm g
+            ~fallbacks:(List.rev fallbacks) ?jobs ?cache prm g
         with
         | result -> result
         | exception e -> (

@@ -23,6 +23,8 @@ val compile :
   ?fuel:Fuel.t ->
   ?segment_scan:[ `Full | `Adjacent ] ->
   ?fallbacks:(string * string) list ->
+  ?jobs:int ->
+  ?cache:Plan_cache.t ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
   Fhe_ir.Dfg.t * Report.t
@@ -48,6 +50,19 @@ val compile :
     timed as a span, and the min-cut / planner counters are collected, in
     the ambient {!Obs} profile: a caller-supplied [?profile], or a fresh
     one otherwise.  Either way it is returned in {!Report.t.profile}.
+
+    [jobs] (default: {!Par.resolve}, i.e. [RESBM_JOBS] or 1) fans the
+    DP's candidate-segment evaluations and min-cut solves across a
+    domain pool; the plan and every deterministic report field are
+    bit-identical to [jobs = 1] (only [compile_ms] and the profile,
+    which measure wall clock, differ).
+
+    [cache] consults a {!Plan_cache} before planning and stores the
+    result after: a hit returns a bit-identical plan and report (with
+    [compile_ms] set to the lookup time, and [fallbacks] to this call's
+    argument) without running any phase — including [verify_each] —
+    while a miss also threads the cache's incremental region memo into
+    the DP so unchanged regions of edited models are not re-solved.
     @raise Btsmgr.No_plan when no feasible plan exists for [l_max].
     @raise Plan.Apply_error when plan materialisation fails.
     @raise Fuel.Exhausted when a caller-supplied step budget runs out.
@@ -75,6 +90,8 @@ val compile_robust :
   ?ms_opt:bool ->
   ?verify_each:bool ->
   ?profile:Obs.Profile.t ->
+  ?jobs:int ->
+  ?cache:Plan_cache.t ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
   Fhe_ir.Dfg.t * Report.t

@@ -1,4 +1,11 @@
-type t = { stage : string; mutable remaining : int }
+(* The budget lives in an [Atomic] so the same counter can be shared by
+   worker domains during parallel planning: spends race on a CAS loop, so
+   accounting stays exact (never over- or under-counted) and a failed
+   spend consumes nothing — identical to the old single-domain semantics.
+   Under parallelism the *order* of spends is nondeterministic, so a
+   finite budget may exhaust at a different step than a sequential run;
+   bit-identity contracts therefore only cover unlimited-fuel compiles. *)
+type t = { stage : string; capacity : int; used : int Atomic.t }
 
 exception Exhausted of string
 
@@ -7,17 +14,24 @@ let () =
     | Exhausted stage -> Some (Printf.sprintf "Fuel.Exhausted(%s)" stage)
     | _ -> None)
 
-let create ?(stage = "plan") remaining = { stage; remaining }
-let unlimited = { stage = "unlimited"; remaining = -1 }
-let remaining t = t.remaining
+let create ?(stage = "plan") capacity = { stage; capacity; used = Atomic.make 0 }
+let unlimited = { stage = "unlimited"; capacity = -1; used = Atomic.make 0 }
+
+let remaining t =
+  if t.capacity < 0 then -1 else max 0 (t.capacity - Atomic.get t.used)
+
 let stage t = t.stage
 
 let spend ?(cost = 1) t =
-  if t.remaining >= 0 then begin
-    if t.remaining < cost then begin
-      Obs.metric_incr ~labels:[ ("stage", t.stage) ] "planner_fuel_exhausted_total";
-      raise (Exhausted t.stage)
-    end;
-    t.remaining <- t.remaining - cost;
+  if t.capacity >= 0 then begin
+    let rec take () =
+      let u = Atomic.get t.used in
+      if u + cost > t.capacity then begin
+        Obs.metric_incr ~labels:[ ("stage", t.stage) ] "planner_fuel_exhausted_total";
+        raise (Exhausted t.stage)
+      end;
+      if not (Atomic.compare_and_set t.used u (u + cost)) then take ()
+    in
+    take ();
     Obs.metric_incr ~by:cost ~labels:[ ("stage", t.stage) ] "planner_fuel_spent_total"
   end

@@ -10,7 +10,14 @@
 
     A budget is deliberately a {e step} count, not wall-clock: step counts
     are deterministic, so whether a compile degrades — and to which tier —
-    is reproducible across machines and runs. *)
+    is reproducible across machines and runs.
+
+    The counter is atomic: one budget may be shared across the worker
+    domains of a parallel plan and total accounting stays exact.  Note
+    that with [jobs > 1] the {e order} of spends depends on scheduling,
+    so a finite budget can exhaust at a different planning step than the
+    sequential run would — bit-identity guarantees between sequential and
+    parallel compiles only hold for unlimited fuel. *)
 
 type t
 

@@ -1,0 +1,79 @@
+(* A bounded Domain work-pool for planner fan-out.
+
+   Tasks are indices [0, n); workers pull the next index from a shared
+   atomic cursor and write results into a slot array, so results always
+   come back in input order regardless of which domain ran what — the
+   planner's bit-identity contract reduces to "each task is a pure
+   function of its index", which the segment scans and region evals
+   guarantee once the shared caches are lock-protected.
+
+   Ambient observability: worker domains start with no ambient handles
+   (Obs state is domain-local).  The pool re-installs the parent's
+   metrics registry in every worker (the registry is mutex-protected, so
+   fuel metering and cache counters stay exact across domains) and gives
+   each worker a private profile, merged into the parent's in worker
+   order after the join — spans land deterministically even though the
+   work interleaved.  Traces are not propagated: the planner does not
+   trace, and the recorder is not safe to share. *)
+
+let max_jobs = 64
+
+let default_jobs () =
+  match Sys.getenv_opt "RESBM_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n max_jobs
+      | _ -> 1)
+
+let resolve jobs =
+  match jobs with Some n when n >= 1 -> min n max_jobs | Some _ -> 1 | None -> default_jobs ()
+
+let tabulate ?(jobs = 1) n f =
+  if n < 0 then invalid_arg "Par.tabulate: negative size";
+  let workers = min jobs n in
+  if workers <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let parent_metrics = Obs.current_metrics () in
+    let has_profile = Obs.current () <> None in
+    let worker_profiles =
+      Array.init workers (fun _ -> if has_profile then Some (Obs.Profile.create ()) else None)
+    in
+    let body wi () =
+      let rec drain () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          drain ()
+        end
+      in
+      let with_parent_metrics g =
+        match parent_metrics with Some m -> Obs.with_metrics m g | None -> g ()
+      in
+      let with_worker_profile g =
+        match worker_profiles.(wi) with Some p -> Obs.with_profile p g | None -> g ()
+      in
+      with_parent_metrics (fun () -> with_worker_profile drain)
+    in
+    let domains = Array.init workers (fun wi -> Domain.spawn (body wi)) in
+    Array.iter Domain.join domains;
+    (match Obs.current () with
+    | Some parent ->
+        Array.iter
+          (function Some wp -> Obs.Profile.merge ~into:parent wp | None -> ())
+          worker_profiles
+    | None -> ());
+    (* Re-raise the smallest-index failure — the one a sequential run
+       would have hit first. *)
+    Array.iteri (fun i e -> match e with Some e -> ignore i; raise e | None -> ()) errors;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Par.tabulate: missing result")
+      results
+  end
+
+let map ?jobs f a = tabulate ?jobs (Array.length a) (fun i -> f a.(i))

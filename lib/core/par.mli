@@ -1,0 +1,30 @@
+(** A bounded [Domain] work-pool for planner fan-out.
+
+    Results are returned in input order regardless of scheduling, worker
+    domains inherit the parent's (mutex-protected) metrics registry so
+    counters like fuel metering stay exact, and each worker gets a
+    private {!Obs.Profile} merged back deterministically after the join.
+    With [jobs <= 1] (the default) everything runs sequentially on the
+    calling domain — no pool, no overhead, byte-identical behavior to
+    pre-parallel code. *)
+
+val max_jobs : int
+(** Upper bound on the domain count (64). *)
+
+val default_jobs : unit -> int
+(** Domain count from the [RESBM_JOBS] environment variable (clamped to
+    [1, max_jobs]); 1 when unset or unparsable. *)
+
+val resolve : int option -> int
+(** [resolve jobs] is the effective domain count: an explicit request
+    (clamped) wins over [RESBM_JOBS], which wins over 1. *)
+
+val tabulate : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate ~jobs n f] is [Array.init n f] evaluated by up to [jobs]
+    domains.  If several tasks raise, the exception of the {e smallest}
+    index is re-raised (the one a sequential run would hit first); other
+    tasks may or may not have run — side effects beyond the result array
+    are the caller's business. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f a] is [Array.map f a] via {!tabulate}. *)

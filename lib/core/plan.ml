@@ -26,7 +26,8 @@ let group_cut cut =
           Hashtbl.replace tails tail (heads, true)
       | Cut.Boundary_in { head } -> boundary_in := head :: !boundary_in)
     cut.Cut.edges;
-  (Hashtbl.fold (fun tail (heads, out) acc -> (tail, heads, out) :: acc) tails [], !boundary_in)
+  ( List.map (fun (tail, (heads, out)) -> (tail, heads, out)) (Det.sorted_bindings tails),
+    !boundary_in )
 
 let apply regioned prm (plan : Btsmgr.plan) =
   let g = Dfg.copy regioned.Region.dfg in
@@ -145,7 +146,7 @@ let apply regioned prm (plan : Btsmgr.plan) =
                             :: Option.value (Hashtbl.find_opt producer_heads p) ~default:[]))
                       (Dfg.preds g head))
                   boundary_in;
-                Hashtbl.iter
+                Det.iter_sorted
                   (fun p heads -> ignore (bootstrap_after ~tail:p ~heads ~fix_output:false))
                   producer_heads
               end;

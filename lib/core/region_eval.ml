@@ -19,9 +19,42 @@ type key = {
   bts_mode : bts_mode;
 }
 
-type cache = (key, result) Hashtbl.t
+(* The per-compile cache is lock-protected so parallel segment scans can
+   share it.  Concurrent misses may compute the same entry twice; both
+   computes are deterministic and equal, so first-add-wins is safe. *)
+type cache = { tbl : (key, result) Hashtbl.t; lock : Mutex.t }
 
-let create_cache () = Hashtbl.create 256
+let create_cache () = { tbl = Hashtbl.create 256; lock = Mutex.create () }
+
+(* A cross-compile memo keyed by region *content* rather than region
+   index: entries survive model edits for every region whose hash is
+   unchanged, which is what makes re-planning after a single-layer edit
+   incremental.  The hash (supplied by the caller, see
+   {!Plan_cache.region_hashes}) covers the region's members, their
+   external producers and live-out shape, the CKKS parameters and the
+   cost-model fingerprint — everything [compute] reads besides the
+   explicit key fields below. *)
+module Memo = struct
+  type mkey = {
+    m_hash : int64;
+    m_entry_level : int;
+    m_rescales : int;
+    m_bts : int option;
+    m_smo : smo_mode;
+    m_bts_mode : bts_mode;
+  }
+
+  type t = {
+    tbl : (mkey, result) Hashtbl.t;
+    lock : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 512; lock = Mutex.create (); hits = 0; misses = 0 }
+  let stats t = Mutex.protect t.lock (fun () -> (t.hits, t.misses))
+  let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+end
 
 exception Infeasible of string
 
@@ -49,7 +82,7 @@ let cut_tails g cut ~subgraph_mem =
                 Hashtbl.replace tails p ())
             (Dfg.preds g head))
     cut.Cut.edges;
-  Hashtbl.fold (fun tail () acc -> tail :: acc) tails []
+  Det.sorted_keys tails
 
 let liveout regioned region id =
   let g = regioned.Region.dfg in
@@ -292,17 +325,61 @@ let compute ?fuel regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescale
     }
   end
 
-let eval ?fuel cache regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts =
+let eval ?fuel ?memo cache regioned prm ~smo_mode ~bts_mode ~region ~entry_level
+    ~rescales ~bts =
   let key = { region; entry_level; rescales; bts; smo_mode; bts_mode } in
-  match Hashtbl.find_opt cache key with
+  let cache_add r =
+    Mutex.protect cache.lock (fun () ->
+        if not (Hashtbl.mem cache.tbl key) then Hashtbl.add cache.tbl key r)
+  in
+  match Mutex.protect cache.lock (fun () -> Hashtbl.find_opt cache.tbl key) with
   | Some r -> r
-  | None ->
-      (* Fuel is deliberately absent from the cache key: a hit costs no
-         steps, and cache population order is deterministic, so degraded
-         compiles stay reproducible. *)
-      let r =
-        compute ?fuel regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales
-          ~bts
+  | None -> (
+      let mkey =
+        Option.map
+          (fun (m, hash_of) ->
+            ( m,
+              {
+                Memo.m_hash = hash_of region;
+                m_entry_level = entry_level;
+                m_rescales = rescales;
+                m_bts = bts;
+                m_smo = smo_mode;
+                m_bts_mode = bts_mode;
+              } ))
+          memo
       in
-      Hashtbl.add cache key r;
-      r
+      let from_memo =
+        match mkey with
+        | None -> None
+        | Some (m, k) ->
+            Mutex.protect m.Memo.lock (fun () ->
+                match Hashtbl.find_opt m.Memo.tbl k with
+                | Some r ->
+                    m.Memo.hits <- m.Memo.hits + 1;
+                    Some r
+                | None ->
+                    m.Memo.misses <- m.Memo.misses + 1;
+                    None)
+      in
+      match from_memo with
+      | Some r ->
+          Obs.incr "region_eval.memo_hits";
+          cache_add r;
+          r
+      | None ->
+          (* Fuel is deliberately absent from both keys: a hit costs no
+             steps, and cache population order is deterministic, so
+             degraded compiles stay reproducible. *)
+          Obs.incr "region_eval.computes";
+          let r =
+            compute ?fuel regioned prm ~smo_mode ~bts_mode ~region ~entry_level
+              ~rescales ~bts
+          in
+          cache_add r;
+          (match mkey with
+          | Some (m, k) ->
+              Mutex.protect m.Memo.lock (fun () ->
+                  if not (Hashtbl.mem m.Memo.tbl k) then Hashtbl.add m.Memo.tbl k r)
+          | None -> ());
+          r)

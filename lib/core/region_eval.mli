@@ -31,13 +31,33 @@ type result = {
 }
 
 type cache
+(** Per-compile memo, keyed by region index and candidate plan.
+    Lock-protected: safe to share across the worker domains of one
+    parallel segment scan. *)
 
 val create_cache : unit -> cache
+
+(** Cross-compile memo keyed by region {e content} hash instead of region
+    index, so entries survive model edits for all regions whose hash did
+    not change — the incremental tier of the plan cache.  The hash is
+    supplied by the caller per region (see {!Plan_cache.region_hashes}). *)
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  val stats : t -> int * int
+  (** [(hits, misses)] so far. *)
+
+  val size : t -> int
+  (** Number of memoised region solutions. *)
+end
 
 exception Infeasible of string
 
 val eval :
   ?fuel:Fuel.t ->
+  ?memo:Memo.t * (int -> int64) ->
   cache ->
   Region.t ->
   Ckks.Params.t ->
@@ -50,7 +70,9 @@ val eval :
   result
 (** [fuel] (default unlimited) is spent by the min-cut solvers on a cache
     miss; hits are free, and fuel is not part of the memo key, so degraded
-    compiles remain deterministic.
+    compiles remain deterministic.  [memo] is an optional cross-compile
+    memo plus the content hash of each region index; consulted after the
+    per-compile [cache], populated on compute.
     @raise Infeasible when the region cannot run at the requested level
     (e.g. rescaling at level 0).
     @raise Fuel.Exhausted when the step budget runs out. *)

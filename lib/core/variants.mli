@@ -38,8 +38,11 @@ val by_name : string -> manager option
 
 val compile :
   ?verify_each:bool ->
+  ?jobs:int ->
+  ?cache:Plan_cache.t ->
   manager ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
   Fhe_ir.Dfg.t * Report.t
-(** [verify_each] is forwarded to {!Driver.compile}. *)
+(** [verify_each], [jobs] and [cache] are forwarded to
+    {!Driver.compile}. *)

@@ -269,6 +269,51 @@ let copy g =
     outs = g.outs;
   }
 
+type exported_node = {
+  ex_kind : Op.kind;
+  ex_args : int array;
+  ex_freq : int;
+  ex_dead : bool;
+}
+
+let export g =
+  ( Array.init g.len (fun i ->
+        let n = g.nodes.(i) in
+        { ex_kind = n.kind; ex_args = Array.copy n.args; ex_freq = n.freq; ex_dead = n.dead }),
+    g.outs )
+
+let import (nodes, outs) =
+  let g = create () in
+  let n = Array.length nodes in
+  Array.iteri
+    (fun i en ->
+      (* Args may legitimately point FORWARD: plan application appends
+         SMO/bootstrap nodes and rewires earlier consumers onto them, so
+         only the total range is checkable here. *)
+      Array.iter
+        (fun a ->
+          if a < 0 || a >= n then invalid_arg "Dfg.import: argument out of range")
+        en.ex_args;
+      push g
+        {
+          id = i;
+          kind = en.ex_kind;
+          args = Array.copy en.ex_args;
+          users = [];
+          freq = en.ex_freq;
+          dead = en.ex_dead;
+        })
+    nodes;
+  for i = 0 to g.len - 1 do
+    let n = g.nodes.(i) in
+    if not n.dead then Array.iter (fun a -> add_user g a i) n.args
+  done;
+  List.iter
+    (fun o -> if o < 0 || o >= n then invalid_arg "Dfg.import: output out of range")
+    outs;
+  g.outs <- outs;
+  g
+
 let pp ppf g =
   Format.fprintf ppf "@[<v>dfg (%d nodes)" g.len;
   List.iter

@@ -94,4 +94,28 @@ val validate : t -> (unit, string list) result
 
 val copy : t -> t
 
+type exported_node = {
+  ex_kind : Op.kind;
+  ex_args : int array;
+  ex_freq : int;
+  ex_dead : bool;
+}
+(** One node of a structural snapshot: everything that defines the graph
+    except the derived use lists. *)
+
+val export : t -> exported_node array * int list
+(** Structural snapshot [(nodes, outputs)], nodes indexed by id.  Two
+    graphs with equal exports are the same program (use lists are derived
+    state and deliberately excluded) — the equality used by the plan
+    cache and the bit-identity tests. *)
+
+val import : exported_node array * int list -> t
+(** Rebuild a graph from {!export}: identical ids, kinds, args, freqs and
+    outputs; use lists are recomputed (set-equal to the original's, order
+    within a node's list may differ).  Forward argument references are
+    accepted — managed graphs have them after plan application rewires
+    consumers onto appended SMO/bootstrap nodes.
+    @raise Invalid_argument when an arg or output id is outside the node
+    array. *)
+
 val pp : Format.formatter -> t -> unit

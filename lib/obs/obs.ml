@@ -354,6 +354,18 @@ module Profile = struct
       (fun (k, v) -> Format.fprintf ppf "@ %-32s %10d" k v)
       (counters t);
     Format.fprintf ppf "@]"
+
+  (* Fold a worker domain's profile into [into]: spans are re-anchored to
+     [into]'s epoch, counters and series merge by name.  Call after the
+     worker has joined — neither profile may be concurrently mutated. *)
+  let merge ~into src =
+    let offset = 1000.0 *. (src.epoch -. into.epoch) in
+    let adjusted =
+      List.rev_map (fun s -> { s with start_ms = s.start_ms +. offset }) src.finished
+    in
+    into.finished <- List.rev_append adjusted into.finished;
+    List.iter (fun (k, v) -> incr ~by:v into k) (counters src);
+    List.iter (fun (k, vs) -> List.iter (observe into k) vs) (all_series src)
 end
 
 module Trace = struct
@@ -835,55 +847,69 @@ module Metrics = struct
     counters : (string * labels, int ref) Hashtbl.t;
     gauges : (string * labels, float ref) Hashtbl.t;
     hists : (string * labels, hist) Hashtbl.t;
+    (* Mutators take this lock: a registry is shared with worker domains
+       during parallel planning so exact counters (fuel metering, cache
+       traffic) survive the fan-out. *)
+    lock : Mutex.t;
   }
 
   let create () =
-    { counters = Hashtbl.create 32; gauges = Hashtbl.create 16; hists = Hashtbl.create 32 }
+    {
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 16;
+      hists = Hashtbl.create 32;
+      lock = Mutex.create ();
+    }
 
   let key name labels = (name, List.sort compare labels)
 
   let incr ?(by = 1) ?(labels = []) t name =
     let k = key name labels in
-    match Hashtbl.find_opt t.counters k with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add t.counters k (ref by)
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.counters k with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add t.counters k (ref by))
 
   let set ?(labels = []) t name v =
     let k = key name labels in
-    match Hashtbl.find_opt t.gauges k with
-    | Some r -> r := v
-    | None -> Hashtbl.add t.gauges k (ref v)
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.gauges k with
+        | Some r -> r := v
+        | None -> Hashtbl.add t.gauges k (ref v))
 
   let observe ?(labels = []) t name v =
     let k = key name labels in
-    let h =
-      match Hashtbl.find_opt t.hists k with
-      | Some h -> h
-      | None ->
-          let h =
-            {
-              count = 0;
-              sum = 0.0;
-              minv = infinity;
-              maxv = neg_infinity;
-              counts = Array.make (finite_buckets + 1) 0;
-            }
-          in
-          Hashtbl.add t.hists k h;
-          h
-    in
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v;
-    if v < h.minv then h.minv <- v;
-    if v > h.maxv then h.maxv <- v;
-    let b = bucket_of v in
-    h.counts.(b) <- h.counts.(b) + 1
+    Mutex.protect t.lock (fun () ->
+        let h =
+          match Hashtbl.find_opt t.hists k with
+          | Some h -> h
+          | None ->
+              let h =
+                {
+                  count = 0;
+                  sum = 0.0;
+                  minv = infinity;
+                  maxv = neg_infinity;
+                  counts = Array.make (finite_buckets + 1) 0;
+                }
+              in
+              Hashtbl.add t.hists k h;
+              h
+        in
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.minv then h.minv <- v;
+        if v > h.maxv then h.maxv <- v;
+        let b = bucket_of v in
+        h.counts.(b) <- h.counts.(b) + 1)
 
   let counter_value ?(labels = []) t name =
-    match Hashtbl.find_opt t.counters (key name labels) with Some r -> !r | None -> 0
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.counters (key name labels) with Some r -> !r | None -> 0)
 
   let gauge ?(labels = []) t name =
-    Option.map ( ! ) (Hashtbl.find_opt t.gauges (key name labels))
+    Mutex.protect t.lock (fun () ->
+        Option.map ( ! ) (Hashtbl.find_opt t.gauges (key name labels)))
 
   let quantile_of_hist h q =
     if h.count = 0 then None
@@ -1130,6 +1156,7 @@ module Bench_diff = struct
     manager : string;
     metrics : (string * float) list;
     compile : Stat.summary option;
+    warm : Stat.summary option;
   }
 
   type source = {
@@ -1257,7 +1284,12 @@ module Bench_diff = struct
                 | Some j -> Result.to_option (Stat.of_json j)
                 | None -> None
               in
-              Ok ({ model; manager; metrics; compile } :: acc))
+              let warm =
+                match Json.member "compile_warm_stat" mgr_json with
+                | Some j -> Result.to_option (Stat.of_json j)
+                | None -> None
+              in
+              Ok ({ model; manager; metrics; compile; warm } :: acc))
             (Ok acc) managers)
         (Ok []) models
     in
@@ -1267,7 +1299,8 @@ module Bench_diff = struct
 
   let float_equal a b = (Float.is_nan a && Float.is_nan b) || a = b
 
-  let diff ?(noise_mult = 4.0) ?(min_tolerance_ms = 0.5) ~base ~cand () =
+  let diff ?(noise_mult = 4.0) ?(min_tolerance_ms = 0.5) ?(warm_speedup_min = 5.0)
+      ~base ~cand () =
     if base.l_max <> cand.l_max then
       Error
         (Printf.sprintf "l_max differs (%d vs %d): the files measure different sweeps"
@@ -1354,7 +1387,70 @@ module Bench_diff = struct
                       ]
                   | _ -> []
                 in
-                det @ wall)
+                (* Warm (cache-hit) compile wall band, same tolerance rule
+                   as the cold band. *)
+                let warm_band =
+                  match (b.warm, c.warm) with
+                  | Some sb, Some sc ->
+                      let tolerance =
+                        Float.max
+                          (noise_mult *. (sb.Stat.mad +. sc.Stat.mad))
+                          min_tolerance_ms
+                      in
+                      let d = sc.Stat.median -. sb.Stat.median in
+                      let verdict =
+                        if d = 0.0 then Unchanged
+                        else if Float.abs d <= tolerance then Within_noise
+                        else if d < 0.0 then Improved
+                        else Regressed
+                      in
+                      [
+                        {
+                          cmodel = b.model;
+                          cmanager = b.manager;
+                          metric = "compile_warm_ms";
+                          base = sb.Stat.median;
+                          cand = sc.Stat.median;
+                          wall_clock = true;
+                          tolerance;
+                          verdict;
+                        };
+                      ]
+                  | _ -> []
+                in
+                (* The warm-cache contract gate: the CANDIDATE's cold/warm
+                   median ratio must clear [warm_speedup_min] — a cache
+                   that stopped hitting shows up here as Regressed even
+                   when every absolute timing is within noise.  Not a
+                   wall-clock cell: the ratio is self-normalising, so it
+                   gates under every fail_on mode. *)
+                let speedup =
+                  match (c.compile, c.warm) with
+                  | Some cold, Some cwarm when cwarm.Stat.median > 0.0 ->
+                      let cand_speedup = cold.Stat.median /. cwarm.Stat.median in
+                      let base_speedup =
+                        match (b.compile, b.warm) with
+                        | Some bc, Some bw when bw.Stat.median > 0.0 ->
+                            bc.Stat.median /. bw.Stat.median
+                        | _ -> nan
+                      in
+                      [
+                        {
+                          cmodel = b.model;
+                          cmanager = b.manager;
+                          metric = "warm_speedup";
+                          base = base_speedup;
+                          cand = cand_speedup;
+                          wall_clock = false;
+                          tolerance = warm_speedup_min;
+                          verdict =
+                            (if cand_speedup >= warm_speedup_min then Unchanged
+                             else Regressed);
+                        };
+                      ]
+                  | _ -> []
+                in
+                det @ wall @ warm_band @ speedup)
           base.rows
       in
       Ok { cells; missing; added }
@@ -1504,54 +1600,63 @@ let profile_chrome_events ?(pid = 0) ?(name = "resbm compile") p =
 let chrome_trace events =
   Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ]
 
-let current_profile : Profile.t option ref = ref None
-let current () = !current_profile
+(* Ambient state is domain-local: a freshly spawned worker domain sees
+   None for all three handles, so helpers are silent there unless the
+   work-pool explicitly re-installs the parent's handles (Par does this
+   for metrics, and gives each worker its own profile to merge later).
+   Within one domain the save/restore discipline is unchanged. *)
+let current_profile : Profile.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get current_profile
 
 let with_profile p f =
-  let saved = !current_profile in
-  current_profile := Some p;
-  Fun.protect f ~finally:(fun () -> current_profile := saved)
+  let saved = Domain.DLS.get current_profile in
+  Domain.DLS.set current_profile (Some p);
+  Fun.protect f ~finally:(fun () -> Domain.DLS.set current_profile saved)
 
 let incr ?by name =
-  match !current_profile with Some p -> Profile.incr ?by p name | None -> ()
+  match current () with Some p -> Profile.incr ?by p name | None -> ()
 
 let observe name v =
-  match !current_profile with Some p -> Profile.observe p name v | None -> ()
+  match current () with Some p -> Profile.observe p name v | None -> ()
 
-let span name f = match !current_profile with Some p -> Profile.span p name f | None -> f ()
+let span name f = match current () with Some p -> Profile.span p name f | None -> f ()
 
-let current_trace_ref : Trace.t option ref = ref None
-let current_trace () = !current_trace_ref
+let current_trace_key : Trace.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current_trace () = Domain.DLS.get current_trace_key
 
 let with_trace tr f =
-  let saved = !current_trace_ref in
-  current_trace_ref := Some tr;
-  Fun.protect f ~finally:(fun () -> current_trace_ref := saved)
+  let saved = Domain.DLS.get current_trace_key in
+  Domain.DLS.set current_trace_key (Some tr);
+  Fun.protect f ~finally:(fun () -> Domain.DLS.set current_trace_key saved)
 
 let trace_instant ~name ?node ?detail () =
-  match !current_trace_ref with
+  match current_trace () with
   | Some tr -> Trace.instant tr ~name ?node ?detail ()
   | None -> ()
 
-let current_metrics_ref : Metrics.t option ref = ref None
-let current_metrics () = !current_metrics_ref
+let current_metrics_key : Metrics.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_metrics () = Domain.DLS.get current_metrics_key
 
 let with_metrics m f =
-  let saved = !current_metrics_ref in
-  current_metrics_ref := Some m;
-  Fun.protect f ~finally:(fun () -> current_metrics_ref := saved)
+  let saved = Domain.DLS.get current_metrics_key in
+  Domain.DLS.set current_metrics_key (Some m);
+  Fun.protect f ~finally:(fun () -> Domain.DLS.set current_metrics_key saved)
 
 let metric_incr ?by ?labels name =
-  match !current_metrics_ref with
+  match current_metrics () with
   | Some m -> Metrics.incr ?by ?labels m name
   | None -> ()
 
 let metric_observe ?labels name v =
-  match !current_metrics_ref with
+  match current_metrics () with
   | Some m -> Metrics.observe ?labels m name v
   | None -> ()
 
 let metric_set ?labels name v =
-  match !current_metrics_ref with
+  match current_metrics () with
   | Some m -> Metrics.set ?labels m name v
   | None -> ()

@@ -78,6 +78,11 @@ module Profile : sig
 
   val pp : Format.formatter -> t -> unit
   (** Top-level phase durations and counters, one per line. *)
+
+  val merge : into:t -> t -> unit
+  (** Fold a worker domain's profile into [into]: spans re-anchored to
+      [into]'s epoch, counters and series merged by name.  Only call
+      after the worker has joined — neither side may be mutating. *)
 end
 
 (** Runtime execution tracing — a ring-buffered flight recorder of per-op
@@ -308,6 +313,9 @@ module Bench_diff : sig
     manager : string;
     metrics : (string * float) list;  (** Deterministic metric cells. *)
     compile : Stat.summary option;  (** Multi-trial wall-clock compile stats. *)
+    warm : Stat.summary option;
+        (** Warm (plan-cache hit) compile stats, when the bench recorded
+            them ([compile_warm_stat]). *)
   }
 
   type source = {
@@ -350,15 +358,21 @@ module Bench_diff : sig
   val diff :
     ?noise_mult:float ->
     ?min_tolerance_ms:float ->
+    ?warm_speedup_min:float ->
     base:source ->
     cand:source ->
     unit ->
     (outcome, string) result
   (** Compare candidate against base.  Deterministic metrics compare
       exactly (NaN on both sides is unchanged; NaN on one side is
-      incomparable); compile medians compare within
+      incomparable); compile medians — cold ([compile_ms]) and warm
+      ([compile_warm_ms]) — compare within
       [max (noise_mult * (mad_base + mad_cand)) min_tolerance_ms]
-      (defaults 4.0 and 0.5 ms).  [Error] when the files' [l_max] differ. *)
+      (defaults 4.0 and 0.5 ms).  When both candidate summaries exist, a
+      non-wall-clock [warm_speedup] cell gates the plan-cache contract:
+      the candidate's cold/warm median ratio must reach
+      [warm_speedup_min] (default 5.0) or the cell is [Regressed].
+      [Error] when the files' [l_max] differ. *)
 
   val deterministic_changes : outcome -> cell list
   val regressions : ?strict_wallclock:bool -> outcome -> cell list

@@ -28,6 +28,7 @@ type stats = {
   recovery_ms_by_kind : (string * float) list;
   faults_by_kind : (string * int) list;
   injected_faults : int;
+  held_checkpoints : int list;
 }
 
 let headroom = Obs.Trace.headroom_bits
@@ -82,6 +83,19 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
   let boundary i =
     i = n || i = 0 || Session.region_of s order.(i - 1) <> Session.region_of s order.(i)
   in
+  (* Lazy prefix sums of simulated node cost over the execution order:
+     [exec_prefix.(i)] is the cost of executing [order.(0 .. i-1)], so the
+     re-execution saved by a checkpoint at position [p] over its next-older
+     retained neighbour at [q] is [exec_prefix.(p) -. exec_prefix.(q)].
+     Lazy because fault-free runs under a generous budget never evict. *)
+  let exec_prefix =
+    lazy
+      (let p = Array.make (n + 1) 0.0 in
+       for i = 0 to n - 1 do
+         p.(i + 1) <- p.(i) +. Fhe_ir.Latency.node_cost prm g info order.(i)
+       done;
+       p)
+  in
   let retries = ref 0 and refreshes = ref 0 in
   let n_checkpoints = ref 0 and evictions = ref 0 in
   let bytes_peak = ref 0.0 and backoff_total = ref 0.0 in
@@ -106,18 +120,40 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
           List.fold_left (fun a c -> a +. Session.snapshot_bytes c) 0.0 !checkpoints
         in
         bytes_peak := Float.max !bytes_peak total;
-        (* Evict oldest-first down to the budget, always keeping one. *)
-        let rec drop_oldest lst total =
+        (* Evict down to the budget by MINIMUM marginal re-execution
+           value, never touching the newest (it is the rollback target).
+           A checkpoint's value is the simulated latency of the span it
+           saves re-executing: its position's prefix cost minus that of
+           the next-older retained checkpoint (position 0 past the
+           oldest).  Oldest-first eviction could discard the checkpoint
+           guarding the most expensive suffix of the run; value-based
+           eviction keeps it and sheds the cheapest span instead.  Ties
+           evict the oldest, matching the previous policy. *)
+        let rec evict_to_budget lst total =
           if total <= budget then lst
           else
-            match List.rev lst with
+            match lst with
             | [] | [ _ ] -> lst
-            | oldest :: newer_rev ->
+            | newest :: rest ->
+                let prefix = Lazy.force exec_prefix in
+                let arr = Array.of_list rest (* newest first *) in
+                let m = Array.length arr in
+                let best = ref 0 and best_value = ref infinity in
+                for j = 0 to m - 1 do
+                  let p = Session.snapshot_at arr.(j) in
+                  let q = if j + 1 < m then Session.snapshot_at arr.(j + 1) else 0 in
+                  let value = prefix.(p) -. prefix.(q) in
+                  if value <= !best_value then begin
+                    best := j;
+                    best_value := value
+                  end
+                done;
                 incr evictions;
-                drop_oldest (List.rev newer_rev)
-                  (total -. Session.snapshot_bytes oldest)
+                let rest' = List.filteri (fun j _ -> j <> !best) rest in
+                evict_to_budget (newest :: rest')
+                  (total -. Session.snapshot_bytes arr.(!best))
         in
-        checkpoints := drop_oldest !checkpoints total);
+        checkpoints := evict_to_budget !checkpoints total);
     attempts := 0;
     fault_mark := injected_now ()
   in
@@ -155,6 +191,16 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
   in
   let handle_boundary i =
     let live = Session.live_cts s ~at:i in
+    (* Slot-integrity first: a corrupted slot far below the noise floor
+       changes neither level, scale nor the bookkept noise estimate, so
+       the structural and noise validators wave it through — only the
+       checksum carried from construction time can expose it. *)
+    let corrupt =
+      List.filter
+        (fun ((_ : int), (ct : Ckks.Ciphertext.t)) ->
+          not (Ckks.Ciphertext.integrity_ok ct))
+        live
+    in
     let structural =
       List.filter
         (fun (id, (ct : Ckks.Ciphertext.t)) ->
@@ -180,7 +226,20 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
         live
     in
     let faults_since = injected_now () > !fault_mark in
-    if structural <> [] then
+    if corrupt <> [] then
+      if faults_since && !attempts < config.max_attempts then
+        do_rollback ~why:"slot_integrity"
+      else
+        let id, (ct : Ckks.Ciphertext.t) = List.hd corrupt in
+        Ckks.Evaluator.raise_error
+          (Ckks.Evaluator.error ~node:id ~level:ct.Ckks.Ciphertext.level
+             ~scale_bits:ct.Ckks.Ciphertext.scale_bits ~noise:ct.Ckks.Ciphertext.err
+             Ckks.Evaluator.State_divergence ~op:"recovery"
+             (Printf.sprintf
+                "recovery: node %d failed slot-integrity validation (checksum \
+                 mismatch) beyond repair"
+                id))
+    else if structural <> [] then
       if faults_since && !attempts < config.max_attempts then
         do_rollback ~why:"state_divergence"
       else
@@ -261,4 +320,6 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
         List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) recovery_ms []);
       faults_by_kind = faults;
       injected_faults = total_faults;
+      held_checkpoints =
+        List.sort compare (List.map Session.snapshot_at !checkpoints);
     } )

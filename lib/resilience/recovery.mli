@@ -9,8 +9,11 @@
       {!Resbm.Report.t.region_of} attribution), holding only the values
       still live there; the set of retained checkpoints is bounded by a
       liveness-derived byte budget (default: twice the program's
-      {!Fhe_ir.Liveness} peak working set), evicting oldest-first but
-      always keeping at least one.
+      {!Fhe_ir.Liveness} peak working set), evicting the checkpoint of
+      minimum marginal re-execution value (the {!Fhe_ir.Latency} cost of
+      the span it saves replaying, ties oldest-first; the newest — the
+      rollback target — is never evicted) but always keeping at least
+      one.
     - {b Retry with rollback}: a retryable failure (an
       [Injected_transient] {!Ckks.Evaluator.Fhe_error}, or any error when
       faults were injected since the newest checkpoint) rolls back to the
@@ -19,10 +22,13 @@
       {e simulated} clock — determinism is preserved because no wall
       clock is involved.
     - {b Boundary validation}: at each boundary the live ciphertexts are
-      checked against the scale checker's static level/scale contract
-      (divergence — e.g. an undetected scale drift — triggers a retry,
-      and {!Ckks.Evaluator.State_divergence} when retries are exhausted)
-      and against a noise floor.
+      checked for slot integrity ({!Ckks.Ciphertext.integrity_ok} — the
+      only validator that can see a corrupted slot sitting below the
+      noise floor), against the scale checker's static level/scale
+      contract, and against a noise floor; a violation (e.g. an
+      undetected scale drift or a sub-floor slot corruption) triggers a
+      retry, and {!Ckks.Evaluator.State_divergence} when retries are
+      exhausted.
     - {b Panic re-bootstrap}: a ciphertext whose observed noise headroom
       fell below [noise_floor_bits] at a boundary {e although the static
       noise analysis} ({!Fhe_ir.Noise_check}) {e predicted it safe} is —
@@ -75,6 +81,10 @@ type stats = {
   faults_by_kind : (string * int) list;
       (** Injections observed during this run, by kind, sorted. *)
   injected_faults : int;  (** Total injections observed during this run. *)
+  held_checkpoints : int list;
+      (** Execution-order positions of the checkpoints still retained when
+          the run finished, ascending — shows which spans the value-based
+          eviction chose to keep guarding. *)
 }
 
 val run :

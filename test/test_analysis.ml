@@ -226,6 +226,56 @@ let lint_rule_ids_roundtrip () =
       | None -> Alcotest.fail "rule id does not roundtrip")
     Analysis.Lint.all
 
+(* The source-level determinism lint: unsorted Hashtbl drains in planner
+   code break plan reproducibility, so the scanner must flag them —
+   except in det.ml (the sorted-drain implementation itself) and on
+   lines deliberately marked det-ok. *)
+let lint_source_scan () =
+  let dir = Filename.temp_file "resbm_lint" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let write name lines =
+    let oc = open_out (Filename.concat dir name) in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      write "bad.ml"
+        [
+          "let f h = Hashtbl.iter (fun k v -> use k v) h";
+          "let g h = Hashtbl.fold (fun k v acc -> k :: acc) h []";
+          "let ok h = Hashtbl.iter visit h (* det-ok: singleton table *)";
+          "let clean h = Det.iter_sorted visit h";
+        ];
+      write "det.ml" [ "let iter_sorted f h = Hashtbl.iter f h" ];
+      write "notes.txt" [ "Hashtbl.iter in prose is nobody's business" ];
+      let diags = Analysis.Lint.scan_planner_sources ~dir in
+      checki "two drains flagged" 2 (List.length diags);
+      List.iter
+        (fun (d : Analysis.Diag.t) ->
+          check Alcotest.string "rule id" "unsorted-hashtbl-drain" d.Analysis.Diag.rule;
+          checkb "warning severity" true (d.Analysis.Diag.severity = Analysis.Diag.Warning);
+          checkb "hint suggests the sorted drain" true (d.Analysis.Diag.hint <> None))
+        diags;
+      let mentions sub =
+        List.exists
+          (fun (d : Analysis.Diag.t) ->
+            let s = d.Analysis.Diag.message and m = String.length sub in
+            let n = String.length s in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0)
+          diags
+      in
+      checkb "iter drain named with its line" true (mentions "bad.ml:1");
+      checkb "fold drain named with its line" true (mentions "bad.ml:2");
+      checkb "det-ok line suppressed" true (not (mentions "bad.ml:3")));
+  checkb "missing directories scan clean" true
+    (Analysis.Lint.scan_planner_sources ~dir = [])
+
 (* --- Scale_check const handling (satellite regression) --------------------- *)
 
 (* The same program with the shared constant created first vs last: the
@@ -344,6 +394,7 @@ let suite =
     case "lint: noise margin threshold" lint_noise_margin;
     case "lint: clean graph is quiet" lint_clean_graph_is_quiet;
     case "lint: rule ids roundtrip" lint_rule_ids_roundtrip;
+    case "lint: source scan flags unsorted hashtbl drains" lint_source_scan;
     case "scale_check: const levels ignore numbering" const_levels_ignore_numbering;
     case "scale_check: no max_int leak on malformed graphs" malformed_graph_no_maxint_leak;
     case "driver: verify-each across all models and managers" verify_each_matrix;

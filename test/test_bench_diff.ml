@@ -13,8 +13,8 @@ let metrics ?(latency = 100.0) ?(bts = 10.0) ?(rescales = 20.0) ?(nodes = 50.0)
     ("predicted_precision_bits", precision);
   ]
 
-let row ?compile model manager metrics =
-  { Obs.Bench_diff.model; manager; metrics; compile }
+let row ?compile ?warm model manager metrics =
+  { Obs.Bench_diff.model; manager; metrics; compile; warm }
 
 let src ?(l_max = 16) rows =
   {

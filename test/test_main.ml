@@ -21,4 +21,5 @@ let () =
       ("waterline", Test_waterline.suite);
       ("coverage", Test_coverage.suite);
       ("resilience", Test_resilience.suite);
+      ("parallel-cache", Test_parallel_cache.suite);
     ]

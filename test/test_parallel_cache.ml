@@ -1,0 +1,301 @@
+(* Domain-parallel planning and the content-addressed plan cache: the Par
+   pool's ordering/exception/fuel contracts, bit-identity of plans across
+   job counts, warm-cache identity, key sensitivity, the incremental
+   region memo, and the on-disk tier. *)
+open Test_util
+open Fhe_ir
+
+let prm = Ckks.Params.default
+
+(* Everything a compile promises to reproduce bit-for-bit: the managed
+   graph's structural snapshot plus every deterministic report field.
+   Wall-clock ([compile_ms]) and the profile are explicitly excluded. *)
+let fingerprint ((g : Dfg.t), (r : Resbm.Report.t)) =
+  ( Dfg.export g,
+    r.Resbm.Report.manager,
+    r.Resbm.Report.latency_ms,
+    r.Resbm.Report.stats,
+    r.Resbm.Report.segments,
+    r.Resbm.Report.repair_bootstraps,
+    r.Resbm.Report.ms_opt_hoists,
+    r.Resbm.Report.region_count,
+    Array.to_list r.Resbm.Report.region_of,
+    r.Resbm.Report.fallbacks )
+
+(* --- the Par pool -------------------------------------------------------- *)
+
+let par_tabulate_matches_sequential () =
+  let f i = (i * 31) mod 17 in
+  for jobs = 1 to 5 do
+    checkb
+      (Printf.sprintf "jobs=%d returns input order" jobs)
+      true
+      (Resbm.Par.tabulate ~jobs 33 f = Array.init 33 f)
+  done;
+  checkb "empty input" true (Resbm.Par.tabulate ~jobs:4 0 f = [||]);
+  checkb "more jobs than tasks" true (Resbm.Par.tabulate ~jobs:64 3 f = Array.init 3 f);
+  checkb "map composes" true
+    (Resbm.Par.map ~jobs:3 string_of_int (Array.init 10 Fun.id)
+    = Array.init 10 string_of_int)
+
+exception Marker of int
+
+let par_reraises_smallest_index () =
+  (* Several tasks fail; the pool must re-raise the failure a sequential
+     run would hit first, independent of scheduling. *)
+  for _ = 1 to 10 do
+    match
+      Resbm.Par.tabulate ~jobs:4 50 (fun i ->
+          if i mod 7 = 3 then raise (Marker i) else i)
+    with
+    | _ -> Alcotest.fail "expected Marker"
+    | exception Marker i -> checki "smallest failing index wins" 3 i
+  done
+
+let par_fuel_accounting_is_exact () =
+  (* Racing CAS spends from four domains must account exactly: no spend
+     lost, no spend double-counted, failed spends consume nothing. *)
+  let m = Obs.Metrics.create () in
+  Obs.with_metrics m (fun () ->
+      let fuel = Resbm.Fuel.create ~stage:"par" 100 in
+      ignore (Resbm.Par.tabulate ~jobs:4 100 (fun _ -> Resbm.Fuel.spend fuel));
+      checki "budget fully drained" 0 (Resbm.Fuel.remaining fuel));
+  checki "every spend counted exactly once" 100
+    (Obs.Metrics.counter_value ~labels:[ ("stage", "par") ] m "planner_fuel_spent_total");
+  let m = Obs.Metrics.create () in
+  Obs.with_metrics m (fun () ->
+      let fuel = Resbm.Fuel.create ~stage:"par" 30 in
+      (match Resbm.Par.tabulate ~jobs:4 100 (fun _ -> Resbm.Fuel.spend fuel) with
+      | _ -> Alcotest.fail "expected exhaustion"
+      | exception Resbm.Fuel.Exhausted stage ->
+          check Alcotest.string "stage" "par" stage);
+      checki "exhausted at zero" 0 (Resbm.Fuel.remaining fuel));
+  checki "successful spends only" 30
+    (Obs.Metrics.counter_value ~labels:[ ("stage", "par") ] m "planner_fuel_spent_total");
+  checkb "exhaustions counted" true
+    (Obs.Metrics.counter_value ~labels:[ ("stage", "par") ] m
+       "planner_fuel_exhausted_total"
+    >= 1)
+
+(* --- bit-identity across job counts -------------------------------------- *)
+
+let compile_opt ?jobs ?cache mgr p g =
+  match Resbm.Variants.compile ?jobs ?cache mgr p g with
+  | r -> Some r
+  | exception Resbm.Btsmgr.No_plan _ -> None
+
+let jobs_identity_all_managers () =
+  (* Every manager, two fixture programs, jobs in {1, 2, 4}: the plan and
+     every deterministic report field must be bit-identical. *)
+  List.iter
+    (fun (p, mk_g, label) ->
+      List.iter
+        (fun (mgr : Resbm.Variants.manager) ->
+          match compile_opt ~jobs:1 mgr p (mk_g ()) with
+          | None -> ()
+          | Some base ->
+              let fp = fingerprint base in
+              List.iter
+                (fun jobs ->
+                  match compile_opt ~jobs mgr p (mk_g ()) with
+                  | None ->
+                      Alcotest.failf "%s/%s: jobs=%d found no plan" label
+                        mgr.Resbm.Variants.name jobs
+                  | Some r ->
+                      checkb
+                        (Printf.sprintf "%s/%s: jobs=%d bit-identical" label
+                           mgr.Resbm.Variants.name jobs)
+                        true
+                        (fingerprint r = fp))
+                [ 2; 4 ])
+        Resbm.Variants.all)
+    [
+      (prm, fig3_poly, "fig3");
+      (Ckks.Params.fig1, fig1_block, "fig1");
+      (prm, fig5_program, "fig5");
+    ]
+
+let jobs_identity_random =
+  qcheck ~count:40 "random graphs plan bit-identically at any job count"
+    (random_dfg_gen ~max_nodes:40 ~max_depth:8)
+    (fun params ->
+      let mgr =
+        let all = Resbm.Variants.all in
+        List.nth all (Hashtbl.hash params mod List.length all)
+      in
+      match compile_opt ~jobs:1 mgr prm (build_random_dfg params) with
+      | None -> true
+      | Some base ->
+          (match compile_opt ~jobs:3 mgr prm (build_random_dfg params) with
+          | None -> false
+          | Some r -> fingerprint r = fingerprint base))
+
+(* --- warm cache ----------------------------------------------------------- *)
+
+let warm_cache_identity () =
+  let cache = Resbm.Plan_cache.create () in
+  let planned = ref 0 in
+  List.iter
+    (fun (mgr : Resbm.Variants.manager) ->
+      let g () = fig1_block () in
+      match compile_opt ~cache mgr Ckks.Params.fig1 (g ()) with
+      | None -> ()
+      | Some cold ->
+          incr planned;
+          let warm = Resbm.Variants.compile ~cache mgr Ckks.Params.fig1 (g ()) in
+          checkb
+            (mgr.Resbm.Variants.name ^ ": warm compile is bit-identical")
+            true
+            (fingerprint warm = fingerprint cold))
+    Resbm.Variants.all;
+  checkb "most managers planned" true (!planned >= 4);
+  let s = Resbm.Plan_cache.stats cache in
+  checki "one miss per cold attempt" (List.length Resbm.Variants.all)
+    s.Resbm.Plan_cache.misses;
+  checki "one hit per warm compile" !planned s.Resbm.Plan_cache.hits;
+  checki "no disk tier" 0 s.Resbm.Plan_cache.disk_hits
+
+let warm_hit_graph_is_private () =
+  (* A cached plan must not alias the stored graph: mutating a warm
+     result cannot poison later hits. *)
+  let cache = Resbm.Plan_cache.create () in
+  let mgr = Resbm.Variants.resbm in
+  let cold = Resbm.Variants.compile ~cache mgr prm (fig3_poly ()) in
+  let warm1, _ = Resbm.Variants.compile ~cache mgr prm (fig3_poly ()) in
+  Dfg.set_outputs warm1 [];
+  let warm2 = Resbm.Variants.compile ~cache mgr prm (fig3_poly ()) in
+  checkb "second hit unaffected by mutation of the first" true
+    (fingerprint warm2 = fingerprint cold)
+
+(* --- key sensitivity ------------------------------------------------------ *)
+
+let key_sensitivity () =
+  let mgr = Resbm.Variants.resbm in
+  let key ?(m = mgr) ?(p = prm) ?(scan = `Full) g =
+    Resbm.Plan_cache.key ~config:m.Resbm.Variants.config ~name:m.Resbm.Variants.name
+      ~ms_opt:m.Resbm.Variants.ms_opt ~segment_scan:scan p g
+  in
+  let k0 = key (fig3_poly ()) in
+  check Alcotest.string "stable across rebuilds" k0 (key (fig3_poly ()));
+  checki "16 hex digits" 16 (String.length k0);
+  checkb "params change the key" true (key ~p:(Ckks.Params.with_l_max prm 9) (fig3_poly ()) <> k0);
+  checkb "manager identity changes the key" true
+    (key ~m:Resbm.Variants.fhelipe (fig3_poly ()) <> k0);
+  checkb "ms_opt configuration changes the key" true
+    (key ~m:Resbm.Variants.resbm_max (fig3_poly ()) <> k0);
+  checkb "segment scan changes the key" true (key ~scan:`Adjacent (fig3_poly ()) <> k0);
+  checkb "a different program changes the key" true (key (fig5_program ()) <> k0);
+  (* a structural no-op that touches only derived state must not *)
+  let g = fig3_poly () in
+  let k1 = key g in
+  ignore (Dfg.export g);
+  check Alcotest.string "export is observation, not mutation" k1 (key g)
+
+(* --- incremental region memo ---------------------------------------------- *)
+
+(* Layered chain whose prefix is id-identical between the two variants:
+   appending a layer must leave the earlier regions' content hashes (and
+   so their memoised cuts) untouched. *)
+let layered ~layers =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let v = ref x in
+  for i = 1 to layers do
+    v := Dfg.mul_cc g !v !v;
+    v := Dfg.mul_cp g !v (Dfg.const g (Printf.sprintf "w%d" i))
+  done;
+  Dfg.set_outputs g [ !v ];
+  g
+
+let memo_reuses_clean_regions () =
+  let cache = Resbm.Plan_cache.create () in
+  let mgr = Resbm.Variants.resbm in
+  ignore (Resbm.Variants.compile ~cache mgr prm (layered ~layers:3));
+  let s1 = Resbm.Plan_cache.stats cache in
+  checki "cold compile misses the plan tier" 1 s1.Resbm.Plan_cache.misses;
+  checkb "regions were solved and memoised" true (s1.Resbm.Plan_cache.memo_entries > 0);
+  (* editing the tail invalidates the full-plan key but not the prefix *)
+  ignore (Resbm.Variants.compile ~cache mgr prm (layered ~layers:4));
+  let s2 = Resbm.Plan_cache.stats cache in
+  checki "edited program misses the plan tier" 2 s2.Resbm.Plan_cache.misses;
+  checkb "clean prefix regions replan from the memo" true
+    (s2.Resbm.Plan_cache.memo_hits > s1.Resbm.Plan_cache.memo_hits);
+  (* and the incremental result is bit-identical to a memo-free compile *)
+  let incremental = Resbm.Variants.compile ~cache mgr prm (layered ~layers:4) in
+  let scratch = Resbm.Variants.compile mgr prm (layered ~layers:4) in
+  checkb "memo-assisted plan equals the from-scratch plan" true
+    (fingerprint incremental = fingerprint scratch)
+
+let region_hashes_localise_edits () =
+  let r3 = Resbm.Region.build (layered ~layers:3) in
+  let r4 = Resbm.Region.build (layered ~layers:4) in
+  let h3 = Resbm.Plan_cache.region_hashes prm r3 in
+  let h4 = Resbm.Plan_cache.region_hashes prm r4 in
+  checkb "partitions are non-trivial" true (Array.length h3 >= 2);
+  checkb "first region's content hash survives the tail edit" true
+    (Array.length h4 >= Array.length h3 && h3.(0) = h4.(0));
+  checkb "params are part of the content" true
+    (let h3' = Resbm.Plan_cache.region_hashes (Ckks.Params.with_l_max prm 9) r3 in
+     h3'.(0) <> h3.(0))
+
+(* --- on-disk tier ---------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "resbm_cache" ".d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let disk_tier_survives_processes () =
+  with_temp_dir (fun dir ->
+      let mgr = Resbm.Variants.resbm in
+      let c1 = Resbm.Plan_cache.create ~dir () in
+      let cold = Resbm.Variants.compile ~cache:c1 mgr prm (fig3_poly ()) in
+      checkb "entry written through to disk" true
+        ((Resbm.Plan_cache.stats c1).Resbm.Plan_cache.disk_entries >= 1);
+      (* a fresh cache instance models a new process over the same dir *)
+      let c2 = Resbm.Plan_cache.create ~dir () in
+      let warm = Resbm.Variants.compile ~cache:c2 mgr prm (fig3_poly ()) in
+      let s = Resbm.Plan_cache.stats c2 in
+      checki "served from the disk tier" 1 s.Resbm.Plan_cache.disk_hits;
+      checkb "disk round-trip is bit-identical" true
+        (fingerprint warm = fingerprint cold);
+      (* clear drops both tiers *)
+      Resbm.Plan_cache.clear c2;
+      checki "disk tier emptied" 0
+        (Resbm.Plan_cache.stats c2).Resbm.Plan_cache.disk_entries)
+
+let lru_eviction_is_bounded () =
+  let cache = Resbm.Plan_cache.create ~capacity:2 () in
+  let mgr = Resbm.Variants.resbm in
+  List.iter
+    (fun l -> ignore (Resbm.Variants.compile ~cache mgr prm (layered ~layers:l)))
+    [ 1; 2; 3; 4 ];
+  let s = Resbm.Plan_cache.stats cache in
+  checki "capacity respected" 2 s.Resbm.Plan_cache.entries;
+  checki "evictions counted" 2 s.Resbm.Plan_cache.evictions;
+  (* the most recent entry is still warm *)
+  ignore (Resbm.Variants.compile ~cache mgr prm (layered ~layers:4));
+  checki "newest entry survived" (s.Resbm.Plan_cache.hits + 1)
+    (Resbm.Plan_cache.stats cache).Resbm.Plan_cache.hits
+
+let suite =
+  [
+    case "par: tabulate matches sequential evaluation" par_tabulate_matches_sequential;
+    case "par: smallest-index exception wins" par_reraises_smallest_index;
+    case "par: fuel accounting is exact across domains" par_fuel_accounting_is_exact;
+    case "plans are bit-identical at jobs 1, 2, 4" jobs_identity_all_managers;
+    jobs_identity_random;
+    case "warm cache compiles are bit-identical" warm_cache_identity;
+    case "warm hits hand out private graphs" warm_hit_graph_is_private;
+    case "cache key tracks every compile input" key_sensitivity;
+    case "memo replans only dirty regions" memo_reuses_clean_regions;
+    case "region hashes localise edits" region_hashes_localise_edits;
+    case "disk tier round-trips across cache instances" disk_tier_survives_processes;
+    case "lru eviction respects capacity" lru_eviction_is_bounded;
+  ]

@@ -360,6 +360,110 @@ let recovery_checkpoints_respect_budget () =
   checkb "evicted down to the budget" true (stats.Resilience.Recovery.evictions >= 1);
   checkb "peak accounted" true (stats.Resilience.Recovery.checkpoint_bytes_peak > 0.0)
 
+(* A slot flipped ~2^-38 below the noise floor is invisible to every
+   magnitude-based validator (level/scale match, the err bump is
+   negligible against the 12-bit slack), so only the boundary slot
+   checksum can see it.  Before checksums the run "succeeded" with a
+   silently wrong output; now it must roll back and replay exactly. *)
+let recovery_detects_subfloor_corruption () =
+  let p, managed, env, region_of = fig1_compiled () in
+  let reference = Interp.run (Ckks.Evaluator.create ~seed:9L p) managed env in
+  let out = List.hd (Dfg.outputs managed) in
+  let inj =
+    Ckks.Fault.create
+      {
+        Ckks.Fault.seed = 6L;
+        rules =
+          [
+            Ckks.Fault.rule ~nodes:[ out ] Ckks.Fault.Slot_corrupt ~prob:1.0
+              ~mag:(-38.0);
+          ];
+        budget = 1;
+      }
+  in
+  let result, stats =
+    Ckks.Fault.with_faults inj (fun () ->
+        Resilience.Recovery.run ~region_of (Ckks.Evaluator.create ~seed:9L p) managed env)
+  in
+  checki "one injection" 1 stats.Resilience.Recovery.injected_faults;
+  checkb "checksum caught the sub-floor flip" true
+    (stats.Resilience.Recovery.retries >= 1);
+  checkb "recovery latency attributed to slot_corrupt" true
+    (List.mem_assoc "slot_corrupt" stats.Resilience.Recovery.recovery_ms_by_kind);
+  check_float "clean replay is bit-exact" 0.0
+    (max_delta reference.Interp.outputs result.Interp.outputs)
+
+(* Value-based checkpoint eviction: a chain with an expensive
+   multiplicative prefix followed by a tail of cheap one-rotation regions.
+   Under budget pressure the supervisor must keep the checkpoint guarding
+   the expensive prefix (its marginal re-execution value is the whole
+   prefix) and churn through the cheap tail guards; oldest-first eviction
+   would drop the expensive guard almost immediately. *)
+let recovery_eviction_keeps_expensive_guard () =
+  let g = Dfg.create () in
+  let x = Dfg.input g "x" in
+  let v = ref x in
+  for _ = 1 to 5 do
+    v := Dfg.mul_cc g !v !v
+  done;
+  let first_rot = Dfg.rotate g !v 1 in
+  v := first_rot;
+  for _ = 1 to 7 do
+    v := Dfg.rotate g !v 1
+  done;
+  Dfg.set_outputs g [ !v ];
+  let managed, _ = Resbm.Driver.compile prm g in
+  (* Execution-order positions: everything before the first rotation is
+     the expensive prefix (region 0), then every tail position is its own
+     single-node region, so each tail node gets a boundary checkpoint. *)
+  let session = Interp.Session.create (Ckks.Evaluator.create ~seed:9L prm) managed in
+  let order = Interp.Session.order session in
+  let pos_of = Array.make (Dfg.node_count managed) (-1) in
+  Array.iteri (fun i id -> pos_of.(id) <- i) order;
+  let split = pos_of.(first_rot) in
+  checkb "prefix precedes the tail in execution order" true (split > 0);
+  let region_of id =
+    if id < 0 || id >= Array.length pos_of || pos_of.(id) < 0 then -1
+    else if pos_of.(id) < split then 0
+    else pos_of.(id) - split + 1
+  in
+  let env = { Interp.inputs = [ ("x", input_env ~dim 7L) ]; consts = const_env ~dim } in
+  (* Size one snapshot from an unconstrained run, then allow ~2.5 of them. *)
+  let unconstrained =
+    {
+      Resilience.Recovery.default with
+      Resilience.Recovery.checkpoint_budget_bytes = Some Float.infinity;
+    }
+  in
+  let _, s0 =
+    Resilience.Recovery.run ~config:unconstrained ~region_of
+      (Ckks.Evaluator.create ~seed:9L prm)
+      managed env
+  in
+  checki "unconstrained run never evicts" 0 s0.Resilience.Recovery.evictions;
+  checkb "tail produced several checkpoints" true
+    (s0.Resilience.Recovery.checkpoints >= 5);
+  let per =
+    s0.Resilience.Recovery.checkpoint_bytes_peak
+    /. float_of_int s0.Resilience.Recovery.checkpoints
+  in
+  let tight =
+    {
+      Resilience.Recovery.default with
+      Resilience.Recovery.checkpoint_budget_bytes = Some (2.5 *. per);
+    }
+  in
+  let _, s =
+    Resilience.Recovery.run ~config:tight ~region_of
+      (Ckks.Evaluator.create ~seed:9L prm)
+      managed env
+  in
+  checkb "budget pressure forced evictions" true (s.Resilience.Recovery.evictions >= 3);
+  checkb "kept the expensive-prefix guard" true
+    (List.mem split s.Resilience.Recovery.held_checkpoints);
+  checkb "churned a cheap tail guard instead" true
+    (not (List.mem (split + 1) s.Resilience.Recovery.held_checkpoints))
+
 let recovery_faultoff_identity =
   qcheck ~count:20 "fault-off recovery is bit-identical to Interp.run"
     (random_dfg_gen ~max_nodes:30 ~max_depth:8)
@@ -509,6 +613,10 @@ let suite =
       panic_refresh_when_retries_disabled;
     case "checkpoint eviction respects the byte budget"
       recovery_checkpoints_respect_budget;
+    case "slot checksum detects sub-floor corruption"
+      recovery_detects_subfloor_corruption;
+    case "eviction keeps the highest-value checkpoint"
+      recovery_eviction_keeps_expensive_guard;
     recovery_faultoff_identity;
     case "compile_robust: first tier wins when healthy" robust_compile_no_degradation;
     case "compile_robust: fuel exhaustion degrades to eager"
