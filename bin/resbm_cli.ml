@@ -8,6 +8,7 @@
      regions                   show the region partition of a model
      sweep                     l_max sweep for one model (Figure 7 style)
      lint                      verify + lint a compiled model
+     certify                   re-check min-cut certificates + abstract-interpretation safety
      cache                     on-disk plan cache stats / clear
      bench-diff                gate a candidate bench file against a baseline
      chaos                     seeded fault-injection campaign + recovery report
@@ -304,7 +305,14 @@ let compile_cmd =
          (worst case)@."
         typical.Fhe_ir.Noise_check.output_precision_bits
         worst.Fhe_ir.Noise_check.output_precision_bits;
-      Format.printf "memory: %a@." Fhe_ir.Liveness.pp (Fhe_ir.Liveness.analyse prm managed)
+      Format.printf "memory: %a@." Fhe_ir.Liveness.pp (Fhe_ir.Liveness.analyse prm managed);
+      let steps = Resbm.Driver.planner_steps report.Resbm.Report.profile in
+      if steps > 0 then
+        Format.printf
+          "planner steps: %d (a robust fuel budget calibrated on this compile alone: \
+           %d)@."
+          steps
+          (Resbm.Driver.calibrated_fuel_steps [ report ])
     end;
     match emit_path with
     | Some path ->
@@ -663,6 +671,143 @@ let lint_cmd =
       const run $ model_arg $ manager_arg $ l_max_arg $ json_path $ deny_warnings
       $ sources)
 
+(* --- certify --------------------------------------------------------------------- *)
+
+let certify_cmd =
+  let run models managers l_max jobs cache_flag json_path =
+    let all_models = Nn.Model.paper_models @ [ Nn.Model.lenet5; Nn.Model.tiny ] in
+    let split s =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let models =
+      if String.lowercase_ascii (String.trim models) = "all" then all_models
+      else List.map (fun m -> or_die (resolve_model m)) (split models)
+    in
+    let managers =
+      if String.lowercase_ascii (String.trim managers) = "all" then Resbm.Variants.all
+      else List.map (fun m -> or_die (resolve_manager m)) (split managers)
+    in
+    if models = [] then or_die (Error (`Msg "no models given"));
+    if managers = [] then or_die (Error (`Msg "no managers given"));
+    let cache = cache_of ~flag:cache_flag in
+    let prm = params_for l_max in
+    let refuted = ref 0 in
+    let cases = ref [] in
+    List.iter
+      (fun model ->
+        let lowered = Nn.Lowering.lower model in
+        List.iter
+          (fun manager ->
+            let managed, report =
+              Resbm.Variants.compile ?jobs ?cache manager prm lowered.Nn.Lowering.dfg
+            in
+            (* Re-enter the compile's profile so the certify.* spans land
+               next to the phases the <15% overhead budget is measured
+               against. *)
+            let groups =
+              Obs.with_profile report.Resbm.Report.profile (fun () ->
+                  Resbm.Driver.certify_diags prm managed report)
+            in
+            let diags = List.concat_map snd groups in
+            let errors = Analysis.Diag.count Analysis.Diag.Error diags in
+            let warnings = Analysis.Diag.count Analysis.Diag.Warning diags in
+            if errors > 0 then incr refuted;
+            let span_ms name =
+              List.fold_left
+                (fun acc (s : Obs.Profile.span) ->
+                  if s.Obs.Profile.name = name then acc +. s.Obs.Profile.dur_ms
+                  else acc)
+                0.0
+                (Obs.Profile.spans report.Resbm.Report.profile)
+            in
+            let certify_ms = span_ms "certify" in
+            Format.printf
+              "%-12s %-12s %3d certificates: %-9s (%d error%s, %d warning%s, certify \
+               %.2f ms, compile %.2f ms)@."
+              model.Nn.Model.name manager.Resbm.Variants.name
+              (List.length report.Resbm.Report.certificates)
+              (if errors = 0 then "certified" else "REFUTED")
+              errors
+              (if errors = 1 then "" else "s")
+              warnings
+              (if warnings = 1 then "" else "s")
+              certify_ms report.Resbm.Report.compile_ms;
+            List.iter
+              (fun (group, ds) ->
+                List.iter
+                  (fun (d : Analysis.Diag.t) ->
+                    if d.Analysis.Diag.severity <> Analysis.Diag.Hint then
+                      Format.printf "  [%s] %a@." group Analysis.Diag.pp_verbose d)
+                  ds)
+              groups;
+            cases :=
+              Obs.Json.Obj
+                [
+                  ("model", Obs.Json.String model.Nn.Model.name);
+                  ("manager", Obs.Json.String manager.Resbm.Variants.name);
+                  ("l_max", Obs.Json.Int l_max);
+                  ( "certificates",
+                    Obs.Json.Int (List.length report.Resbm.Report.certificates) );
+                  ("certified", Obs.Json.Bool (errors = 0));
+                  ("certify_ms", Obs.Json.Float certify_ms);
+                  ("certify_cuts_ms", Obs.Json.Float (span_ms "certify.cuts"));
+                  ("certify_levels_ms", Obs.Json.Float (span_ms "certify.levels"));
+                  ("certify_noise_ms", Obs.Json.Float (span_ms "certify.noise"));
+                  ("compile_ms", Obs.Json.Float report.Resbm.Report.compile_ms);
+                  ( "groups",
+                    Obs.Json.Obj
+                      (List.map
+                         (fun (group, ds) -> (group, Analysis.Diag.list_to_json ds))
+                         groups) );
+                ]
+              :: !cases)
+          managers)
+      models;
+    Format.printf "%d/%d plans certified@."
+      (List.length !cases - !refuted)
+      (List.length !cases);
+    (match json_path with
+    | Some path ->
+        write_json path (Obs.Json.Obj [ ("cases", Obs.Json.List (List.rev !cases)) ]);
+        Format.printf "wrote certification report to %s@." path
+    | None -> ());
+    if !refuted > 0 then exit 2
+  in
+  let models =
+    Arg.(
+      value & opt string "all"
+      & info [ "models" ] ~docv:"M1,M2,.."
+          ~doc:"Comma-separated model names, or $(b,all) (the default).")
+  in
+  let managers =
+    Arg.(
+      value & opt string "all"
+      & info [ "managers" ] ~docv:"M1,M2,.."
+          ~doc:"Comma-separated manager names, or $(b,all) (the default).")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-case certification diagnostics (grouped by certify.cuts / \
+             certify.levels / certify.noise) as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Compile the model/manager matrix and check every plan's evidence: re-verify \
+          each min-cut optimality certificate (LP duality), prove level/capacity \
+          safety by interval abstract interpretation, and prove noise safety by a \
+          sound noise-bound analysis.  Warm plan-cache hits re-check their stored \
+          certificates, so a corrupted cache entry is refuted rather than served.  \
+          Exit 2 when any plan is refuted.")
+    Term.(
+      const run $ models $ managers $ l_max_arg $ jobs_arg $ cache_arg $ json_path)
+
 (* --- sweep ----------------------------------------------------------------------- *)
 
 let sweep_cmd =
@@ -852,8 +997,8 @@ let bench_diff_cmd =
 (* --- chaos ------------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run models trials seed l_max dim rate budget max_attempts backoff floor json_path
-      min_recovery =
+  let run models trials seed l_max dim rate budget max_attempts backoff floor no_retries
+      json_path min_recovery =
     let models =
       String.split_on_char ',' models
       |> List.map String.trim
@@ -878,6 +1023,7 @@ let chaos_cmd =
         max_attempts;
         backoff_ms = backoff;
         noise_floor_bits = floor;
+        no_retries;
       }
     in
     let report = Resilience.Chaos.run cfg in
@@ -998,6 +1144,15 @@ let chaos_cmd =
             "Write the campaign report as JSON to $(docv) (byte-identical across runs \
              with the same seed and config).")
   in
+  let no_retries =
+    Arg.(
+      value & flag
+      & info [ "no-retries" ]
+          ~doc:
+            "Retry-less campaign: recovery runs with zero rollback attempts and fault \
+             plans inject only noise spikes, driving every detected fault through the \
+             panic re-bootstrap repair path instead of rollback-retry.")
+  in
   let min_recovery =
     Arg.(
       value
@@ -1014,7 +1169,7 @@ let chaos_cmd =
           reference bit-for-bit (exit 2 otherwise).")
     Term.(
       const run $ models $ trials $ seed $ l_max_arg $ dim $ rate $ budget $ max_attempts
-      $ backoff $ floor $ json_path $ min_recovery)
+      $ backoff $ floor $ no_retries $ json_path $ min_recovery)
 
 (* --- metrics ---------------------------------------------------------------------- *)
 
@@ -1099,6 +1254,7 @@ let () =
             sweep_cmd;
             export_cmd;
             lint_cmd;
+            certify_cmd;
             cache_cmd;
             bench_diff_cmd;
             chaos_cmd;

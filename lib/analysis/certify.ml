@@ -1,0 +1,106 @@
+(* Independent re-checking of Maxflow's min-cut certificates.
+
+   The checker trusts nothing about Dinic's implementation: given the
+   exported flow assignment and the claimed cut, it re-derives feasibility,
+   conservation, the flow value, cut saturation and the cut capacity from
+   the arc list alone.  If every check passes, max-flow/min-cut LP duality
+   proves the cut minimal: the flow value lower-bounds every cut, and a
+   saturated cut of equal capacity meets that bound. *)
+
+module Mf = Graphlib.Maxflow
+
+(* Capacities are sums of per-edge costs divided by degrees, so the checks
+   need a tolerance proportional to the magnitudes involved. *)
+let tolerance value = 1e-6 *. (1.0 +. abs_float value)
+
+let where ~pass ~region =
+  match region with
+  | Some r -> Printf.sprintf "%s region %d" pass r
+  | None -> pass
+
+let check ?(pass = "maxflow") ?region ?value (c : Mf.certificate) =
+  let ctx = where ~pass ~region in
+  let diags = ref [] in
+  let err rule msg = diags := Diag.error rule "%s: %s" ctx msg :: !diags in
+  let n = c.Mf.cert_nodes in
+  let s = c.Mf.cert_source and t = c.Mf.cert_sink in
+  let tol = tolerance c.Mf.cert_value in
+  if not (Float.is_finite c.Mf.cert_value) then
+    err "cert-value" (Printf.sprintf "claimed cut value %g is not finite" c.Mf.cert_value);
+  if s < 0 || s >= n || t < 0 || t >= n || s = t then
+    err "cert-shape" (Printf.sprintf "source %d / sink %d invalid for %d nodes" s t n)
+  else if Array.length c.Mf.cert_source_side <> n then
+    err "cert-shape"
+      (Printf.sprintf "source-side array has %d entries for %d nodes"
+         (Array.length c.Mf.cert_source_side) n)
+  else begin
+    let side = c.Mf.cert_source_side in
+    if not side.(s) then err "cert-source-side" "source is not on the source side";
+    if side.(t) then err "cert-source-side" "sink is on the source side";
+    let excess = Array.make n 0.0 in
+    let cut_cap = ref 0.0 in
+    Array.iter
+      (fun (a : Mf.flow_arc) ->
+        let u = a.Mf.fa_src and v = a.Mf.fa_dst in
+        if u < 0 || u >= n || v < 0 || v >= n then
+          err "cert-shape" (Printf.sprintf "arc %d->%d out of node range" u v)
+        else if not (Float.is_finite a.Mf.fa_flow) then
+          err "cert-capacity" (Printf.sprintf "arc %d->%d carries non-finite flow" u v)
+        else begin
+          if a.Mf.fa_flow < -.tol then
+            err "cert-capacity"
+              (Printf.sprintf "arc %d->%d carries negative flow %g" u v a.Mf.fa_flow);
+          if a.Mf.fa_flow > a.Mf.fa_cap +. tol then
+            err "cert-capacity"
+              (Printf.sprintf "arc %d->%d overflows capacity: flow %g > cap %g" u v
+                 a.Mf.fa_flow a.Mf.fa_cap);
+          excess.(u) <- excess.(u) -. a.Mf.fa_flow;
+          excess.(v) <- excess.(v) +. a.Mf.fa_flow;
+          if side.(u) && not side.(v) then
+            if a.Mf.fa_cap = infinity then
+              err "cert-closure"
+                (Printf.sprintf
+                   "infinite arc %d->%d crosses the cut: the source side is not closed"
+                   u v)
+            else begin
+              cut_cap := !cut_cap +. a.Mf.fa_cap;
+              if a.Mf.fa_flow < a.Mf.fa_cap -. tol then
+                err "cert-unsaturated"
+                  (Printf.sprintf "cut arc %d->%d not saturated: flow %g < cap %g" u v
+                     a.Mf.fa_flow a.Mf.fa_cap)
+            end
+          else if side.(v) && not side.(u) && a.Mf.fa_flow > tol then
+            err "cert-backflow"
+              (Printf.sprintf "arc %d->%d carries %g back across the cut" u v
+                 a.Mf.fa_flow)
+        end)
+      c.Mf.cert_arcs;
+    for v = 0 to n - 1 do
+      if v <> s && v <> t && abs_float excess.(v) > tol then
+        err "cert-conservation"
+          (Printf.sprintf "node %d violates flow conservation by %g" v excess.(v))
+    done;
+    let flow_value = -.excess.(s) in
+    if Float.is_finite c.Mf.cert_value then begin
+      if abs_float (flow_value -. c.Mf.cert_value) > tol then
+        err "cert-flow-value"
+          (Printf.sprintf "flow value %g does not match claimed value %g" flow_value
+             c.Mf.cert_value);
+      if abs_float (!cut_cap -. c.Mf.cert_value) > tol then
+        err "cert-duality"
+          (Printf.sprintf "cut capacity %g does not match flow value %g (duality gap)"
+             !cut_cap c.Mf.cert_value)
+    end;
+    match value with
+    | Some v when abs_float (v -. c.Mf.cert_value) > tol ->
+        err "cert-cut-value"
+          (Printf.sprintf "placement cut value %g disagrees with certificate value %g" v
+             c.Mf.cert_value)
+    | _ -> ()
+  end;
+  Obs.incr "certify.certificates";
+  let diags = Diag.sort (List.rev !diags) in
+  if Diag.has_errors diags then Obs.incr "certify.refuted";
+  diags
+
+let ok diags = not (Diag.has_errors diags)

@@ -1,0 +1,65 @@
+(* A classic worklist fixpoint engine over the FHE DFG.
+
+   The graph is a static circuit (a DAG), so a single sweep in (reverse)
+   topological order reaches the fixpoint; the worklist and the widening
+   hook keep the engine sound for frequency-weighted rolled loops and for
+   domains of unbounded height.  Nodes are revisited only when a
+   dependency's output actually changes, so the engine is linear in
+   (nodes + edges) on DAGs regardless of the domain. *)
+
+open Fhe_ir
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+module Make (D : DOMAIN) = struct
+  type result = { input : D.t array; output : D.t array; steps : int }
+
+  let solve ?(direction = Forward) ?(widen_after = max_int) g ~init ~transfer =
+    let n = Dfg.node_count g in
+    let order = Dfg.topo_order g in
+    let order = match direction with Forward -> order | Backward -> List.rev order in
+    let sources = match direction with Forward -> Dfg.preds | Backward -> Dfg.succs
+    and targets = match direction with Forward -> Dfg.succs | Backward -> Dfg.preds in
+    let input = Array.make n D.bottom and output = Array.make n D.bottom in
+    let visits = Array.make n 0 in
+    let queued = Array.make n false in
+    let queue = Queue.create () in
+    let push id =
+      if not queued.(id) then begin
+        queued.(id) <- true;
+        Queue.add id queue
+      end
+    in
+    List.iter push order;
+    let get id = output.(id) in
+    let steps = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      queued.(u) <- false;
+      incr steps;
+      visits.(u) <- visits.(u) + 1;
+      let node = Dfg.node g u in
+      let flowed =
+        List.fold_left (fun acc p -> D.join acc output.(p)) (init node) (sources g u)
+      in
+      let combine = if visits.(u) > widen_after then D.widen else D.join in
+      let in_v = combine input.(u) flowed in
+      input.(u) <- in_v;
+      let out = transfer node ~get in_v in
+      if not (D.equal out output.(u)) then begin
+        output.(u) <- out;
+        List.iter push (targets g u)
+      end
+    done;
+    Obs.incr ~by:!steps "dataflow.steps";
+    { input; output; steps = !steps }
+end

@@ -1,0 +1,61 @@
+(** Generic abstract-interpretation dataflow engine.
+
+    A worklist fixpoint solver over {!Fhe_ir.Dfg} graphs, parameterised by
+    a join-semilattice abstract domain.  Concrete analyses (level/scale
+    intervals, sound noise bounds, liveness — see {!Absint}) are a domain
+    plus a transfer function; the engine handles ordering, joins,
+    convergence and widening.
+
+    The DFG is a static circuit (a DAG), so the fixpoint is reached in one
+    sweep; the worklist re-queues a node only when a dependency's output
+    changes, and [widen_after] keeps termination guaranteed for domains of
+    unbounded height (e.g. interval bounds driven by frequency-weighted
+    rolled loops). *)
+
+type direction =
+  | Forward  (** Information flows def → use; sources are {!Fhe_ir.Dfg.preds}. *)
+  | Backward  (** Information flows use → def; sources are {!Fhe_ir.Dfg.succs}. *)
+
+(** A join-semilattice with a widening operator. *)
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** Least element; the identity of [join]. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old new]: an upper bound of both that guarantees every
+      ascending chain stabilises.  Domains of finite height may use
+      [join]. *)
+end
+
+module Make (D : DOMAIN) : sig
+  type result = {
+    input : D.t array;  (** Fixpoint value flowing {e into} each node id. *)
+    output : D.t array;  (** [transfer] applied to [input], per node id. *)
+    steps : int;  (** Node evaluations until convergence. *)
+  }
+
+  val solve :
+    ?direction:direction ->
+    ?widen_after:int ->
+    Fhe_ir.Dfg.t ->
+    init:(Fhe_ir.Dfg.node -> D.t) ->
+    transfer:(Fhe_ir.Dfg.node -> get:(int -> D.t) -> D.t -> D.t) ->
+    result
+  (** [solve g ~init ~transfer] runs to fixpoint over the live nodes of
+      [g].  A node's flowed-in value is [init node] joined with the
+      outputs of its sources (arguments under [Forward], users under
+      [Backward]) — boundary nodes have no sources, so [init] is their
+      whole input.  [transfer] receives the joined input plus [get], the
+      current output of any node id — use it to read {e source} values
+      individually (e.g. per-argument scales for a multiplication);
+      reading non-source nodes is unsound, since only source changes
+      re-queue the node.  After a node has been evaluated [widen_after]
+      times (default: never) its input is widened instead of joined.
+      Dead nodes keep [D.bottom].  The work done is reported to the
+      ambient {!Obs} profile as ["dataflow.steps"]. *)
+end

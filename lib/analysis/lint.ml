@@ -218,7 +218,7 @@ let noise_margin ?magnitude_cap ?const_magnitude ~min_precision_bits prm g =
   else []
 
 (* Source-level determinism lint: planner code must never drain a
-   hashtable in physical (hash) order — OCaml's Hashtbl.iter/fold order
+   hashtable in physical (hash) order — OCaml hashtable iteration order
    depends on insertion history and the random seed, and a planner
    decision taken in that order silently breaks plan reproducibility and
    the parallel/cached bit-identity contract.  Planner sources drain
@@ -229,49 +229,58 @@ let contains hay needle =
   let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
   nn = 0 || at 0
 
-let scan_planner_sources ~dir =
-  match Sys.readdir dir with
+let scan_planner_file ~rel path =
+  match open_in path with
   | exception Sys_error _ -> []
-  | files ->
-      let files = Array.to_list files in
-      let files = List.sort compare (List.filter (fun f -> Filename.check_suffix f ".ml") files) in
-      List.concat_map
-        (fun f ->
-          if f = "det.ml" then []
-          else begin
-            let path = Filename.concat dir f in
-            match open_in path with
-            | exception Sys_error _ -> []
-            | ic ->
-                Fun.protect
-                  ~finally:(fun () -> close_in_noerr ic)
-                  (fun () ->
-                    let diags = ref [] in
-                    let lnum = ref 0 in
-                    (try
-                       while true do
-                         let line = input_line ic in
-                         incr lnum;
-                         if not (contains line "det-ok") then
-                           List.iter
-                             (fun callee ->
-                               if contains line ("Hashtbl." ^ callee) then
-                                 diags :=
-                                   Diag.warning
-                                     ~hint:
-                                       "drain through Det.sorted_bindings / \
-                                        Det.iter_sorted, or mark the line (* det-ok *)"
-                                     "unsorted-hashtbl-drain"
-                                     "%s:%d: Hashtbl.%s visits bindings in \
-                                      nondeterministic hash order inside planner code"
-                                     f !lnum callee
-                                   :: !diags)
-                             [ "iter"; "fold" ]
-                       done
-                     with End_of_file -> ());
-                    List.rev !diags)
-          end)
-        files
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let diags = ref [] in
+          let lnum = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               incr lnum;
+               if not (contains line "det-ok") then
+                 List.iter
+                   (fun callee ->
+                     if contains line ("Hashtbl." ^ callee) then
+                       diags :=
+                         Diag.warning
+                           ~hint:
+                             "drain through Det.sorted_bindings / \
+                              Det.iter_sorted, or mark the line (* det-ok *)"
+                           "unsorted-hashtbl-drain"
+                           "%s:%d: Hashtbl.%s visits bindings in \
+                            nondeterministic hash order inside planner code"
+                           rel !lnum callee
+                         :: !diags)
+                   [ "iter"; "fold" ]
+             done
+           with End_of_file -> ());
+          List.rev !diags)
+
+let scan_planner_sources ~dir =
+  (* Recursive, deterministic walk: entries sorted at every level, build
+     directories skipped, messages relative to the scanned root. *)
+  let rec walk ~rel dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | entries ->
+        List.concat_map
+          (fun e ->
+            let path = Filename.concat dir e in
+            let rel = if rel = "" then e else Filename.concat rel e in
+            if (try Sys.is_directory path with Sys_error _ -> false) then
+              if e = "_build" || String.length e > 0 && e.[0] = '.' then []
+              else walk ~rel path
+            else if Filename.check_suffix e ".ml" && e <> "det.ml" then
+              scan_planner_file ~rel path
+            else [])
+          (List.sort compare (Array.to_list entries))
+  in
+  walk ~rel:"" dir
 
 let run ?(rules = all) ?(min_precision_bits = 8.0) ?magnitude_cap ?const_magnitude prm g =
   let info = Scale_check.infer prm g in

@@ -49,8 +49,11 @@ val rule_id : rule -> string
 val of_rule_id : string -> rule option
 
 val scan_planner_sources : dir:string -> Diag.t list
-(** Source-level determinism lint over the planner sources in [dir]: a
-    ["unsorted-hashtbl-drain"] warning (with file:line in the message)
+(** Source-level determinism lint over the planner sources in [dir],
+    recursing into subdirectories in sorted order ([_build] and dot
+    directories skipped): a
+    ["unsorted-hashtbl-drain"] warning (with root-relative file:line in
+    the message)
     for every [Hashtbl.iter] / [Hashtbl.fold] call site in a [.ml] file —
     hash-order iteration makes planner decisions depend on insertion
     history and seed, breaking plan reproducibility and the

@@ -109,6 +109,7 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~lbts ~subgraph =
         Maxflow_util.add_with_reverse net ~src:i ~dst:t ~cap:(bts_cost id))
     subgraph;
   let mc = Graphlib.Maxflow.min_cut net ~source:s ~sink:t in
+  let cert = Graphlib.Maxflow.certificate net ~source:s ~sink:t mc in
   Obs.incr "btsplc.cuts";
   Obs.observe "btsplc.cut_value" mc.Graphlib.Maxflow.value;
   Obs.observe "btsplc.subgraph_nodes" (float_of_int k);
@@ -130,4 +131,4 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~lbts ~subgraph =
   let sink_side =
     List.filteri (fun i _ -> not mc.Graphlib.Maxflow.source_side.(i)) subgraph
   in
-  { Cut.edges; value = mc.Graphlib.Maxflow.value; sink_side }
+  { Cut.edges; value = mc.Graphlib.Maxflow.value; sink_side; cert = Some cert }

@@ -3,7 +3,12 @@ type edge =
   | Boundary_in of { head : int }
   | Boundary_out of { tail : int }
 
-type t = { edges : edge list; value : float; sink_side : int list }
+type t = {
+  edges : edge list;
+  value : float;
+  sink_side : int list;
+  cert : Graphlib.Maxflow.certificate option;
+}
 
 let pp_edge ppf = function
   | Internal { tail; head } -> Format.fprintf ppf "%%%d->%%%d" tail head

@@ -20,6 +20,12 @@ type t = {
   edges : edge list;
   value : float;  (** Total weight of the minimum cut. *)
   sink_side : int list;  (** Region members strictly below the cut. *)
+  cert : Graphlib.Maxflow.certificate option;
+      (** Optimality certificate — the max-flow assignment whose value
+          matches [value], exported by the min-cut solve and checkable
+          with {!Analysis.Certify}.  [None] for cuts that are forced
+          rather than optimised (EVA waterline, parallel-msc, region-end
+          bootstraps), which have nothing to prove. *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -121,6 +121,23 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
       Obs.Metrics.incr m ~labels ~by:stats.Fhe_ir.Stats.executed_rescales
         "rescales_planned_total";
       Obs.Metrics.incr m ~labels ~by:regioned.Region.count "regions_total");
+  (* Harvest the min-cut optimality certificates the placements attached
+     to their cuts, in region order: the checkable evidence behind the
+     plan, preserved through the plan cache. *)
+  let certificates =
+    let acc = ref [] in
+    Array.iteri
+      (fun r (a : Btsmgr.region_action) ->
+        (match a.Btsmgr.smo_cut with
+        | Some { Cut.cert = Some c; _ } -> acc := ("smoplc", r, c) :: !acc
+        | _ -> ());
+        match a.Btsmgr.bts with
+        | Some { Btsmgr.cut = Some { Cut.cert = Some c; _ }; _ } ->
+            acc := ("btsplc", r, c) :: !acc
+        | _ -> ())
+      plan.Btsmgr.actions;
+    List.rev !acc
+  in
   let report =
     {
       Report.manager = name;
@@ -134,35 +151,93 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
       region_count = regioned.Region.count;
       region_of;
       fallbacks;
+      certificates;
     }
   in
   (managed, report)
 
+(* --- Certification -------------------------------------------------------- *)
+
+let certify_diags prm managed (report : Report.t) =
+  Obs.span "certify" @@ fun () ->
+  let cuts =
+    Obs.span "certify.cuts" @@ fun () ->
+    List.concat_map
+      (fun (pass, region, cert) ->
+        (* The cut value the placement recorded IS the certificate value
+           (the cut is built from it), so the internal duality check is
+           the value cross-check. *)
+        Analysis.Certify.check ~pass ~region cert)
+      report.Report.certificates
+  in
+  (* One concrete scale pass feeds both abstract checks' cross-validation. *)
+  let scales = Fhe_ir.Scale_check.infer prm managed in
+  let levels =
+    Obs.span "certify.levels" (fun () -> Analysis.Absint.check_levels ~scales prm managed)
+  in
+  let noise =
+    Obs.span "certify.noise" (fun () -> Analysis.Absint.check_noise ~scales prm managed)
+  in
+  [ ("certify.cuts", cuts); ("certify.levels", levels); ("certify.noise", noise) ]
+
+let run_certify prm managed (report : Report.t) =
+  (* Re-enter the compile's profile so certification cost shows up as
+     [certify.*] spans next to the phases it is measured against. *)
+  Obs.with_profile report.Report.profile @@ fun () ->
+  List.iter
+    (fun (pass, diags) ->
+      if Analysis.Diag.has_errors diags then raise (Verification_failed (pass, diags)))
+    (certify_diags prm managed report)
+
 let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
-    ?(verify_each = false) ?profile ?(fuel = Fuel.unlimited) ?(segment_scan = `Full)
-    ?(fallbacks = []) ?jobs ?cache prm g =
+    ?(verify_each = false) ?(certify = false) ?profile ?(fuel = Fuel.unlimited)
+    ?(segment_scan = `Full) ?(fallbacks = []) ?jobs ?cache prm g =
   let jobs = Par.resolve jobs in
+  let certified (managed, report) =
+    if certify then run_certify prm managed report;
+    (managed, report)
+  in
   match cache with
   | None ->
-      compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
-        ~fallbacks ~jobs ~cache:None prm g
+      certified
+        (compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
+           ~fallbacks ~jobs ~cache:None prm g)
   | Some c -> (
       let ckey = Plan_cache.key ~config ~name ~ms_opt ~segment_scan prm g in
       match Plan_cache.find c ckey with
       | Some (managed, report) ->
           (* Warm hit: the stored plan and report are bit-identical to
              what the cold path would produce (fallbacks belong to this
-             call, compile_ms was already replaced by the lookup time). *)
-          (managed, { report with Report.fallbacks })
+             call, compile_ms was already replaced by the lookup time).
+             Certification re-runs on the cached certificates — a corrupt
+             or stale cache entry is refuted, not served. *)
+          certified (managed, { report with Report.fallbacks })
       | None ->
           let managed, report =
             compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel
               ~segment_scan ~fallbacks ~jobs ~cache:(Some c) prm g
           in
+          (* Certify before storing so a refuted plan never persists. *)
+          let managed, report = certified (managed, report) in
           Plan_cache.store c ckey managed report;
           (managed, report))
 
 (* --- Graceful degradation ------------------------------------------------- *)
+
+(* The fuel-metered work a compile performed, read back from its profile:
+   exactly the counters incremented alongside each [Fuel.spend] (DP
+   segment evaluations and the two placement solvers' min-cuts). *)
+let planner_steps profile =
+  List.fold_left
+    (fun acc -> function
+      | ("btsmgr.segment_evals" | "smoplc.cuts" | "btsplc.cuts"), v -> acc + v
+      | _ -> acc)
+    0
+    (Obs.Profile.counters profile)
+
+let calibrated_fuel_steps ?percentile ?headroom reports =
+  Fuel.calibrate ?percentile ?headroom
+    (List.map (fun (r : Report.t) -> planner_steps r.Report.profile) reports)
 
 type tier = {
   tier_name : string;

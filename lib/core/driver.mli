@@ -14,11 +14,23 @@ exception Verification_failed of string * Analysis.Diag.t list
     ("region_build", "plan_apply" or "ms_opt") and the error-severity
     diagnostics that fired. *)
 
+val certify_diags :
+  Ckks.Params.t -> Fhe_ir.Dfg.t -> Report.t -> (string * Analysis.Diag.t list) list
+(** Run the full certification battery on a compile result without
+    raising: re-check every min-cut optimality certificate in
+    {!Report.t.certificates} with {!Analysis.Certify} (group
+    ["certify.cuts"]), prove level/capacity safety with
+    {!Analysis.Absint.check_levels} (["certify.levels"]) and noise safety
+    with {!Analysis.Absint.check_noise} (["certify.noise"]).  Returns the
+    groups in that order; all lists empty means the plan is certified.
+    Each group is timed as a [certify.*] span on the ambient profile. *)
+
 val compile :
   ?config:Btsmgr.config ->
   ?name:string ->
   ?ms_opt:bool ->
   ?verify_each:bool ->
+  ?certify:bool ->
   ?profile:Obs.Profile.t ->
   ?fuel:Fuel.t ->
   ?segment_scan:[ `Full | `Adjacent ] ->
@@ -32,6 +44,13 @@ val compile :
     the modswitch optimisation the paper grants the max-level managers for
     lowering excessively bootstrapped ciphertexts; the number of hoists it
     performs lands in {!Report.t.ms_opt_hoists}.
+
+    [certify] (default false) runs {!certify_diags} on the result —
+    including warm {!Plan_cache} hits, whose stored certificates are
+    re-checked before being served, and before a cold result is stored,
+    so a refuted plan never persists — raising {!Verification_failed}
+    with the failing group name (["certify.cuts"], ["certify.levels"] or
+    ["certify.noise"]) on any error-severity refutation.
 
     [verify_each] (default false) runs the {!Analysis.Verify} invariant
     verifier after every pass — region build (structural and region
@@ -83,6 +102,23 @@ val default_chain : tier list
 (** [resbm → waterline → eager]: the paper's full min-cut DP, then
     waterline planning over a full segment scan, then the linear eager
     strategy (one region per segment, [`Adjacent]). *)
+
+val planner_steps : Obs.Profile.t -> int
+(** The fuel-metered planning work a compile performed, read back from
+    its {!Report.t.profile}: the sum of the [btsmgr.segment_evals],
+    [smoplc.cuts] and [btsplc.cuts] counters — exactly the steps a
+    {!Fuel} budget meters.  0 for a warm plan-cache hit (no planning
+    ran). *)
+
+val calibrated_fuel_steps :
+  ?percentile:float -> ?headroom:float -> Report.t list -> int
+(** [calibrated_fuel_steps reports] derives a [fuel_steps] budget for
+    {!compile_robust} from the compile profiles of past runs:
+    {!Fuel.calibrate} (nearest-rank [percentile], default 0.95, padded by
+    [headroom], default 1.5) over {!planner_steps} of each report.
+    Feed it cold-compile reports of the workload mix you expect; the
+    returned budget admits the chosen fraction of them without
+    degradation.  @raise Invalid_argument on an empty list. *)
 
 val compile_robust :
   ?chain:tier list ->

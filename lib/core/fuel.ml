@@ -22,6 +22,22 @@ let remaining t =
 
 let stage t = t.stage
 
+(* Nearest-rank percentile over observed step counts, padded by a
+   multiplicative headroom: the calibrated budget admits the chosen
+   fraction of historical compiles outright and survives modest growth
+   before degrading.  Deliberately integer-in, integer-out so calibrated
+   budgets stay deterministic across platforms. *)
+let calibrate ?(percentile = 0.95) ?(headroom = 1.5) observations =
+  if observations = [] then invalid_arg "Fuel.calibrate: no observations";
+  if not (percentile >= 0.0 && percentile <= 1.0) then
+    invalid_arg "Fuel.calibrate: percentile outside [0, 1]";
+  if headroom < 1.0 then invalid_arg "Fuel.calibrate: headroom below 1";
+  let arr = Array.of_list (List.sort compare observations) in
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (percentile *. float_of_int n)) in
+  let p = arr.(max 0 (min (n - 1) (rank - 1))) in
+  int_of_float (ceil (float_of_int (max p 0) *. headroom))
+
 let spend ?(cost = 1) t =
   if t.capacity >= 0 then begin
     let rec take () =

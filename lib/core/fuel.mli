@@ -40,3 +40,15 @@ val remaining : t -> int
 (** Units left; negative = unlimited. *)
 
 val stage : t -> string
+
+val calibrate : ?percentile:float -> ?headroom:float -> int list -> int
+(** [calibrate observations] turns historical planner step counts (one
+    per compile, e.g. {!Driver.planner_steps} over archived compile
+    profiles) into a budget for {!Driver.compile_robust}'s [fuel_steps]:
+    the nearest-rank [percentile] (default 0.95) of the observations,
+    multiplied by [headroom] (default 1.5, must be >= 1) and rounded up.
+    A budget calibrated this way admits the chosen fraction of historical
+    compiles without degradation while still bounding a runaway plan.
+    Deterministic: same observations, same budget, on every platform.
+    @raise Invalid_argument on an empty list, a percentile outside
+    [0, 1], or headroom below 1. *)

@@ -212,7 +212,9 @@ let dir t = t.dir
 
 (* ---------- disk tier ---------- *)
 
-let disk_schema = 1
+(* Schema 2 added min-cut optimality certificates; schema-1 entries are
+   treated as misses and recompiled rather than served uncertifiable. *)
+let disk_schema = 2
 
 let path_of t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
 
@@ -259,6 +261,90 @@ let kind_of_json j =
   | Some "bootstrap" -> Option.map (fun t -> Op.Bootstrap t) (int "target")
   | _ -> None
 
+(* Infinite capacities are legal in certificates (source arcs, grouped
+   producer arcs); Json.to_string prints every non-finite float as [null],
+   so encode them explicitly as Null and decode Null back to [infinity]. *)
+let cap_json c = if Float.is_finite c then Obs.Json.Float c else Obs.Json.Null
+
+let cap_of_json = function
+  | Obs.Json.Float f -> Some f
+  | Obs.Json.Int i -> Some (float_of_int i)
+  | Obs.Json.Null -> Some infinity
+  | _ -> None
+
+let cert_json (c : Graphlib.Maxflow.certificate) =
+  let open Obs.Json in
+  Obj
+    [
+      ("n", Int c.Graphlib.Maxflow.cert_nodes);
+      ("s", Int c.Graphlib.Maxflow.cert_source);
+      ("t", Int c.Graphlib.Maxflow.cert_sink);
+      ("v", Float c.Graphlib.Maxflow.cert_value);
+      ( "side",
+        List
+          (Array.to_list
+             (Array.map (fun b -> Bool b) c.Graphlib.Maxflow.cert_source_side)) );
+      ( "arcs",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (a : Graphlib.Maxflow.flow_arc) ->
+                  List
+                    [
+                      Int a.Graphlib.Maxflow.fa_src;
+                      Int a.Graphlib.Maxflow.fa_dst;
+                      cap_json a.Graphlib.Maxflow.fa_cap;
+                      Float a.Graphlib.Maxflow.fa_flow;
+                    ])
+                c.Graphlib.Maxflow.cert_arcs)) );
+    ]
+
+let cert_of_json j =
+  let open Obs.Json in
+  let int k = match member k j with Some (Int i) -> Some i | _ -> None in
+  let ( let* ) = Option.bind in
+  let* cert_nodes = int "n" in
+  let* cert_source = int "s" in
+  let* cert_sink = int "t" in
+  let* cert_value =
+    match member "v" j with
+    | Some (Float f) -> Some f
+    | Some (Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let* side =
+    let* raw = match member "side" j with Some (List l) -> Some l | _ -> None in
+    List.fold_right
+      (fun x acc -> match (x, acc) with Bool b, Some tl -> Some (b :: tl) | _ -> None)
+      raw (Some [])
+  in
+  let* arcs =
+    let* raw = match member "arcs" j with Some (List l) -> Some l | _ -> None in
+    List.fold_right
+      (fun x acc ->
+        let* tl = acc in
+        match x with
+        | List [ Int fa_src; Int fa_dst; cap; Float fa_flow ] ->
+            let* fa_cap = cap_of_json cap in
+            Some ({ Graphlib.Maxflow.fa_src; fa_dst; fa_cap; fa_flow } :: tl)
+        | List [ Int fa_src; Int fa_dst; cap; Int flow ] ->
+            let* fa_cap = cap_of_json cap in
+            Some
+              ({ Graphlib.Maxflow.fa_src; fa_dst; fa_cap; fa_flow = float_of_int flow }
+              :: tl)
+        | _ -> None)
+      raw (Some [])
+  in
+  Some
+    {
+      Graphlib.Maxflow.cert_nodes;
+      cert_source;
+      cert_sink;
+      cert_value;
+      cert_source_side = Array.of_list side;
+      cert_arcs = Array.of_list arcs;
+    }
+
 let entry_json k (g : Dfg.t) (r : Report.t) =
   let open Obs.Json in
   let nodes, outs = Dfg.export g in
@@ -281,6 +367,13 @@ let entry_json k (g : Dfg.t) (r : Report.t) =
           (List.map
              (fun (tier, reason) -> List [ String tier; String reason ])
              r.Report.fallbacks) );
+      ( "certificates",
+        List
+          (List.map
+             (fun (pass, region, cert) ->
+               Obj
+                 [ ("pass", String pass); ("region", Int region); ("cert", cert_json cert) ])
+             r.Report.certificates) );
       ("outputs", List (List.map (fun o -> Int o) outs));
       ( "nodes",
         List
@@ -341,6 +434,19 @@ let entry_of_json j =
           | _ -> None)
         raw (Some [])
     in
+    let* certificates =
+      let* raw = list "certificates" in
+      List.fold_right
+        (fun x acc ->
+          let* tl = acc in
+          let* pass =
+            match member "pass" x with Some (String s) -> Some s | _ -> None
+          in
+          let* region = match member "region" x with Some (Int i) -> Some i | _ -> None in
+          let* cert = Option.bind (member "cert" x) cert_of_json in
+          Some ((pass, region, cert) :: tl))
+        raw (Some [])
+    in
     let* outputs =
       let* raw = list "outputs" in
       List.fold_right
@@ -388,6 +494,7 @@ let entry_of_json j =
         region_count;
         region_of = Array.of_list region_of;
         fallbacks;
+        certificates;
       }
     in
     Some (g, report)

@@ -10,6 +10,7 @@ type t = {
   region_count : int;
   region_of : int array;
   fallbacks : (string * string) list;
+  certificates : (string * int * Graphlib.Maxflow.certificate) list;
 }
 
 let pp ppf t =
@@ -69,5 +70,6 @@ let to_json t =
              (fun (tier, reason) ->
                Obj [ ("tier", String tier); ("reason", String reason) ])
              t.fallbacks) );
+      ("certificates", Int (List.length t.certificates));
       ("profile", Obs.Profile.to_json t.profile);
     ]

@@ -28,6 +28,14 @@ type t = {
           [("resbm", "fuel exhausted in plan")]).  Empty for a first-try
           compile; non-empty means {!Driver.compile_robust} degraded and
           [manager] names the surviving tier. *)
+  certificates : (string * int * Graphlib.Maxflow.certificate) list;
+      (** Min-cut optimality certificates collected from the plan, as
+          [(pass, region, certificate)] with [pass] one of ["smoplc"] /
+          ["btsplc"], in region order.  Every min-cut the placement
+          algorithms solved carries one; forced (non-optimised) cuts do
+          not.  Checked by {!Analysis.Certify} under
+          [Driver.compile ~certify:true] and [resbm certify]; preserved
+          verbatim by {!Plan_cache}, so warm hits stay checkable. *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -92,6 +92,7 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~level =
       if forces_sink id then Graphlib.Maxflow.add_edge net ~src:i ~dst:t ~cap:infinity)
     nodes;
   let mc = Graphlib.Maxflow.min_cut net ~source:s ~sink:t in
+  let cert = Graphlib.Maxflow.certificate net ~source:s ~sink:t mc in
   Obs.incr "smoplc.cuts";
   Obs.observe "smoplc.cut_value" mc.Graphlib.Maxflow.value;
   Obs.observe "smoplc.region_nodes" (float_of_int k);
@@ -107,4 +108,4 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~level =
   let sink_side =
     List.filteri (fun i _ -> not mc.Graphlib.Maxflow.source_side.(i)) nodes
   in
-  { Cut.edges; value = mc.Graphlib.Maxflow.value; sink_side }
+  { Cut.edges; value = mc.Graphlib.Maxflow.value; sink_side; cert = Some cert }

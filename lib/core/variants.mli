@@ -38,11 +38,12 @@ val by_name : string -> manager option
 
 val compile :
   ?verify_each:bool ->
+  ?certify:bool ->
   ?jobs:int ->
   ?cache:Plan_cache.t ->
   manager ->
   Ckks.Params.t ->
   Fhe_ir.Dfg.t ->
   Fhe_ir.Dfg.t * Report.t
-(** [verify_each], [jobs] and [cache] are forwarded to
+(** [verify_each], [certify], [jobs] and [cache] are forwarded to
     {!Driver.compile}. *)

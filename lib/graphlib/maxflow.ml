@@ -9,6 +9,7 @@ type arc = {
   mutable cap : float;
   rev : int;  (* index of the reverse arc in [adj.(dst)] *)
   original : bool;  (* true for arcs added by the user with finite cap *)
+  user : bool;  (* true for every arc added by the user, finite or not *)
   init_cap : float;
 }
 
@@ -67,8 +68,10 @@ let add_edge net ~src ~dst ~cap =
   let bwd_pos = net.deg.(dst) in
   net.deg.(dst) <- bwd_pos + 1;
   let fwd =
-    { dst; cap; rev = bwd_pos; original = cap < infinity; init_cap = cap }
-  and bwd = { dst = src; cap = 0.0; rev = fwd_pos; original = false; init_cap = 0.0 } in
+    { dst; cap; rev = bwd_pos; original = cap < infinity; user = true; init_cap = cap }
+  and bwd =
+    { dst = src; cap = 0.0; rev = fwd_pos; original = false; user = false; init_cap = 0.0 }
+  in
   net.pending.(src) <- fwd :: net.pending.(src);
   net.pending.(dst) <- bwd :: net.pending.(dst);
   net.edges_added <- net.edges_added + 1
@@ -183,3 +186,46 @@ let min_cut net ~source ~sink =
   Obs.observe "maxflow.cut_value" value;
   Obs.incr ~by:(List.length edges) "maxflow.cut_edges";
   { value; source_side = side; edges }
+
+type flow_arc = { fa_src : int; fa_dst : int; fa_cap : float; fa_flow : float }
+
+type certificate = {
+  cert_nodes : int;
+  cert_source : int;
+  cert_sink : int;
+  cert_value : float;
+  cert_source_side : bool array;
+  cert_arcs : flow_arc array;
+}
+
+(* The net flow routed through a user arc is exactly its residual
+   companion's final capacity: the companion starts at 0.0, every forward
+   push adds to it and every cancellation subtracts, and it never goes
+   negative.  This also works for infinite-capacity user arcs, whose own
+   residual capacity stays [infinity]. *)
+let certificate net ~source ~sink (c : cut) =
+  if not net.built then invalid_arg "Maxflow.certificate: network not built";
+  let arcs = ref [] in
+  for u = net.n - 1 downto 0 do
+    let row = net.adj.(u) in
+    for i = Array.length row - 1 downto 0 do
+      let a = row.(i) in
+      if a.user then
+        arcs :=
+          {
+            fa_src = u;
+            fa_dst = a.dst;
+            fa_cap = a.init_cap;
+            fa_flow = net.adj.(a.dst).(a.rev).cap;
+          }
+          :: !arcs
+    done
+  done;
+  {
+    cert_nodes = net.n;
+    cert_source = source;
+    cert_sink = sink;
+    cert_value = c.value;
+    cert_source_side = Array.copy c.source_side;
+    cert_arcs = Array.of_list !arcs;
+  }

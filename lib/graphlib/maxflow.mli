@@ -44,3 +44,31 @@ type cut = {
 val min_cut : t -> source:int -> sink:int -> cut
 (** Max-flow followed by a residual-graph reachability pass.  Only arcs
     that were added with a finite capacity are reported in [edges]. *)
+
+(** One user arc of the network with its final flow assignment.  [fa_cap]
+    is the capacity as added ([infinity] is legal); [fa_flow] is the net
+    flow Dinic routed through it (always [>= 0] and [<= fa_cap]). *)
+type flow_arc = { fa_src : int; fa_dst : int; fa_cap : float; fa_flow : float }
+
+(** A self-contained optimality certificate for a min cut: the full flow
+    assignment plus the cut it allegedly saturates.  A checker that
+    verifies (a) the flow is feasible and conserved, (b) its value equals
+    [cert_value], (c) every arc crossing the cut source-to-sink is
+    saturated and no crossing arc carries flow sink-to-source, has — by
+    max-flow/min-cut LP duality — proved the cut minimal without trusting
+    this module. *)
+type certificate = {
+  cert_nodes : int;
+  cert_source : int;
+  cert_sink : int;
+  cert_value : float;  (** The claimed max-flow = min-cut value. *)
+  cert_source_side : bool array;  (** Copy of the cut's [source_side]. *)
+  cert_arcs : flow_arc array;
+      (** Every user-added arc (including infinite ones), in deterministic
+          (source node, insertion order) order. *)
+}
+
+val certificate : t -> source:int -> sink:int -> cut -> certificate
+(** Export the flow assignment left behind by {!min_cut} together with the
+    returned cut.  Call after {!min_cut} on the same network; raises
+    [Invalid_argument] if the network was never run. *)

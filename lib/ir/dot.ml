@@ -40,7 +40,7 @@ let to_string ?(name = "dfg") ?(cluster = fun _ -> None) ?(annotate = fun _ -> N
     in
     pf "    n%d [label=\"%s\", %s];\n" id (escape label) (node_style n.Dfg.kind)
   in
-  Hashtbl.fold (fun c ids acc -> (c, ids) :: acc) clusters []
+  Hashtbl.fold (fun c ids acc -> (c, ids) :: acc) clusters [] (* det-ok: sorted *)
   |> List.sort compare
   |> List.iter (fun (c, ids) ->
          pf "  subgraph cluster_%d {\n    label=\"region %d\";\n    color=gray;\n" c c;

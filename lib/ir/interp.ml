@@ -74,9 +74,7 @@ module Session = struct
     trace : Obs.Trace.t option;
     region_of : int -> int;
     values : (int, value) Hashtbl.t;
-    order : int array;
-    order_index : int array;  (* node id -> position in [order]; -1 if dead *)
-    is_output : bool array;
+    sched : Liveness.schedule;
     mutable latency : float;
     mutable ops : int;
     mutable costs : node_cost list;  (* reversed *)
@@ -119,11 +117,6 @@ module Session = struct
           | Some tr -> Obs.with_trace tr do_raise
           | None -> do_raise ())
     in
-    let order = Array.of_list (Dfg.topo_order g) in
-    let order_index = Array.make (Dfg.node_count g) (-1) in
-    Array.iteri (fun i id -> order_index.(id) <- i) order;
-    let is_output = Array.make (Dfg.node_count g) false in
-    List.iter (fun id -> is_output.(id) <- true) (Dfg.outputs g);
     {
       ev;
       g;
@@ -131,15 +124,14 @@ module Session = struct
       trace;
       region_of;
       values = Hashtbl.create (Dfg.node_count g);
-      order;
-      order_index;
-      is_output;
+      sched = Liveness.schedule g;
       latency = 0.0;
       ops = 0;
       costs = [];
     }
 
-  let order s = s.order
+  let order s = s.sched.Liveness.order
+  let schedule s = s.sched
   let static_info s = s.info
   let graph s = s.g
   let evaluator s = s.ev
@@ -247,13 +239,11 @@ module Session = struct
     in
     match s.trace with Some tr -> Obs.with_trace tr go | None -> go ()
 
-  let is_live s ~at id =
-    s.is_output.(id)
-    || List.exists (fun u -> s.order_index.(u) >= at) (Dfg.succs s.g id)
+  let is_live s ~at id = Liveness.live_at s.sched ~at id
 
   let live_cts s ~at =
     List.sort compare
-      (Hashtbl.fold
+      (Hashtbl.fold (* det-ok: result is sorted by node id *)
          (fun id v acc ->
            match v with
            | Ct c when is_live s ~at id -> (id, c) :: acc
@@ -268,9 +258,13 @@ module Session = struct
   let snapshot s ~at =
     let prm = Ckks.Evaluator.params s.ev in
     let saved =
-      Hashtbl.fold
-        (fun id v acc -> if is_live s ~at id then (id, v) :: acc else acc)
-        s.values []
+      (* Sorted by node id so [snap_bytes] (a float sum) and the saved
+         list are independent of hash order. *)
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (* det-ok: result is sorted by node id *)
+           (fun id v acc -> if is_live s ~at id then (id, v) :: acc else acc)
+           s.values [])
     in
     let snap_bytes =
       List.fold_left

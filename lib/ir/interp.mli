@@ -82,6 +82,10 @@ module Session : sig
   val order : t -> int array
   (** Node ids in execution (topological) order; {!exec} them in sequence. *)
 
+  val schedule : t -> Liveness.schedule
+  (** The session's materialised {!Liveness.schedule} — [order] plus the
+      O(1) last-use/liveness bounds that checkpointing keys on. *)
+
   val static_info : t -> Scale_check.info array
   (** The scale checker's per-node level/scale — the static contract a
       supervisor validates the runtime state against. *)

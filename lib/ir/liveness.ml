@@ -9,26 +9,41 @@ let ciphertext_bytes prm ~level =
   let n = float_of_int (1 lsl prm.Ckks.Params.log2_degree) in
   2.0 *. float_of_int (level + 1) *. n *. 8.0
 
+type schedule = {
+  order : int array;
+  order_index : int array;
+  last_use : int array;
+  is_output : bool array;
+}
+
+let schedule g =
+  let n = Dfg.node_count g in
+  let order = Array.of_list (Dfg.topo_order g) in
+  let order_index = Array.make n (-1) in
+  Array.iteri (fun i id -> order_index.(id) <- i) order;
+  (* Walking [order] forwards, a plain overwrite leaves each value's
+     maximum user position — its last use.  Outputs stay live forever. *)
+  let last_use = Array.make n (-1) in
+  Array.iteri
+    (fun pos id -> Array.iter (fun a -> last_use.(a) <- pos) (Dfg.node g id).Dfg.args)
+    order;
+  let is_output = Array.make n false in
+  List.iter
+    (fun o ->
+      is_output.(o) <- true;
+      last_use.(o) <- max_int)
+    (Dfg.outputs g);
+  { order; order_index; last_use; is_output }
+
+let live_at sched ~at id = sched.is_output.(id) || sched.last_use.(id) >= at
+
 let analyse prm g =
   let info = Scale_check.infer prm g in
-  let order = Dfg.topo_order g in
-  let position = Hashtbl.create 64 in
-  List.iteri (fun i id -> Hashtbl.add position id i) order;
-  let outputs = Dfg.outputs g in
-  (* last use per ciphertext value; outputs stay live to the end *)
-  let last_use = Hashtbl.create 64 in
-  List.iter
-    (fun id ->
-      let node = Dfg.node g id in
-      Array.iter
-        (fun a -> Hashtbl.replace last_use a (Hashtbl.find position id))
-        node.Dfg.args)
-    order;
-  List.iter (fun o -> Hashtbl.replace last_use o max_int) outputs;
+  let sched = schedule g in
   let live = Hashtbl.create 64 in
   let live_bytes = ref 0.0 and live_count = ref 0 in
   let peak_live = ref 0 and peak_bytes = ref 0.0 and total = ref 0 in
-  List.iteri
+  Array.iteri
     (fun pos id ->
       let node = Dfg.node g id in
       if Op.produces_ct node.Dfg.kind then begin
@@ -43,7 +58,7 @@ let analyse prm g =
       (* free operands at their last use *)
       List.iter
         (fun a ->
-          if Hashtbl.find_opt last_use a = Some pos then
+          if sched.last_use.(a) = pos then
             match Hashtbl.find_opt live a with
             | Some bytes ->
                 Hashtbl.remove live a;
@@ -51,7 +66,7 @@ let analyse prm g =
                 decr live_count
             | None -> ())
         (Dfg.preds g id))
-    order;
+    sched.order;
   {
     total_ciphertexts = !total;
     peak_live = !peak_live;

@@ -17,6 +17,25 @@ type report = {
 
 val analyse : Ckks.Params.t -> Dfg.t -> report
 
+(** A materialised execution schedule with liveness bounds — the shared
+    substrate for every position-based liveness query ({!analyse}, the
+    interpreter's checkpointing, recovery's boundary validation).  All
+    arrays are indexed by node id. *)
+type schedule = {
+  order : int array;  (** Node ids in execution (topological) order. *)
+  order_index : int array;  (** Node id -> position in [order]; [-1] if dead. *)
+  last_use : int array;
+      (** Position of the value's last use; [max_int] for program outputs
+          (live forever), [-1] for values never used. *)
+  is_output : bool array;
+}
+
+val schedule : Dfg.t -> schedule
+
+val live_at : schedule -> at:int -> int -> bool
+(** [live_at sched ~at id]: is [id]'s value still needed at position [at]
+    of the schedule — an output, or used at or after [at]?  O(1). *)
+
 val ciphertext_bytes : Ckks.Params.t -> level:int -> float
 (** Size of one RNS ciphertext at [level]. *)
 

@@ -131,7 +131,7 @@ let analyse ~strict (prm : Ckks.Params.t) g =
   (* Back-patch the resolved constant scales.  Only [Const] nodes are in
      the table, so the [max_int] level sentinel stays confined to
      plaintexts ([is_ct = false] entries). *)
-  Hashtbl.iter
+  Hashtbl.iter (* det-ok: independent per-key array writes *)
     (fun id scale_bits -> info.(id) <- { info.(id) with scale_bits })
     const_scale;
   (info, List.rev !violations)

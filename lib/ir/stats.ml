@@ -42,7 +42,7 @@ let collect g =
     executed_modswitches = get executed Ckks.Cost_model.Modswitch;
     bootstrap_count = get static Ckks.Cost_model.Bootstrap;
     bootstrap_levels =
-      Hashtbl.fold (fun l c acc -> (l, c) :: acc) bts_levels []
+      Hashtbl.fold (fun l c acc -> (l, c) :: acc) bts_levels [] (* det-ok: sorted *)
       |> List.sort (fun (a, _) (b, _) -> compare b a);
     max_depth = Depth.max_depth g;
   }

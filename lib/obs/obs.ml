@@ -309,11 +309,11 @@ module Profile = struct
       (List.rev t.finished)
 
   let counters t =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters [] (* det-ok: sorted *)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
   let all_series t =
-    Hashtbl.fold (fun k r acc -> (k, List.rev !r) :: acc) t.series []
+    Hashtbl.fold (fun k r acc -> (k, List.rev !r) :: acc) t.series [] (* det-ok: sorted *)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
   let to_json t =
@@ -976,7 +976,7 @@ module Metrics = struct
     List.rev !acc
 
   let sorted_bindings tbl =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* det-ok: sorted *)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
 
   let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)

@@ -9,6 +9,7 @@ type config = {
   max_attempts : int;
   backoff_ms : float;
   noise_floor_bits : float;
+  no_retries : bool;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     max_attempts = Recovery.default.Recovery.max_attempts;
     backoff_ms = Recovery.default.Recovery.backoff_ms;
     noise_floor_bits = Recovery.default.Recovery.noise_floor_bits;
+    no_retries = false;
   }
 
 type trial = {
@@ -78,17 +80,28 @@ let name_salt name =
    structural divergence), and a large slot corruption (its quadrature
    noise bump drops the observed headroom below the floor).  Small silent
    slot corruptions are deliberately not generated — see ROADMAP. *)
-let trial_plan rng ~rate ~budget =
+let trial_plan rng ~rate ~budget ~no_retries =
   let u lo hi = Ckks.Prng.uniform rng ~lo ~hi in
   let seed = Ckks.Prng.int64 rng in
   let rules =
-    [
-      Ckks.Fault.rule Ckks.Fault.Transient ~prob:(rate *. u 0.5 1.5) ~mag:0.0;
-      Ckks.Fault.rule Ckks.Fault.Noise_spike ~prob:(rate *. u 0.25 1.0) ~mag:(u 18.0 28.0);
-      Ckks.Fault.rule Ckks.Fault.Scale_drift ~prob:(rate *. u 0.1 0.5) ~mag:3.0;
-      Ckks.Fault.rule Ckks.Fault.Slot_corrupt ~prob:(rate *. u 0.25 1.0)
-        ~mag:(u (-4.0) (-1.0));
-    ]
+    if no_retries then
+      (* Retry-less campaigns inject only noise spikes: with
+         [max_attempts = 0] every other kind raises unretried, while a
+         spike drives the boundary validator straight into the panic
+         re-bootstrap repair path — the branch this mode exists to
+         exercise at scale. *)
+      [
+        Ckks.Fault.rule Ckks.Fault.Noise_spike ~prob:(rate *. u 0.25 1.0)
+          ~mag:(u 18.0 28.0);
+      ]
+    else
+      [
+        Ckks.Fault.rule Ckks.Fault.Transient ~prob:(rate *. u 0.5 1.5) ~mag:0.0;
+        Ckks.Fault.rule Ckks.Fault.Noise_spike ~prob:(rate *. u 0.25 1.0) ~mag:(u 18.0 28.0);
+        Ckks.Fault.rule Ckks.Fault.Scale_drift ~prob:(rate *. u 0.1 0.5) ~mag:3.0;
+        Ckks.Fault.rule Ckks.Fault.Slot_corrupt ~prob:(rate *. u 0.25 1.0)
+          ~mag:(u (-4.0) (-1.0));
+      ]
   in
   { Ckks.Fault.seed; rules; budget }
 
@@ -142,7 +155,7 @@ let run_model cfg name =
   let tolerance = Float.max 1e-6 (32.0 *. max_err) in
   let rcfg =
     {
-      Recovery.max_attempts = cfg.max_attempts;
+      Recovery.max_attempts = (if cfg.no_retries then 0 else cfg.max_attempts);
       backoff_ms = cfg.backoff_ms;
       checkpoint_budget_bytes = None;
       noise_floor_bits = cfg.noise_floor_bits;
@@ -164,7 +177,9 @@ let run_model cfg name =
   let rng = Ckks.Prng.create (Int64.logxor cfg.seed (name_salt name)) in
   let trials =
     List.init cfg.trials (fun t ->
-        let plan = trial_plan rng ~rate:cfg.rate ~budget:cfg.budget in
+        let plan =
+          trial_plan rng ~rate:cfg.rate ~budget:cfg.budget ~no_retries:cfg.no_retries
+        in
         let injector = Ckks.Fault.create plan in
         let ev = Ckks.Evaluator.create ~seed:ev_seed prm in
         let outcome =
@@ -184,7 +199,8 @@ let run_model cfg name =
               Hashtbl.replace tbl k
                 (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
             (Ckks.Fault.injections injector);
-          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+          List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* det-ok: sorted *))
         in
         match outcome with
         | Ok (result, stats) ->
@@ -227,7 +243,8 @@ let run_model cfg name =
             Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
           (get t))
       trials;
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* det-ok: sorted *))
   in
   let merge_ms get =
     let tbl = Hashtbl.create 4 in
@@ -239,7 +256,8 @@ let run_model cfg name =
               (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
           (get t))
       trials;
-    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* det-ok: sorted *))
   in
   {
     model = name;

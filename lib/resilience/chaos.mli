@@ -28,11 +28,17 @@ type config = {
   max_attempts : int;  (** {!Recovery.config.max_attempts}. *)
   backoff_ms : float;  (** {!Recovery.config.backoff_ms}. *)
   noise_floor_bits : float;  (** {!Recovery.config.noise_floor_bits}. *)
+  no_retries : bool;
+      (** Retry-less campaign: recovery runs with [max_attempts = 0]
+          (overriding [max_attempts]) and fault plans inject only noise
+          spikes, so every detected fault goes straight to the panic
+          re-bootstrap repair path instead of rollback-retry — the
+          coverage mode for that branch. *)
 }
 
 val default : config
 (** seed 0xC4A05, 25 trials, [tiny] model, l_max 9, dim 64, rate 0.02,
-    budget 3, recovery defaults. *)
+    budget 3, recovery defaults, retries enabled. *)
 
 type trial = {
   trial_index : int;

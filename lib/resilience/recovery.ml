@@ -304,7 +304,8 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
             let k = Ckks.Fault.kind_name i.Ckks.Fault.inj_kind in
             Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
           mine;
-        ( List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []),
+        ( List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* det-ok: sorted *)),
           List.length mine )
   in
   ( result,
@@ -317,7 +318,8 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
       checkpoint_bytes_peak = !bytes_peak;
       backoff_ms_total = !backoff_total;
       recovery_ms_by_kind =
-        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) recovery_ms []);
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) recovery_ms [] (* det-ok: sorted *));
       faults_by_kind = faults;
       injected_faults = total_faults;
       held_checkpoints =

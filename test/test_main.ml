@@ -17,6 +17,7 @@ let () =
       ("nn", Test_nn.suite);
       ("tooling", Test_tooling.suite);
       ("analysis", Test_analysis.suite);
+      ("certify", Test_certify.suite);
       ("frontend", Test_frontend.suite);
       ("waterline", Test_waterline.suite);
       ("coverage", Test_coverage.suite);
