@@ -569,6 +569,13 @@ let bench_json () =
           in
           warm.Resbm.Report.compile_ms)
     in
+    (* GC telemetry around one fresh compile: informational cells in the
+       bench schema — Bench_diff reports their drift but never gates on
+       it, and diffs against baselines without them stay clean. *)
+    let _, gc =
+      Obs.Rt.gc_sample (fun () ->
+          Resbm.Variants.compile mgr prm (lowered model).Nn.Lowering.dfg)
+    in
     let profile = r.Resbm.Report.profile in
     let phases =
       List.filter_map
@@ -593,6 +600,9 @@ let bench_json () =
         ("region_count", Obs.Json.Int r.Resbm.Report.region_count);
         ( "predicted_precision_bits",
           Obs.Json.Float noise.Noise_check.output_precision_bits );
+        ("gc_minor_words", Obs.Json.Float gc.Obs.Rt.minor_words);
+        ("gc_major_words", Obs.Json.Float gc.Obs.Rt.major_words);
+        ("gc_top_heap_words", Obs.Json.Float (float_of_int gc.Obs.Rt.top_heap_words));
         ("phases", Obs.Json.Obj phases);
         ( "counters",
           Obs.Json.Obj

@@ -13,6 +13,7 @@
      bench-diff                gate a candidate bench file against a baseline
      chaos                     seeded fault-injection campaign + recovery report
      metrics                   aggregate-metrics dump (Prometheus text or JSON)
+     health                    rule-based health verdict over a flight file or fresh run
 
    Exit codes: 0 success, 1 usage error, 2 verifier/lint/trace/gate failure.
 
@@ -77,6 +78,108 @@ let write_json path json =
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc
+
+(* --- flight files (structured logs + metrics + worker telemetry) ----------- *)
+
+(* One collector bundle for [--log-out]: a log sink, a metrics registry
+   and a runtime-telemetry collector installed ambiently around the
+   command's work and exported together as a "flight" file that [resbm
+   health] can judge offline. *)
+type flight = { fl_log : Obs.Log.t; fl_metrics : Obs.Metrics.t; fl_rt : Obs.Rt.t }
+
+let with_flight log_out f =
+  match log_out with
+  | None -> f None
+  | Some _ ->
+      let fl =
+        {
+          fl_log = Obs.Log.create ();
+          fl_metrics = Obs.Metrics.create ();
+          fl_rt = Obs.Rt.create ();
+        }
+      in
+      Obs.with_log fl.fl_log @@ fun () ->
+      Obs.with_metrics fl.fl_metrics @@ fun () ->
+      Obs.with_rt fl.fl_rt @@ fun () -> f (Some fl)
+
+let flight_json fl =
+  (* Stamp the drop gauge at export time so the flight file carries its
+     own loss accounting (read back by Health's ring-overflow rule). *)
+  Obs.Metrics.set fl.fl_metrics "log_dropped_records"
+    (float_of_int (Obs.Log.dropped fl.fl_log));
+  Obs.Json.Obj
+    [
+      ("resbm_flight", Obs.Json.Int 1);
+      ( "records",
+        Obs.Json.List (List.map Obs.Log.record_to_json (Obs.Log.records fl.fl_log)) );
+      ("metrics", Obs.Metrics.to_json fl.fl_metrics);
+      ("rt", Obs.Rt.to_json fl.fl_rt);
+    ]
+
+let write_flight path fl =
+  write_json path (flight_json fl);
+  Format.printf "wrote flight log (%d records, %d dropped) to %s@."
+    (List.length (Obs.Log.records fl.fl_log))
+    (Obs.Log.dropped fl.fl_log) path
+
+let flight_chrome_events fl =
+  Obs.Log.chrome_events (Obs.Log.records fl.fl_log) @ Obs.Rt.chrome_events fl.fl_rt
+
+let load_flight path =
+  let content =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Format.eprintf "error: cannot read %s: %s@." path msg;
+      exit 1
+  in
+  match Obs.Json.of_string content with
+  | Error msg ->
+      Format.eprintf "error: %s: %s@." path msg;
+      exit 1
+  | Ok json ->
+      (match Obs.Json.member "resbm_flight" json with
+      | Some (Obs.Json.Int 1) -> ()
+      | _ ->
+          Format.eprintf "error: %s is not a resbm flight file@." path;
+          exit 1);
+      let records =
+        match Obs.Json.member "records" json with
+        | Some (Obs.Json.List rs) ->
+            List.filter_map
+              (fun r ->
+                match Obs.Log.record_of_json r with
+                | Ok r -> Some r
+                | Error _ -> None)
+              rs
+        | _ -> []
+      in
+      let metrics =
+        match Obs.Json.member "metrics" json with
+        | Some j -> (
+            match Obs.Metrics.of_json j with
+            | Ok m -> m
+            | Error msg ->
+                Format.eprintf "error: %s: bad metrics section: %s@." path msg;
+                exit 1)
+        | None -> Obs.Metrics.create ()
+      in
+      (records, metrics)
+
+let log_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-out" ] ~docv:"FILE"
+        ~doc:
+          "Collect structured logs, aggregate metrics and worker telemetry during \
+           the command and write them as a flight file to $(docv) (judged offline \
+           by $(b,resbm health --in)).  Chrome trace exports made by the same \
+           invocation gain the log instants and per-domain worker tracks.")
 
 let profile_arg =
   Arg.(
@@ -150,12 +253,15 @@ let traced_inference prm lowered ~managed ~(report : Resbm.Report.t) ~dim =
   (tr, outcome)
 
 (* Compile spans (pid 0) and the simulated execution (pid 1) in one
-   Perfetto timeline. *)
-let write_chrome_trace path (report : Resbm.Report.t) tr =
+   Perfetto timeline; with [?flight], log instants and the planner-pool
+   worker tracks (pid 2) join them. *)
+let write_chrome_trace ?flight path (report : Resbm.Report.t) tr =
+  let extra = match flight with None -> [] | Some fl -> flight_chrome_events fl in
   write_json path
     (Obs.chrome_trace
        (Obs.profile_chrome_events ~pid:0 report.Resbm.Report.profile
-       @ Obs.Trace.chrome_events ~pid:1 tr));
+       @ Obs.Trace.chrome_events ~pid:1 tr
+       @ extra));
   Format.printf "wrote Chrome trace to %s (open in https://ui.perfetto.dev)@." path
 
 let write_jsonl path tr =
@@ -240,7 +346,8 @@ let list_cmd =
 
 let compile_cmd =
   let run model manager l_max verify_each verbose emit_path profile_path trace_out robust
-      fuel jobs cache_flag =
+      fuel jobs cache_flag log_out =
+    with_flight log_out @@ fun fl ->
     let model = or_die (resolve_model model) in
     let prm = params_for l_max in
     let lowered = Nn.Lowering.lower model in
@@ -278,11 +385,17 @@ let compile_cmd =
     | None -> ());
     (match trace_out with
     | Some path ->
+        let extra =
+          match fl with None -> [] | Some fl -> flight_chrome_events fl
+        in
         write_json path
           (Obs.chrome_trace
-             (Obs.profile_chrome_events ~pid:0 report.Resbm.Report.profile));
+             (Obs.profile_chrome_events ~pid:0 report.Resbm.Report.profile @ extra));
         Format.printf "wrote compile-pipeline Chrome trace to %s@." path
     | None -> ());
+    (match (log_out, fl) with
+    | Some path, Some fl -> write_flight path fl
+    | _ -> ());
     if verbose then begin
       (* one scale/level inference shared by every analysis below *)
       let info = Fhe_ir.Scale_check.infer prm managed in
@@ -369,7 +482,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a model and print the management report.")
     Term.(
       const run $ model_arg $ manager_arg $ l_max_arg $ verify_each $ verbose $ emit_path
-      $ profile_arg $ trace_out $ robust $ fuel $ jobs_arg $ cache_arg)
+      $ profile_arg $ trace_out $ robust $ fuel $ jobs_arg $ cache_arg $ log_out_arg)
 
 (* --- run -------------------------------------------------------------------- *)
 
@@ -415,7 +528,8 @@ let run_cmd =
 (* --- trace ------------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run model manager l_max dim out jsonl summary verify_each jobs =
+  let run model manager l_max dim out jsonl summary verify_each jobs log_out =
+    with_flight log_out @@ fun fl ->
     let model = or_die (resolve_model model) in
     let manager = or_die (resolve_manager manager) in
     let prm = params_for l_max in
@@ -430,8 +544,19 @@ let trace_cmd =
     Format.printf "compiled %s with %s in %.1f ms@." model.Nn.Model.name
       manager.Resbm.Variants.name report.Resbm.Report.compile_ms;
     let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
-    (match out with Some path -> write_chrome_trace path report tr | None -> ());
+    (* The flight's metrics carry the traced per-op/per-region
+       distributions too, so a health judgement of this flight can apply
+       the noise-headroom rule. *)
+    (match fl with
+    | Some fl -> ignore (Obs.Metrics.of_trace ~into:fl.fl_metrics tr)
+    | None -> ());
+    (match out with
+    | Some path -> write_chrome_trace ?flight:fl path report tr
+    | None -> ());
     (match jsonl with Some path -> write_jsonl path tr | None -> ());
+    (match (log_out, fl) with
+    | Some path, Some fl -> write_flight path fl
+    | _ -> ());
     match outcome with
     | Error msg ->
         Format.eprintf
@@ -506,7 +631,7 @@ let trace_cmd =
           timeline (per-op events, noise/level/scale counter tracks) for Perfetto.")
     Term.(
       const run $ model_arg $ manager_arg $ l_max_arg $ dim $ out $ jsonl $ summary
-      $ verify_each $ jobs_arg)
+      $ verify_each $ jobs_arg $ log_out_arg)
 
 (* --- regions ------------------------------------------------------------------ *)
 
@@ -998,7 +1123,8 @@ let bench_diff_cmd =
 
 let chaos_cmd =
   let run models trials seed l_max dim rate budget max_attempts backoff floor no_retries
-      json_path min_recovery =
+      from_trace json_path min_recovery log_out =
+    with_flight log_out @@ fun fl ->
     let models =
       String.split_on_char ',' models
       |> List.map String.trim
@@ -1024,9 +1150,12 @@ let chaos_cmd =
         backoff_ms = backoff;
         noise_floor_bits = floor;
         no_retries;
+        from_trace;
       }
     in
-    let report = Resilience.Chaos.run cfg in
+    let report =
+      Resilience.Chaos.run ?metrics:(Option.map (fun f -> f.fl_metrics) fl) cfg
+    in
     List.iter
       (fun (m : Resilience.Chaos.model_summary) ->
         Format.printf
@@ -1049,7 +1178,16 @@ let chaos_cmd =
             in
             Format.printf "  %-14s %4d injected, %10.1f ms simulated recovery@." kind
               count ms)
-          m.Resilience.Chaos.faults_by_kind)
+          m.Resilience.Chaos.faults_by_kind;
+        if m.Resilience.Chaos.fault_targets <> [] then begin
+          Format.printf "  targeted %d trace hot-spots:@."
+            (List.length m.Resilience.Chaos.fault_targets);
+          List.iteri
+            (fun i (node, ratio) ->
+              if i < 8 then
+                Format.printf "    node %-6d traced/predicted noise x%.2f@." node ratio)
+            m.Resilience.Chaos.fault_targets
+        end)
       report.Resilience.Chaos.models;
     Format.printf "overall: %d/%d faulted trials recovered (rate %.3f)@."
       report.Resilience.Chaos.total_recovered report.Resilience.Chaos.total_faulted
@@ -1059,6 +1197,9 @@ let chaos_cmd =
         write_json path (Resilience.Chaos.to_json report);
         Format.printf "wrote campaign report to %s@." path
     | None -> ());
+    (match (log_out, fl) with
+    | Some path, Some fl -> write_flight path fl
+    | _ -> ());
     let clean_broken =
       List.filter
         (fun (m : Resilience.Chaos.model_summary) ->
@@ -1160,6 +1301,17 @@ let chaos_cmd =
       & info [ "min-recovery" ] ~docv:"RATE"
           ~doc:"Exit with code 2 when the overall recovery rate falls below $(docv).")
   in
+  let from_trace =
+    Arg.(
+      value & flag
+      & info [ "from-trace" ]
+          ~doc:
+            "Aim fault injection at trace hot-spots: flight-record the fault-free \
+             reference run, rank each node's traced noise against the static \
+             estimate, and boost injection probability on the top divergers.  The \
+             reference outputs are unchanged (tracing is pure instrumentation), \
+             so the fault-off identity check still holds.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -1169,7 +1321,8 @@ let chaos_cmd =
           reference bit-for-bit (exit 2 otherwise).")
     Term.(
       const run $ models $ trials $ seed $ l_max_arg $ dim $ rate $ budget $ max_attempts
-      $ backoff $ floor $ no_retries $ json_path $ min_recovery)
+      $ backoff $ floor $ no_retries $ from_trace $ json_path $ min_recovery
+      $ log_out_arg)
 
 (* --- metrics ---------------------------------------------------------------------- *)
 
@@ -1237,6 +1390,116 @@ let metrics_cmd =
           latency/noise histogram as Prometheus text or JSON.")
     Term.(const run $ model_arg $ manager_arg $ l_max_arg $ dim $ format $ out)
 
+(* --- health ----------------------------------------------------------------------- *)
+
+let health_cmd =
+  let run in_file model manager l_max dim json headroom_floor recovery_floor
+      max_fallbacks max_refutations gc_ceiling =
+    let thresholds =
+      {
+        Obs.Health.headroom_floor_bits = headroom_floor;
+        recovery_rate_floor = recovery_floor;
+        max_fallbacks;
+        max_refutations;
+        gc_major_words_ceiling = gc_ceiling;
+      }
+    in
+    let records, metrics =
+      match in_file with
+      | Some path -> load_flight path
+      | None ->
+          (* No flight file: compile + one flight-recorded inference
+             in-process with every collector installed, and judge that. *)
+          let model = or_die (resolve_model model) in
+          let manager = or_die (resolve_manager manager) in
+          let prm = params_for l_max in
+          let lowered = Nn.Lowering.lower model in
+          let log = Obs.Log.create () in
+          let m = Obs.Metrics.create () in
+          let rt = Obs.Rt.create () in
+          Obs.with_log log @@ fun () ->
+          Obs.with_metrics m @@ fun () ->
+          Obs.with_rt rt @@ fun () ->
+          let managed, report =
+            try Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg
+            with Resbm.Driver.Verification_failed (pass, diags) ->
+              Format.eprintf "error: verification failed after pass %s:@." pass;
+              List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) diags;
+              exit 2
+          in
+          let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
+          ignore (Obs.Metrics.of_trace ~into:m tr);
+          (match outcome with
+          | Ok _ -> ()
+          | Error msg -> Obs.log_error ~event:"run.failed" msg);
+          Obs.Metrics.set m "log_dropped_records" (float_of_int (Obs.Log.dropped log));
+          (Obs.Log.records log, m)
+    in
+    let verdict = Obs.Health.evaluate ~thresholds ~records metrics in
+    if json then print_string (Obs.Json.to_string (Obs.Health.to_json verdict) ^ "\n")
+    else Format.printf "%a@." Obs.Health.pp verdict;
+    exit (Obs.Health.exit_code verdict)
+  in
+  let in_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "in" ] ~docv:"FILE"
+          ~doc:
+            "Judge a flight file written by $(b,--log-out) instead of running \
+             anything; its records and metrics feed every rule.")
+  in
+  let dim =
+    Arg.(value & opt int 64 & info [ "dim" ] ~docv:"D" ~doc:"Slots per synthetic image.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the verdict as JSON.")
+  in
+  let headroom_floor =
+    Arg.(
+      value & opt float 4.0
+      & info [ "headroom-floor" ] ~docv:"BITS"
+          ~doc:"Fail when the worst traced noise headroom falls below $(docv) bits.")
+  in
+  let recovery_floor =
+    Arg.(
+      value & opt float 0.9
+      & info [ "recovery-floor" ] ~docv:"RATE"
+          ~doc:
+            "Fail when the chaos recovered/faulted ratio falls below $(docv) \
+             (vacuous without chaos counters in the flight).")
+  in
+  let max_fallbacks =
+    Arg.(
+      value & opt int 0
+      & info [ "max-fallbacks" ] ~docv:"N"
+          ~doc:"Fail when more than $(docv) planner tier fallbacks were recorded.")
+  in
+  let max_refutations =
+    Arg.(
+      value & opt int 0
+      & info [ "max-refutations" ] ~docv:"N"
+          ~doc:
+            "Fail when more than $(docv) certificate or plan-cache refutations were \
+             recorded (counters or error-level log records).")
+  in
+  let gc_ceiling =
+    Arg.(
+      value & opt float 2e9
+      & info [ "gc-ceiling" ] ~docv:"WORDS"
+          ~doc:"Fail when major-heap promotion across compile phases exceeds $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Evaluate rule-based health checks (noise headroom, chaos recovery rate, \
+          planner fallbacks, refutations, GC pressure, log anomalies) over a flight \
+          file ($(b,--in)) or over a fresh in-process compile + traced inference.  \
+          Exit 0 when healthy, 2 when any rule fails.")
+    Term.(
+      const run $ in_file $ model_arg $ manager_arg $ l_max_arg $ dim $ json
+      $ headroom_floor $ recovery_floor $ max_fallbacks $ max_refutations $ gc_ceiling)
+
 let () =
   let info =
     Cmd.info "resbm" ~version:"1.0.0"
@@ -1259,4 +1522,5 @@ let () =
             bench_diff_cmd;
             chaos_cmd;
             metrics_cmd;
+            health_cmd;
           ]))

@@ -229,6 +229,31 @@ let contains hay needle =
   let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
   nn = 0 || at 0
 
+(* Like [contains], but only at an identifier boundary: a needle preceded
+   by an identifier character is part of a longer name (e.g. the stdlib
+   call [Format.pp_print_string] is not a raw stdout print). *)
+let contains_call hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '\''
+  in
+  let rec at i =
+    i + nn <= nh
+    && ((String.sub hay i nn = needle && (i = 0 || not (ident hay.[i - 1])))
+       || at (i + 1))
+  in
+  nn > 0 && at 0
+
+(* Stdout calls library code must never make: reports flow through the
+   structured channels (Json writers, Obs.Log, formatters handed in by
+   the caller), and a stray print interleaves with the CLI's own stdout
+   contract (e.g. [--json] output piped to a file).  Built by
+   concatenation so this scanner never flags its own source. *)
+let stdout_callees =
+  List.map (( ^ ) "print_") [ "endline"; "string"; "newline"; "char"; "int"; "float" ]
+  @ List.map (fun m -> m ^ ".printf") [ "Printf"; "Format" ]
+
 let scan_planner_file ~rel path =
   match open_in path with
   | exception Sys_error _ -> []
@@ -256,7 +281,21 @@ let scan_planner_file ~rel path =
                             nondeterministic hash order inside planner code"
                            rel !lnum callee
                          :: !diags)
-                   [ "iter"; "fold" ]
+                   [ "iter"; "fold" ];
+               if not (contains line "log-ok") then
+                 match List.find_opt (contains_call line) stdout_callees with
+                 | Some callee ->
+                     diags :=
+                       Diag.warning
+                         ~hint:
+                           "emit through Obs.log_* / Json writers / a \
+                            caller-supplied formatter, or mark the line (* \
+                            log-ok *)"
+                         "stdout-in-lib"
+                         "%s:%d: %s writes raw stdout inside library code"
+                         rel !lnum callee
+                       :: !diags
+                 | None -> ()
              done
            with End_of_file -> ());
           List.rev !diags)

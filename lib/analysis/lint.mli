@@ -49,17 +49,23 @@ val rule_id : rule -> string
 val of_rule_id : string -> rule option
 
 val scan_planner_sources : dir:string -> Diag.t list
-(** Source-level determinism lint over the planner sources in [dir],
-    recursing into subdirectories in sorted order ([_build] and dot
-    directories skipped): a
-    ["unsorted-hashtbl-drain"] warning (with root-relative file:line in
-    the message)
-    for every [Hashtbl.iter] / [Hashtbl.fold] call site in a [.ml] file —
-    hash-order iteration makes planner decisions depend on insertion
-    history and seed, breaking plan reproducibility and the
-    parallel/cached bit-identity contract; planner code drains through
-    [Det].  [det.ml] itself and lines marked [(* det-ok *)] are exempt.
-    A missing or unreadable [dir] yields []. *)
+(** Source-level lint over the planner sources in [dir], recursing into
+    subdirectories in sorted order ([_build] and dot directories
+    skipped); a missing or unreadable [dir] yields [].  Two rules, both
+    warnings with root-relative file:line in the message:
+
+    - ["unsorted-hashtbl-drain"] — a [Hashtbl.iter] / [Hashtbl.fold] call
+      site in a [.ml] file: hash-order iteration makes planner decisions
+      depend on insertion history and seed, breaking plan reproducibility
+      and the parallel/cached bit-identity contract; planner code drains
+      through [Det].  [det.ml] itself and lines marked [(* det-ok *)] are
+      exempt.
+    - ["stdout-in-lib"] — a raw stdout call ([print_*],
+      [Printf.printf], [Format.printf]) at an identifier boundary:
+      library output flows through structured channels ([Obs.Log], Json
+      writers, caller-supplied formatters), and stray prints corrupt the
+      CLI's stdout contract ([--json] piping).  Lines marked
+      [(* log-ok *)] are exempt. *)
 
 val run :
   ?rules:rule list ->

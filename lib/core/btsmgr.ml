@@ -281,7 +281,7 @@ let plan ?(config = resbm_config) ?(fuel = Fuel.unlimited) ?(segment_scan = `Ful
             (* Slot 2i = no-bts candidate for dst base+i, slot 2i+1 = bts
                candidate; deterministic order regardless of scheduling. *)
             let evald =
-              Par.tabulate ~jobs (2 * chunk) (fun t ->
+              Par.tabulate ~jobs ~label:"segment_scan" (2 * chunk) (fun t ->
                   let d = base + (t / 2) in
                   let no_bts = t land 1 = 0 in
                   if no_bts && src <> 0 then `Skip

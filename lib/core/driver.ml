@@ -9,21 +9,43 @@ let () =
              diags)
     | _ -> None)
 
+(* Process-wide compile sequence: attached to every log record emitted
+   during one compile so interleaved compiles (parallel sweeps, warm
+   benches) stay separable in a merged log stream. *)
+let compile_seq = Atomic.make 0
+
 let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
     ~fallbacks ~jobs ~cache prm g =
   let profile = match profile with Some p -> p | None -> Obs.Profile.create () in
   Obs.with_profile profile @@ fun () ->
+  Obs.with_log_ctx ~compile_id:(Atomic.fetch_and_add compile_seq 1) @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  (* A pipeline phase: timed span, pass context on every log record
+     emitted inside, GC pressure published to the ambient metrics. *)
+  let phase pname f = Obs.with_log_ctx ~pass:pname (fun () -> Obs.gc_span pname f) in
+  Obs.log_info ~event:"compile.start"
+    ~fields:
+      [
+        ("manager", Obs.Json.String name);
+        ("jobs", Obs.Json.Int jobs);
+        ("nodes", Obs.Json.Int (Fhe_ir.Dfg.node_count g));
+      ]
+    "compiling";
   let verify pass ?regions ?(scale = true) graph =
     if verify_each then begin
       let diags =
         Obs.span ("verify." ^ pass) (fun () ->
             Analysis.Verify.run ?regions ~scale prm graph)
       in
-      if Analysis.Diag.has_errors diags then raise (Verification_failed (pass, diags))
+      if Analysis.Diag.has_errors diags then begin
+        Obs.log_error ~event:"verify.failed"
+          ~fields:[ ("pass", Obs.Json.String pass) ]
+          (Printf.sprintf "per-pass verification failed after %s" pass);
+        raise (Verification_failed (pass, diags))
+      end
     end
   in
-  let regioned = Obs.span "region_build" (fun () -> Region.build g) in
+  let regioned = phase "region_build" (fun () -> Region.build g) in
   Obs.incr ~by:regioned.Region.count "driver.regions";
   (* The input graph is legal only after management: check structure and
      the region invariants here, the scale rules after the plan lands. *)
@@ -35,7 +57,7 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
       }
     g;
   let plan =
-    Obs.span "plan" (fun () ->
+    phase "plan" (fun () ->
         (* The incremental tier: thread the cache's region-solution memo,
            keyed by per-region content hashes, into the DP's evals. *)
         let memo =
@@ -47,18 +69,18 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
         in
         Btsmgr.plan ~config ~fuel ~segment_scan ~jobs ?memo regioned prm)
   in
-  let outcome = Obs.span "apply" (fun () -> Plan.apply regioned prm plan) in
+  let outcome = phase "apply" (fun () -> Plan.apply regioned prm plan) in
   let managed = outcome.Plan.dfg in
   verify "plan_apply" managed;
   let ms_opt_hoists =
-    if ms_opt then Obs.span "ms_opt" (fun () -> Passes.Ms_opt.run prm managed) else 0
+    if ms_opt then phase "ms_opt" (fun () -> Passes.Ms_opt.run prm managed) else 0
   in
   if ms_opt then begin
     Obs.incr ~by:ms_opt_hoists "ms_opt.hoists";
     verify "ms_opt" managed
   end;
   let latency_ms =
-    Obs.span "latency" (fun () ->
+    phase "latency" (fun () ->
         (* Legalisation's closing analysis is current unless ms_opt rewrote
            the graph afterwards. *)
         let info =
@@ -67,14 +89,14 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
         in
         Fhe_ir.Latency.total ~info prm managed)
   in
-  let stats = Obs.span "stats" (fun () -> Fhe_ir.Stats.collect managed) in
+  let stats = phase "stats" (fun () -> Fhe_ir.Stats.collect managed) in
   (* Region attribution of the managed graph, for runtime traces and the
      trace summary: plan application copies the input graph (ids are
      preserved), so original nodes keep their partition assignment, and
      every inserted management node — created after its tail, hence with a
      larger id — inherits its tail's region in one increasing-id pass. *)
   let region_of =
-    Obs.span "region_attr" (fun () ->
+    phase "region_attr" (fun () ->
         let attr = Array.make (Fhe_ir.Dfg.node_count managed) (-1) in
         let orig = Array.length regioned.Region.region_of in
         let live = Fhe_ir.Dfg.live_nodes managed in
@@ -154,6 +176,16 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
       certificates;
     }
   in
+  Obs.log_info ~event:"compile.done"
+    ~fields:
+      [
+        ("manager", Obs.Json.String name);
+        ("compile_ms", Obs.Json.Float compile_ms);
+        ("latency_ms", Obs.Json.Float latency_ms);
+        ("bootstraps", Obs.Json.Int stats.Fhe_ir.Stats.bootstrap_count);
+        ("regions", Obs.Json.Int regioned.Region.count);
+      ]
+    "compiled";
   (managed, report)
 
 (* --- Certification -------------------------------------------------------- *)
@@ -186,7 +218,17 @@ let run_certify prm managed (report : Report.t) =
   Obs.with_profile report.Report.profile @@ fun () ->
   List.iter
     (fun (pass, diags) ->
-      if Analysis.Diag.has_errors diags then raise (Verification_failed (pass, diags)))
+      if Analysis.Diag.has_errors diags then begin
+        Obs.metric_incr ~labels:[ ("pass", pass) ] "plan_refutations_total";
+        Obs.log_error ~event:"certify.refuted"
+          ~fields:
+            [
+              ("pass", Obs.Json.String pass);
+              ("manager", Obs.Json.String report.Report.manager);
+            ]
+          (Printf.sprintf "certification refuted the %s evidence" pass);
+        raise (Verification_failed (pass, diags))
+      end)
     (certify_diags prm managed report)
 
 let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
@@ -205,14 +247,26 @@ let compile ?(config = Btsmgr.resbm_config) ?(name = "ReSBM") ?(ms_opt = false)
   | Some c -> (
       let ckey = Plan_cache.key ~config ~name ~ms_opt ~segment_scan prm g in
       match Plan_cache.find c ckey with
-      | Some (managed, report) ->
+      | Some (managed, report) -> (
           (* Warm hit: the stored plan and report are bit-identical to
              what the cold path would produce (fallbacks belong to this
              call, compile_ms was already replaced by the lookup time).
              Certification re-runs on the cached certificates — a corrupt
              or stale cache entry is refuted, not served. *)
-          certified (managed, { report with Report.fallbacks })
+          Obs.log_info ~event:"plan_cache.hit"
+            ~fields:[ ("manager", Obs.Json.String name) ]
+            "serving plan from cache";
+          try certified (managed, { report with Report.fallbacks })
+          with Verification_failed _ as e ->
+            Obs.metric_incr "plan_cache_refutations_total";
+            Obs.log_error ~event:"plan_cache.refuted"
+              ~fields:[ ("manager", Obs.Json.String name) ]
+              "cached plan failed re-certification";
+            raise e)
       | None ->
+          Obs.log_info ~event:"plan_cache.miss"
+            ~fields:[ ("manager", Obs.Json.String name) ]
+            "plan not cached, compiling cold";
           let managed, report =
             compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel
               ~segment_scan ~fallbacks ~jobs ~cache:(Some c) prm g
@@ -307,6 +361,13 @@ let compile_robust ?(chain = default_chain) ?fuel_steps ?(ms_opt = false)
                 Obs.metric_incr
                   ~labels:[ ("tier", tier.tier_name) ]
                   "planner_fallbacks_total";
+                Obs.log_warn ~event:"planner.degraded"
+                  ~fields:
+                    [
+                      ("tier", Obs.Json.String tier.tier_name);
+                      ("reason", Obs.Json.String reason);
+                    ]
+                  (Printf.sprintf "tier %s failed (%s), degrading" tier.tier_name reason);
                 Obs.trace_instant ~name:"planner_fallback"
                   ~detail:
                     [

@@ -44,6 +44,13 @@ let spend ?(cost = 1) t =
       let u = Atomic.get t.used in
       if u + cost > t.capacity then begin
         Obs.metric_incr ~labels:[ ("stage", t.stage) ] "planner_fuel_exhausted_total";
+        Obs.log_warn ~event:"fuel.exhausted"
+          ~fields:
+            [
+              ("stage", Obs.Json.String t.stage);
+              ("capacity", Obs.Json.Int t.capacity);
+            ]
+          (Printf.sprintf "planner fuel exhausted in %s" t.stage);
         raise (Exhausted t.stage)
       end;
       if not (Atomic.compare_and_set t.used u (u + cost)) then take ()

@@ -9,14 +9,26 @@
 
    Ambient observability: worker domains start with no ambient handles
    (Obs state is domain-local).  The pool re-installs the parent's
-   metrics registry in every worker (the registry is mutex-protected, so
-   fuel metering and cache counters stay exact across domains) and gives
-   each worker a private profile, merged into the parent's in worker
-   order after the join — spans land deterministically even though the
-   work interleaved.  Traces are not propagated: the planner does not
-   trace, and the recorder is not safe to share. *)
+   metrics registry and log sink in every worker (both are
+   mutex-protected, so fuel metering, cache counters and log records
+   stay exact across domains) and gives each worker a private profile,
+   merged into the parent's in worker order after the join — spans land
+   deterministically even though the work interleaved.  Traces are not
+   propagated: the planner does not trace, and the recorder is not safe
+   to share.
+
+   When an Obs.Rt collector is ambient, each worker additionally
+   accounts for itself — tasks executed, busy vs idle wall time,
+   spawn-to-first-task queue wait, per-task spans — and the pool records
+   one Obs.Rt.pool entry after the join (plus par_* metrics when a
+   registry is also ambient).  Without a collector the drain loop is the
+   exact pre-telemetry code path: no clock reads per task. *)
 
 let max_jobs = 64
+
+(* Per-task spans kept per worker; beyond this the totals still
+   accumulate but individual spans stop, bounding memory on huge scans. *)
+let span_cap = 2048
 
 let default_jobs () =
   match Sys.getenv_opt "RESBM_JOBS" with
@@ -29,7 +41,7 @@ let default_jobs () =
 let resolve jobs =
   match jobs with Some n when n >= 1 -> min n max_jobs | Some _ -> 1 | None -> default_jobs ()
 
-let tabulate ?(jobs = 1) n f =
+let tabulate ?(jobs = 1) ?(label = "par") n f =
   if n < 0 then invalid_arg "Par.tabulate: negative size";
   let workers = min jobs n in
   if workers <= 1 then Array.init n f
@@ -38,10 +50,16 @@ let tabulate ?(jobs = 1) n f =
     let errors = Array.make n None in
     let next = Atomic.make 0 in
     let parent_metrics = Obs.current_metrics () in
+    let parent_log = Obs.current_log () in
+    let rt = Obs.current_rt () in
     let has_profile = Obs.current () <> None in
     let worker_profiles =
       Array.init workers (fun _ -> if has_profile then Some (Obs.Profile.create ()) else None)
     in
+    (* Telemetry slots: each written only by its owning worker, read
+       after the join. *)
+    let telemetry = Array.make workers None in
+    let pool_t0 = Unix.gettimeofday () in
     let body wi () =
       let rec drain () =
         let i = Atomic.fetch_and_add next 1 in
@@ -52,13 +70,59 @@ let tabulate ?(jobs = 1) n f =
           drain ()
         end
       in
+      let timed_drain () =
+        let domain = (Domain.self () :> int) in
+        let now_ms () = 1000.0 *. (Unix.gettimeofday () -. pool_t0) in
+        let spawned_ms = now_ms () in
+        let tasks = ref 0 in
+        let busy = ref 0.0 in
+        let first_start = ref nan in
+        let spans = ref [] in
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let start = now_ms () in
+            (match f i with
+            | v -> results.(i) <- Some v
+            | exception e -> errors.(i) <- Some e);
+            let dur = now_ms () -. start in
+            incr tasks;
+            busy := !busy +. dur;
+            if Float.is_nan !first_start then first_start := start;
+            if !tasks <= span_cap then
+              spans := { Obs.Rt.t_index = i; t_start_ms = start; t_dur_ms = dur } :: !spans;
+            go ()
+          end
+        in
+        Fun.protect go ~finally:(fun () ->
+            let total = now_ms () in
+            let queue_wait =
+              if Float.is_nan !first_start then total -. spawned_ms
+              else !first_start -. spawned_ms
+            in
+            telemetry.(wi) <-
+              Some
+                {
+                  Obs.Rt.w_id = wi;
+                  w_domain = domain;
+                  w_tasks = !tasks;
+                  w_busy_ms = !busy;
+                  w_idle_ms = Float.max 0.0 (total -. spawned_ms -. !busy);
+                  w_queue_wait_ms = Float.max 0.0 queue_wait;
+                  w_spans = List.rev !spans;
+                })
+      in
+      let run = match rt with None -> drain | Some _ -> timed_drain in
       let with_parent_metrics g =
         match parent_metrics with Some m -> Obs.with_metrics m g | None -> g ()
+      in
+      let with_parent_log g =
+        match parent_log with Some s -> Obs.with_log s g | None -> g ()
       in
       let with_worker_profile g =
         match worker_profiles.(wi) with Some p -> Obs.with_profile p g | None -> g ()
       in
-      with_parent_metrics (fun () -> with_worker_profile drain)
+      with_parent_metrics (fun () -> with_parent_log (fun () -> with_worker_profile run))
     in
     let domains = Array.init workers (fun wi -> Domain.spawn (body wi)) in
     Array.iter Domain.join domains;
@@ -68,6 +132,25 @@ let tabulate ?(jobs = 1) n f =
           (function Some wp -> Obs.Profile.merge ~into:parent wp | None -> ())
           worker_profiles
     | None -> ());
+    (match rt with
+    | Some r ->
+        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. pool_t0) in
+        let ws = List.filter_map Fun.id (Array.to_list telemetry) in
+        Obs.Rt.record_pool r ~label ~jobs:workers ~tasks:n ~wall_ms ws;
+        (match parent_metrics with
+        | Some m ->
+            List.iter
+              (fun (w : Obs.Rt.worker) ->
+                let labels =
+                  [ ("pool", label); ("worker", string_of_int w.Obs.Rt.w_id) ]
+                in
+                Obs.Metrics.incr ~by:w.Obs.Rt.w_tasks ~labels m "par_tasks_total";
+                Obs.Metrics.observe ~labels m "par_busy_ms" w.Obs.Rt.w_busy_ms;
+                Obs.Metrics.observe ~labels m "par_idle_ms" w.Obs.Rt.w_idle_ms;
+                Obs.Metrics.observe ~labels m "par_queue_wait_ms" w.Obs.Rt.w_queue_wait_ms)
+              ws
+        | None -> ())
+    | None -> ());
     (* Re-raise the smallest-index failure — the one a sequential run
        would have hit first. *)
     Array.iteri (fun i e -> match e with Some e -> ignore i; raise e | None -> ()) errors;
@@ -76,4 +159,4 @@ let tabulate ?(jobs = 1) n f =
       results
   end
 
-let map ?jobs f a = tabulate ?jobs (Array.length a) (fun i -> f a.(i))
+let map ?jobs ?label f a = tabulate ?jobs ?label (Array.length a) (fun i -> f a.(i))

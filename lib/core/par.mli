@@ -19,12 +19,21 @@ val resolve : int option -> int
 (** [resolve jobs] is the effective domain count: an explicit request
     (clamped) wins over [RESBM_JOBS], which wins over 1. *)
 
-val tabulate : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val tabulate : ?jobs:int -> ?label:string -> int -> (int -> 'a) -> 'a array
 (** [tabulate ~jobs n f] is [Array.init n f] evaluated by up to [jobs]
     domains.  If several tasks raise, the exception of the {e smallest}
     index is re-raised (the one a sequential run would hit first); other
     tasks may or may not have run — side effects beyond the result array
-    are the caller's business. *)
+    are the caller's business.
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+    Worker domains inherit the parent's ambient metrics registry and log
+    sink.  When an {!Obs.Rt} collector is ambient ({!Obs.with_rt}), each
+    pool run records per-worker telemetry (tasks, busy/idle ms, queue
+    wait, per-task spans) under [label] (default ["par"]) — and
+    [par_tasks_total] / [par_busy_ms] / [par_idle_ms] /
+    [par_queue_wait_ms] metrics labelled by pool and worker when a
+    registry is also ambient.  Without a collector the drain loop reads
+    no clocks, and with [jobs <= 1] nothing here runs at all. *)
+
+val map : ?jobs:int -> ?label:string -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f a] is [Array.map f a] via {!tabulate}. *)

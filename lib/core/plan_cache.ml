@@ -554,6 +554,7 @@ let evict_locked t =
         Hashtbl.remove t.tbl k;
         t.evictions <- t.evictions + 1;
         Obs.metric_incr "plan_cache_evictions_total";
+        Obs.log_debug ~event:"plan_cache.evicted" "evicted the least-recently-used plan";
         Obs.incr "plan_cache.evictions"
   done
 
@@ -599,6 +600,7 @@ let find t k =
           insert_mem t k g r;
           Obs.metric_incr "plan_cache_hits_total";
           Obs.incr "plan_cache.hits";
+          Obs.log_debug ~event:"plan_cache.disk_hit" "plan loaded from the disk tier";
           Obs.incr "plan_cache.disk_hits";
           Some (checkout timer (g, r))
       | None ->

@@ -104,3 +104,29 @@ let check_trace ?(tolerance_bits = 10.0) report events =
       end)
     events
 
+(* Rank nodes by how hot the recorded noise ran against the static
+   estimate: the worst traced/predicted ratio seen per node, largest
+   first.  Unlike [check_trace] this applies no tolerance — a clean run
+   still yields a ranking, pointing fault campaigns at the nodes with the
+   least validated headroom. *)
+let trace_hotspots ?(top = 16) report events =
+  let tbl : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Obs.Trace.op_event) ->
+      if e.Obs.Trace.node >= 0 && e.Obs.Trace.node < Array.length report.per_node
+      then
+        let predicted = report.per_node.(e.Obs.Trace.node).noise in
+        if predicted > 0.0 && e.Obs.Trace.noise_after > 0.0 then
+          let ratio = e.Obs.Trace.noise_after /. predicted in
+          match Hashtbl.find_opt tbl e.Obs.Trace.node with
+          | Some prev when prev >= ratio -> ()
+          | _ -> Hashtbl.replace tbl e.Obs.Trace.node ratio)
+    events;
+  let ranked =
+    List.sort
+      (fun (n1, r1) (n2, r2) ->
+        if r1 <> r2 then compare (r2 : float) r1 else compare (n1 : int) n2)
+      (Hashtbl.fold (fun n r acc -> (n, r) :: acc) tbl [] (* det-ok: sorted *))
+  in
+  List.filteri (fun i _ -> i < top) ranked
+

@@ -82,3 +82,13 @@ val check_trace :
     the same slack as {!predicts}).  Events without node attribution are
     skipped.  The [report] must come from {!analyse} on the {e same} graph
     the trace was recorded from. *)
+
+val trace_hotspots :
+  ?top:int -> report -> Obs.Trace.op_event list -> (int * float) list
+(** [(node, ratio)] pairs ranking where the recorded run ran hottest
+    against the static estimate: for each attributed node, the worst
+    [noise_after / predicted] ratio over its events, the [top] (default
+    16) largest first (node id breaks ties).  Unlike {!check_trace} this
+    applies no tolerance, so a clean run still yields a ranking — used by
+    chaos campaigns ([--from-trace]) to aim fault injection at the nodes
+    with the least validated headroom. *)

@@ -808,6 +808,401 @@ module Stat = struct
     Ok { trials; warmup; mean; median; mad; min; max; ci95; values }
 end
 
+(* Leveled structured logging: a ring-buffered flight recorder of log
+   records, the narrative companion to Trace's op events.  Records carry
+   automatic context (compile id, pass, region, node, domain id — filled
+   in by the ambient helpers at the bottom of this file) plus free-form
+   structured fields, and a simulated-clock stamp when a trace was
+   ambient at emission time so the record lands as an instant on the
+   execution timeline.  The sink is mutex-protected: parallel-planner
+   workers share their parent's sink the same way they share the metrics
+   registry. *)
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+  let level_name = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  let level_of_name = function
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  type record = {
+    lseq : int;
+    level : level;
+    event : string;
+    msg : string;
+    ts_ms : float;  (* host wall clock, relative to sink creation *)
+    sim_ms : float option;  (* simulated trace clock at emission, if traced *)
+    compile_id : int;  (* -1 = outside any compile *)
+    pass : string;  (* "" = no pass context *)
+    region : int;  (* -1 = unattributed *)
+    node : int;  (* -1 = unattributed *)
+    domain : int;  (* emitting domain id *)
+    fields : (string * Json.t) list;
+  }
+
+  type t = {
+    capacity : int;
+    min_level : level;
+    epoch : float;
+    buf : record option array;
+    mutable next : int;  (* total records kept, including overwritten *)
+    mutable nfiltered : int;  (* records rejected below min_level *)
+    lock : Mutex.t;
+  }
+
+  let create ?(capacity = 8192) ?(min_level = Debug) () =
+    if capacity < 1 then invalid_arg "Log.create: capacity must be >= 1";
+    {
+      capacity;
+      min_level;
+      epoch = Unix.gettimeofday ();
+      buf = Array.make capacity None;
+      next = 0;
+      nfiltered = 0;
+      lock = Mutex.create ();
+    }
+
+  let record t ~level ~event ?(msg = "") ?sim_ms ?(compile_id = -1) ?(pass = "")
+      ?(region = -1) ?(node = -1) ?(fields = []) () =
+    if level_rank level < level_rank t.min_level then
+      Mutex.protect t.lock (fun () -> t.nfiltered <- t.nfiltered + 1)
+    else begin
+      let ts_ms = 1000.0 *. (Unix.gettimeofday () -. t.epoch) in
+      let domain = (Domain.self () :> int) in
+      Mutex.protect t.lock (fun () ->
+          let r =
+            {
+              lseq = t.next;
+              level;
+              event;
+              msg;
+              ts_ms;
+              sim_ms;
+              compile_id;
+              pass;
+              region;
+              node;
+              domain;
+              fields;
+            }
+          in
+          t.buf.(t.next mod t.capacity) <- Some r;
+          t.next <- t.next + 1)
+    end
+
+  let recorded t = Mutex.protect t.lock (fun () -> t.next)
+  let dropped t = Mutex.protect t.lock (fun () -> max 0 (t.next - t.capacity))
+  let filtered t = Mutex.protect t.lock (fun () -> t.nfiltered)
+
+  let records t =
+    Mutex.protect t.lock (fun () ->
+        let stored = min t.next t.capacity in
+        let first = t.next - stored in
+        List.filter_map
+          (fun i -> t.buf.((first + i) mod t.capacity))
+          (List.init stored (fun i -> i)))
+
+  let record_to_json r =
+    Json.Obj
+      ([
+         ("seq", Json.Int r.lseq);
+         ("level", Json.String (level_name r.level));
+         ("event", Json.String r.event);
+         ("msg", Json.String r.msg);
+         ("ts_ms", Json.Float r.ts_ms);
+       ]
+      @ (match r.sim_ms with None -> [] | Some s -> [ ("sim_ms", Json.Float s) ])
+      @ [
+          ("compile_id", Json.Int r.compile_id);
+          ("pass", Json.String r.pass);
+          ("region", Json.Int r.region);
+          ("node", Json.Int r.node);
+          ("domain", Json.Int r.domain);
+        ]
+      @ match r.fields with [] -> [] | fs -> [ ("fields", Json.Obj fs) ])
+
+  let record_of_json j =
+    let ( let* ) = Result.bind in
+    let str field =
+      match Json.member field j with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error (Printf.sprintf "log record field %S missing or not a string" field)
+    in
+    let int field =
+      match Json.member field j with
+      | Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "log record field %S missing or not an int" field)
+    in
+    let num field =
+      match Json.member field j with
+      | Some (Json.Float f) -> Ok f
+      | Some (Json.Int i) -> Ok (float_of_int i)
+      | _ -> Error (Printf.sprintf "log record field %S missing or not a number" field)
+    in
+    let* lseq = int "seq" in
+    let* level =
+      let* name = str "level" in
+      match level_of_name name with
+      | Some l -> Ok l
+      | None -> Error (Printf.sprintf "unknown log level %S" name)
+    in
+    let* event = str "event" in
+    let* msg = str "msg" in
+    let* ts_ms = num "ts_ms" in
+    let* sim_ms =
+      match Json.member "sim_ms" j with
+      | None -> Ok None
+      | Some (Json.Float f) -> Ok (Some f)
+      | Some (Json.Int i) -> Ok (Some (float_of_int i))
+      | Some _ -> Error "log record field \"sim_ms\" not a number"
+    in
+    let* compile_id = int "compile_id" in
+    let* pass = str "pass" in
+    let* region = int "region" in
+    let* node = int "node" in
+    let* domain = int "domain" in
+    let* fields =
+      match Json.member "fields" j with
+      | None -> Ok []
+      | Some (Json.Obj fs) -> Ok fs
+      | Some _ -> Error "log record field \"fields\" not an object"
+    in
+    Ok { lseq; level; event; msg; ts_ms; sim_ms; compile_id; pass; region; node; domain; fields }
+
+  let to_jsonl t = List.map (fun r -> Json.to_string (record_to_json r)) (records t)
+
+  let of_jsonl lines =
+    let ( let* ) = Result.bind in
+    let* rev =
+      List.fold_left
+        (fun acc line ->
+          let* acc = acc in
+          if String.trim line = "" then Ok acc
+          else
+            let* j = Json.of_string line in
+            let* r = record_of_json j in
+            Ok (r :: acc))
+        (Ok []) lines
+    in
+    Ok (List.rev rev)
+
+  (* Log records as Perfetto instants.  A record stamped with a simulated
+     clock lands on the execution process at that simulated time, on the
+     thread of the region it is attributed to; a compile-side record
+     (no [sim_ms]) lands on the compile process at its host timestamp, so
+     both correlate with the spans already on those timelines. *)
+  let chrome_events ?(compile_pid = 0) ?(exec_pid = 1) rs =
+    List.map
+      (fun r ->
+        let pid, ts, tid =
+          match r.sim_ms with
+          | Some s -> (exec_pid, Trace.usec s, Trace.tid_of_region r.region)
+          | None -> (compile_pid, Trace.usec r.ts_ms, 0)
+        in
+        let ctx =
+          (if r.compile_id >= 0 then [ ("compile_id", Json.Int r.compile_id) ] else [])
+          @ (if r.pass <> "" then [ ("pass", Json.String r.pass) ] else [])
+          @ (if r.region >= 0 then [ ("region", Json.Int r.region) ] else [])
+          @ if r.node >= 0 then [ ("node", Json.Int r.node) ] else []
+        in
+        Json.Obj
+          [
+            ("name", Json.String r.event);
+            ("cat", Json.String ("log." ^ level_name r.level));
+            ("ph", Json.String "i");
+            ("ts", Json.Float ts);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int tid);
+            ("s", Json.String "t");
+            ( "args",
+              Json.Obj
+                ((("level", Json.String (level_name r.level))
+                  :: (if r.msg <> "" then [ ("msg", Json.String r.msg) ] else []))
+                @ [ ("seq", Json.Int r.lseq); ("domain", Json.Int r.domain) ]
+                @ ctx @ r.fields) );
+          ])
+      rs
+end
+
+(* Runtime telemetry: GC pressure deltas around a computation, and
+   per-worker accounting for the parallel planner's domain pool — tasks
+   executed, busy vs idle wall time, queue wait — exported as one
+   Perfetto track per worker domain so pool utilization is visible next
+   to the compile and execution timelines. *)
+module Rt = struct
+  type gc_delta = {
+    minor_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+    top_heap_words : int;
+  }
+
+  let gc_sample f =
+    let a = Gc.quick_stat () in
+    let r = f () in
+    let b = Gc.quick_stat () in
+    ( r,
+      {
+        minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+        major_words = b.Gc.major_words -. a.Gc.major_words;
+        minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+        major_collections = b.Gc.major_collections - a.Gc.major_collections;
+        top_heap_words = b.Gc.top_heap_words;
+      } )
+
+  type task_span = { t_index : int; t_start_ms : float; t_dur_ms : float }
+
+  type worker = {
+    w_id : int;  (* slot in the pool, 0-based *)
+    w_domain : int;  (* OCaml domain id the worker ran on *)
+    w_tasks : int;
+    w_busy_ms : float;
+    w_idle_ms : float;  (* pool wall time not spent inside tasks *)
+    w_queue_wait_ms : float;  (* spawn-to-first-task latency *)
+    w_spans : task_span list;  (* per-task spans, start relative to pool start *)
+  }
+
+  type pool = {
+    p_seq : int;
+    p_label : string;
+    p_jobs : int;
+    p_tasks : int;
+    p_start_ms : float;  (* relative to collector creation *)
+    p_wall_ms : float;
+    p_workers : worker list;
+  }
+
+  type t = {
+    epoch : float;
+    lock : Mutex.t;
+    mutable seq : int;
+    mutable rpools : pool list;  (* reverse completion order *)
+  }
+
+  let create () =
+    { epoch = Unix.gettimeofday (); lock = Mutex.create (); seq = 0; rpools = [] }
+
+  let now_ms t = 1000.0 *. (Unix.gettimeofday () -. t.epoch)
+
+  let record_pool t ~label ~jobs ~tasks ~wall_ms workers =
+    Mutex.protect t.lock (fun () ->
+        let p =
+          {
+            p_seq = t.seq;
+            p_label = label;
+            p_jobs = jobs;
+            p_tasks = tasks;
+            p_start_ms = Float.max 0.0 (now_ms t -. wall_ms);
+            p_wall_ms = wall_ms;
+            p_workers = workers;
+          }
+        in
+        t.seq <- t.seq + 1;
+        t.rpools <- p :: t.rpools)
+
+  let pools t = Mutex.protect t.lock (fun () -> List.rev t.rpools)
+
+  let worker_to_json w =
+    Json.Obj
+      [
+        ("id", Json.Int w.w_id);
+        ("domain", Json.Int w.w_domain);
+        ("tasks", Json.Int w.w_tasks);
+        ("busy_ms", Json.Float w.w_busy_ms);
+        ("idle_ms", Json.Float w.w_idle_ms);
+        ("queue_wait_ms", Json.Float w.w_queue_wait_ms);
+      ]
+
+  let to_json t =
+    Json.List
+      (List.map
+         (fun p ->
+           Json.Obj
+             [
+               ("seq", Json.Int p.p_seq);
+               ("label", Json.String p.p_label);
+               ("jobs", Json.Int p.p_jobs);
+               ("tasks", Json.Int p.p_tasks);
+               ("start_ms", Json.Float p.p_start_ms);
+               ("wall_ms", Json.Float p.p_wall_ms);
+               ("workers", Json.List (List.map worker_to_json p.p_workers));
+             ])
+         (pools t))
+
+  (* One Perfetto thread per (pool, worker): task spans as "X" events so
+     gaps — idle workers, a straggler task — are visually obvious. *)
+  let chrome_events ?(pid = 2) ?(name = "resbm planner pool") t =
+    match pools t with
+    | [] -> []
+    | ps ->
+        let meta =
+          Json.Obj
+            [
+              ("name", Json.String "process_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int 0);
+              ("args", Json.Obj [ ("name", Json.String name) ]);
+            ]
+        in
+        let per_pool p =
+          let tid w = (p.p_seq * 64) + w.w_id + 1 in
+          List.concat_map
+            (fun w ->
+              let tname =
+                Printf.sprintf "%s#%d w%d (domain %d)" p.p_label p.p_seq w.w_id
+                  w.w_domain
+              in
+              Json.Obj
+                [
+                  ("name", Json.String "thread_name");
+                  ("ph", Json.String "M");
+                  ("pid", Json.Int pid);
+                  ("tid", Json.Int (tid w));
+                  ("args", Json.Obj [ ("name", Json.String tname) ]);
+                ]
+              :: Json.Obj
+                   [
+                     ("name", Json.String "thread_sort_index");
+                     ("ph", Json.String "M");
+                     ("pid", Json.Int pid);
+                     ("tid", Json.Int (tid w));
+                     ("args", Json.Obj [ ("sort_index", Json.Int (tid w)) ]);
+                   ]
+              :: List.map
+                   (fun s ->
+                     Json.Obj
+                       [
+                         ("name", Json.String (Printf.sprintf "task %d" s.t_index));
+                         ("cat", Json.String "pool");
+                         ("ph", Json.String "X");
+                         ("ts", Json.Float (Trace.usec (p.p_start_ms +. s.t_start_ms)));
+                         ("dur", Json.Float (Trace.usec s.t_dur_ms));
+                         ("pid", Json.Int pid);
+                         ("tid", Json.Int (tid w));
+                         ( "args",
+                           Json.Obj
+                             [
+                               ("index", Json.Int s.t_index);
+                               ("pool", Json.String p.p_label);
+                             ] );
+                       ])
+                   w.w_spans)
+            p.p_workers
+        in
+        meta :: List.concat_map per_pool ps
+end
+
 (* Aggregate metrics: a registry of counters, gauges and log-bucketed
    histograms, exposable as Prometheus text or JSON.  Unlike Profile
    (which keeps every observation of a series), a histogram is constant
@@ -1017,6 +1412,147 @@ module Metrics = struct
         ("histograms", Json.List (List.map hist (sorted_bindings t.hists)));
       ]
 
+  (* --- registry snapshots and round-trip ---------------------------------- *)
+
+  let all_counters t =
+    Mutex.protect t.lock (fun () ->
+        List.map (fun ((name, labels), r) -> (name, labels, !r)) (sorted_bindings t.counters))
+
+  let all_gauges t =
+    Mutex.protect t.lock (fun () ->
+        List.map (fun ((name, labels), r) -> (name, labels, !r)) (sorted_bindings t.gauges))
+
+  let all_histograms t =
+    Mutex.protect t.lock (fun () ->
+        List.map
+          (fun ((name, labels), h) -> (name, labels, stats_of_hist h))
+          (sorted_bindings t.hists))
+
+  (* Invert the serialisation of [cumulative_buckets]: a bucket bound is
+     2^((i-40)/2), so the index is recovered in closed form; the overflow
+     bucket serialised as +Inf degrades to JSON null and parses as NaN. *)
+  let bucket_of_bound le =
+    if Float.is_nan le || le = infinity then finite_buckets
+    else begin
+      let i = int_of_float (Float.round ((2.0 *. Float.log2 le) +. 40.0)) in
+      if
+        i >= 0
+        && i < finite_buckets
+        && Float.abs (bound i -. le) <= 1e-9 *. Float.max 1.0 (Float.abs le)
+      then i
+      else bucket_of le
+    end
+
+  let of_json j =
+    let ( let* ) = Result.bind in
+    let t = create () in
+    let number = function
+      | Json.Int i -> Some (float_of_int i)
+      | Json.Float f -> Some f
+      | Json.Null -> Some nan
+      | _ -> None
+    in
+    let entries section =
+      match Json.member section j with
+      | Some (Json.List es) -> Ok es
+      | None -> Ok []
+      | Some _ -> Error (Printf.sprintf "metrics section %S is not a list" section)
+    in
+    let name_labels e =
+      let* name =
+        match Json.member "name" e with
+        | Some (Json.String s) -> Ok s
+        | _ -> Error "metric entry without a name"
+      in
+      let labels =
+        match Json.member "labels" e with
+        | Some (Json.Obj fs) ->
+            List.filter_map
+              (fun (k, v) -> match v with Json.String s -> Some (k, s) | _ -> None)
+              fs
+        | _ -> []
+      in
+      Ok (name, labels)
+    in
+    let each es f = List.fold_left (fun acc e -> let* () = acc in f e) (Ok ()) es in
+    let* cs = entries "counters" in
+    let* () =
+      each cs (fun e ->
+          let* name, labels = name_labels e in
+          match Json.member "value" e with
+          | Some (Json.Int v) ->
+              incr t ~by:v ~labels name;
+              Ok ()
+          | _ -> Error (Printf.sprintf "counter %s has no integer value" name))
+    in
+    let* gs = entries "gauges" in
+    let* () =
+      each gs (fun e ->
+          let* name, labels = name_labels e in
+          match Option.bind (Json.member "value" e) number with
+          | Some v ->
+              set t ~labels name v;
+              Ok ()
+          | None -> Error (Printf.sprintf "gauge %s has no numeric value" name))
+    in
+    let* hs = entries "histograms" in
+    let* () =
+      each hs (fun e ->
+          let* name, labels = name_labels e in
+          let num field =
+            match Option.bind (Json.member field e) number with
+            | Some v -> Ok v
+            | None ->
+                Error (Printf.sprintf "histogram %s: field %S missing" name field)
+          in
+          let* count =
+            match Json.member "count" e with
+            | Some (Json.Int c) -> Ok c
+            | _ -> Error (Printf.sprintf "histogram %s: field \"count\" missing" name)
+          in
+          let* sum = num "sum" in
+          let* minv = num "min" in
+          let* maxv = num "max" in
+          let* buckets =
+            match Json.member "buckets" e with
+            | Some (Json.List bs) ->
+                Result.map List.rev
+                  (List.fold_left
+                     (fun acc b ->
+                       let* acc = acc in
+                       match b with
+                       | Json.List [ le; Json.Int cum ] -> (
+                           match number le with
+                           | Some le -> Ok ((le, cum) :: acc)
+                           | None ->
+                               Error
+                                 (Printf.sprintf "histogram %s: malformed bucket bound"
+                                    name))
+                       | _ -> Error (Printf.sprintf "histogram %s: malformed bucket" name))
+                     (Ok []) bs)
+            | _ -> Error (Printf.sprintf "histogram %s: missing buckets" name)
+          in
+          let h =
+            {
+              count;
+              sum;
+              minv = (if count = 0 then infinity else minv);
+              maxv = (if count = 0 then neg_infinity else maxv);
+              counts = Array.make (finite_buckets + 1) 0;
+            }
+          in
+          let prev = ref 0 in
+          List.iter
+            (fun (le, cum) ->
+              let b = bucket_of_bound le in
+              h.counts.(b) <- h.counts.(b) + (cum - !prev);
+              prev := cum)
+            buckets;
+          Mutex.protect t.lock (fun () -> Hashtbl.replace t.hists (key name labels) h);
+          Ok ())
+    in
+    Ok t
+
   (* --- Prometheus text exposition ---------------------------------------- *)
 
   let sanitize name =
@@ -1183,6 +1719,7 @@ module Bench_diff = struct
     base : float;
     cand : float;
     wall_clock : bool;
+    informational : bool;  (* reported, never gated *)
     tolerance : float;  (* 0 for exact comparisons *)
     verdict : verdict;
   }
@@ -1202,6 +1739,13 @@ module Bench_diff = struct
       ("nodes", `Lower);
       ("predicted_precision_bits", `Higher);
     ]
+
+  (* GC cells from Obs.Rt bench sampling: reported for trend-watching but
+     never gated — allocation pressure is build- and runtime-sensitive,
+     and baselines written before these columns existed simply lack them
+     (a missing side yields no cell, not a failure). *)
+  let informational_metrics =
+    [ "gc_minor_words"; "gc_major_words"; "gc_top_heap_words" ]
 
   (* --- loading ------------------------------------------------------------ *)
 
@@ -1274,10 +1818,10 @@ module Bench_diff = struct
               in
               let metrics =
                 List.filter_map
-                  (fun (name, _) ->
+                  (fun name ->
                     Option.bind (Json.member name mgr_json) number
                     |> Option.map (fun v -> (name, v)))
-                  deterministic_metrics
+                  (List.map fst deterministic_metrics @ informational_metrics)
               in
               let compile =
                 match Json.member "compile_stat" mgr_json with
@@ -1353,6 +1897,7 @@ module Bench_diff = struct
                               base = bv;
                               cand = cv;
                               wall_clock = false;
+                              informational = false;
                               tolerance = 0.0;
                               verdict;
                             })
@@ -1381,6 +1926,7 @@ module Bench_diff = struct
                           base = sb.Stat.median;
                           cand = sc.Stat.median;
                           wall_clock = true;
+                          informational = false;
                           tolerance;
                           verdict;
                         };
@@ -1412,6 +1958,7 @@ module Bench_diff = struct
                           base = sb.Stat.median;
                           cand = sc.Stat.median;
                           wall_clock = true;
+                          informational = false;
                           tolerance;
                           verdict;
                         };
@@ -1442,6 +1989,7 @@ module Bench_diff = struct
                           base = base_speedup;
                           cand = cand_speedup;
                           wall_clock = false;
+                          informational = false;
                           tolerance = warm_speedup_min;
                           verdict =
                             (if cand_speedup >= warm_speedup_min then Unchanged
@@ -1450,7 +1998,38 @@ module Bench_diff = struct
                       ]
                   | _ -> []
                 in
-                det @ wall @ warm_band @ speedup)
+                (* Informational GC cells: only when both sides carry the
+                   column, so old baselines diff cleanly against new
+                   candidates. *)
+                let info =
+                  List.filter_map
+                    (fun metric ->
+                      match
+                        ( List.assoc_opt metric b.metrics,
+                          List.assoc_opt metric c.metrics )
+                      with
+                      | Some bv, Some cv ->
+                          Some
+                            {
+                              cmodel = b.model;
+                              cmanager = b.manager;
+                              metric;
+                              base = bv;
+                              cand = cv;
+                              wall_clock = false;
+                              informational = true;
+                              tolerance = 0.0;
+                              verdict =
+                                (if float_equal bv cv then Unchanged
+                                 else if Float.is_nan bv || Float.is_nan cv then
+                                   Incomparable
+                                 else if cv < bv then Improved
+                                 else Regressed);
+                            }
+                      | _ -> None)
+                    informational_metrics
+                in
+                det @ wall @ warm_band @ speedup @ info)
           base.rows
       in
       Ok { cells; missing; added }
@@ -1459,13 +2038,16 @@ module Bench_diff = struct
   (* --- gating -------------------------------------------------------------- *)
 
   let deterministic_changes o =
-    List.filter (fun c -> (not c.wall_clock) && c.verdict <> Unchanged) o.cells
+    List.filter
+      (fun c -> (not c.wall_clock) && (not c.informational) && c.verdict <> Unchanged)
+      o.cells
 
   let regressions ?(strict_wallclock = false) o =
     List.filter
       (fun c ->
         match c.verdict with
-        | Regressed | Incomparable -> strict_wallclock || not c.wall_clock
+        | Regressed | Incomparable ->
+            (not c.informational) && (strict_wallclock || not c.wall_clock)
         | _ -> false)
       o.cells
 
@@ -1498,6 +2080,7 @@ module Bench_diff = struct
         ("base", Json.Float c.base);
         ("candidate", Json.Float c.cand);
         ("wall_clock", Json.Bool c.wall_clock);
+        ("informational", Json.Bool c.informational);
         ("tolerance", Json.Float c.tolerance);
         ("verdict", Json.String (verdict_to_string c.verdict));
       ]
@@ -1532,7 +2115,8 @@ module Bench_diff = struct
 
   let pp_cell ppf c =
     Format.fprintf ppf "%-12s %-12s %-25s %12s -> %-12s %s%s" c.cmodel c.cmanager
-      (c.metric ^ if c.wall_clock then " (wall)" else "")
+      (c.metric
+      ^ if c.wall_clock then " (wall)" else if c.informational then " (info)" else "")
       (value_text c.base) (value_text c.cand)
       (verdict_to_string c.verdict)
       (if c.wall_clock && c.tolerance > 0.0 then
@@ -1565,6 +2149,217 @@ module Bench_diff = struct
       (if o.missing <> [] then Printf.sprintf ", %d missing" (List.length o.missing)
        else "")
       (if o.added <> [] then Printf.sprintf ", %d added" (List.length o.added) else "")
+end
+
+(* Rule-based health evaluation over a finished run's metrics registry
+   and log records: each rule compares one aggregate against a threshold
+   and the verdict is healthy iff no rule fails.  Rules that need signals
+   the run did not produce (no traced execution, no chaos campaign) stay
+   applicable=false and pass vacuously, so one evaluator serves compile,
+   trace and chaos flights alike. *)
+module Health = struct
+  type severity = Pass | Warn | Fail
+
+  let severity_name = function Pass -> "pass" | Warn -> "warn" | Fail -> "fail"
+
+  type thresholds = {
+    headroom_floor_bits : float;
+    recovery_rate_floor : float;
+    max_fallbacks : int;
+    max_refutations : int;
+    gc_major_words_ceiling : float;
+  }
+
+  let default_thresholds =
+    {
+      headroom_floor_bits = 4.0;
+      recovery_rate_floor = 0.9;
+      max_fallbacks = 0;
+      max_refutations = 0;
+      gc_major_words_ceiling = 2e9;
+    }
+
+  type check = {
+    rule : string;
+    severity : severity;
+    applicable : bool;
+    value : float;  (* NaN when not applicable *)
+    threshold : float;
+    detail : string;
+  }
+
+  type verdict = { healthy : bool; checks : check list }
+
+  let evaluate ?(thresholds = default_thresholds) ?(records = []) ?bench m =
+    let counters = Metrics.all_counters m in
+    let gauges = Metrics.all_gauges m in
+    let hists = Metrics.all_histograms m in
+    let csum name =
+      List.fold_left (fun acc (n, _, v) -> if n = name then acc + v else acc) 0 counters
+    in
+    let gsum name =
+      List.fold_left
+        (fun acc (n, _, v) -> if n = name then acc +. v else acc)
+        0.0 gauges
+    in
+    let hfold name f init =
+      List.fold_left
+        (fun acc (n, _, s) -> if n = name && s.Metrics.hcount > 0 then f acc s else acc)
+        init hists
+    in
+    let check rule ~applicable ~warn_only ~ok ~value ~threshold detail =
+      let severity =
+        if (not applicable) || ok then Pass else if warn_only then Warn else Fail
+      in
+      { rule; severity; applicable; value; threshold; detail }
+    in
+    let headroom =
+      let v = hfold "noise_headroom_bits" (fun acc s -> Float.min acc s.Metrics.hmin) infinity in
+      let applicable = v < infinity in
+      check "noise-headroom" ~applicable ~warn_only:false
+        ~ok:(v >= thresholds.headroom_floor_bits)
+        ~value:(if applicable then v else nan)
+        ~threshold:thresholds.headroom_floor_bits
+        (if applicable then
+           Printf.sprintf "minimum traced noise headroom %.1f bits (floor %.1f)" v
+             thresholds.headroom_floor_bits
+         else "no traced noise-headroom observations")
+    in
+    let recovery =
+      let faulted = csum "chaos_faulted_total" in
+      let recovered = csum "chaos_recovered_total" in
+      let applicable = faulted > 0 in
+      let rate =
+        if applicable then float_of_int recovered /. float_of_int faulted else nan
+      in
+      check "recovery-rate" ~applicable ~warn_only:false
+        ~ok:((not applicable) || rate >= thresholds.recovery_rate_floor)
+        ~value:rate ~threshold:thresholds.recovery_rate_floor
+        (if applicable then
+           Printf.sprintf "%d/%d faulted trials recovered (rate %.3f, floor %.3f)"
+             recovered faulted rate thresholds.recovery_rate_floor
+         else "no faulted chaos trials")
+    in
+    let fallbacks =
+      let v = csum "planner_fallbacks_total" in
+      check "planner-fallbacks" ~applicable:true ~warn_only:false
+        ~ok:(v <= thresholds.max_fallbacks)
+        ~value:(float_of_int v)
+        ~threshold:(float_of_int thresholds.max_fallbacks)
+        (Printf.sprintf "%d planner tier fallbacks (max %d)" v thresholds.max_fallbacks)
+    in
+    let refutations =
+      let metric = csum "plan_refutations_total" + csum "plan_cache_refutations_total" in
+      let logged =
+        List.length
+          (List.filter
+             (fun r ->
+               r.Log.level = Log.Error
+               && (r.Log.event = "certify.refuted" || r.Log.event = "plan_cache.refuted"))
+             records)
+      in
+      let v = max metric logged in
+      check "refutations" ~applicable:true ~warn_only:false
+        ~ok:(v <= thresholds.max_refutations)
+        ~value:(float_of_int v)
+        ~threshold:(float_of_int thresholds.max_refutations)
+        (Printf.sprintf "%d certificate/plan-cache refutations (max %d)" v
+           thresholds.max_refutations)
+    in
+    let errors =
+      let v =
+        List.length (List.filter (fun r -> r.Log.level = Log.Error) records)
+      in
+      check "error-logs" ~applicable:(records <> []) ~warn_only:true ~ok:(v = 0)
+        ~value:(float_of_int v) ~threshold:0.0
+        (Printf.sprintf "%d error-level log records" v)
+    in
+    let gc =
+      let applicable = List.exists (fun (n, _, _) -> n = "gc_major_words") hists in
+      let v = hfold "gc_major_words" (fun acc s -> acc +. s.Metrics.hsum) 0.0 in
+      check "gc-pressure" ~applicable ~warn_only:false
+        ~ok:(v <= thresholds.gc_major_words_ceiling)
+        ~value:(if applicable then v else nan)
+        ~threshold:thresholds.gc_major_words_ceiling
+        (if applicable then
+           Printf.sprintf "%.0f major-heap words promoted (ceiling %.0f)" v
+             thresholds.gc_major_words_ceiling
+         else "no GC telemetry recorded")
+    in
+    let rings =
+      let v = gsum "trace_dropped_events" +. gsum "log_dropped_records" in
+      check "ring-overflow" ~applicable:true ~warn_only:true ~ok:(v = 0.0) ~value:v
+        ~threshold:0.0
+        (Printf.sprintf "%.0f trace events / log records lost to ring wrap-around" v)
+    in
+    let wall =
+      match bench with
+      | None -> []
+      | Some (base, cand) -> (
+          match Bench_diff.diff ~base ~cand () with
+          | Error msg ->
+              [
+                check "wallclock-band" ~applicable:true ~warn_only:false ~ok:false
+                  ~value:nan ~threshold:0.0 ("bench diff failed: " ^ msg);
+              ]
+          | Ok o ->
+              let regs =
+                List.filter
+                  (fun c ->
+                    c.Bench_diff.wall_clock && c.Bench_diff.verdict = Bench_diff.Regressed)
+                  o.Bench_diff.cells
+              in
+              [
+                check "wallclock-band" ~applicable:true ~warn_only:false ~ok:(regs = [])
+                  ~value:(float_of_int (List.length regs))
+                  ~threshold:0.0
+                  (if regs = [] then "all wall-clock cells within the noise band"
+                   else
+                     String.concat "; "
+                       (List.map
+                          (fun c ->
+                            Printf.sprintf "%s/%s %s %.3f -> %.3f (tolerance %.3f ms)"
+                              c.Bench_diff.cmodel c.Bench_diff.cmanager
+                              c.Bench_diff.metric c.Bench_diff.base c.Bench_diff.cand
+                              c.Bench_diff.tolerance)
+                          regs));
+              ])
+    in
+    let checks =
+      [ headroom; recovery; fallbacks; refutations; errors; gc; rings ] @ wall
+    in
+    { healthy = not (List.exists (fun c -> c.severity = Fail) checks); checks }
+
+  let exit_code v = if v.healthy then 0 else 2
+
+  let check_to_json c =
+    Json.Obj
+      [
+        ("rule", Json.String c.rule);
+        ("severity", Json.String (severity_name c.severity));
+        ("applicable", Json.Bool c.applicable);
+        ("value", Json.Float c.value);
+        ("threshold", Json.Float c.threshold);
+        ("detail", Json.String c.detail);
+      ]
+
+  let to_json v =
+    Json.Obj
+      [
+        ("healthy", Json.Bool v.healthy);
+        ("checks", Json.List (List.map check_to_json v.checks));
+      ]
+
+  let pp ppf v =
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "%-5s %-18s %s%s@,"
+          (String.uppercase_ascii (severity_name c.severity))
+          c.rule c.detail
+          (if c.applicable then "" else " (not applicable)"))
+      v.checks;
+    Format.fprintf ppf "verdict: %s@]" (if v.healthy then "healthy" else "UNHEALTHY")
 end
 
 (* Profile spans in the same Chrome trace-event dialect, so one Perfetto
@@ -1660,3 +2455,78 @@ let metric_set ?labels name v =
   match current_metrics () with
   | Some m -> Metrics.set ?labels m name v
   | None -> ()
+
+(* --- ambient structured logging ------------------------------------------ *)
+
+let current_log_key : Log.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current_log () = Domain.DLS.get current_log_key
+
+let with_log sink f =
+  let saved = Domain.DLS.get current_log_key in
+  Domain.DLS.set current_log_key (Some sink);
+  Fun.protect f ~finally:(fun () -> Domain.DLS.set current_log_key saved)
+
+(* Ambient log context: merged, never replaced — entering a pass inside a
+   compile keeps the compile id.  When no sink is installed the context
+   is not even read, so un-logged callers pay one option check. *)
+type log_ctx = { lc_compile_id : int; lc_pass : string; lc_region : int; lc_node : int }
+
+let no_log_ctx = { lc_compile_id = -1; lc_pass = ""; lc_region = -1; lc_node = -1 }
+
+let current_log_ctx_key : log_ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> no_log_ctx)
+
+let with_log_ctx ?compile_id ?pass ?region ?node f =
+  match Domain.DLS.get current_log_key with
+  | None -> f ()
+  | Some _ ->
+      let saved = Domain.DLS.get current_log_ctx_key in
+      Domain.DLS.set current_log_ctx_key
+        {
+          lc_compile_id = Option.value compile_id ~default:saved.lc_compile_id;
+          lc_pass = Option.value pass ~default:saved.lc_pass;
+          lc_region = Option.value region ~default:saved.lc_region;
+          lc_node = Option.value node ~default:saved.lc_node;
+        };
+      Fun.protect f ~finally:(fun () -> Domain.DLS.set current_log_ctx_key saved)
+
+let log ~level ~event ?(msg = "") ?fields () =
+  match Domain.DLS.get current_log_key with
+  | None -> ()
+  | Some sink ->
+      let ctx = Domain.DLS.get current_log_ctx_key in
+      let sim_ms = Option.map Trace.clock_ms (current_trace ()) in
+      Log.record sink ~level ~event ~msg ?sim_ms ~compile_id:ctx.lc_compile_id
+        ~pass:ctx.lc_pass ~region:ctx.lc_region ~node:ctx.lc_node ?fields ()
+
+let log_debug ~event ?fields msg = log ~level:Log.Debug ~event ~msg ?fields ()
+let log_info ~event ?fields msg = log ~level:Log.Info ~event ~msg ?fields ()
+let log_warn ~event ?fields msg = log ~level:Log.Warn ~event ~msg ?fields ()
+let log_error ~event ?fields msg = log ~level:Log.Error ~event ~msg ?fields ()
+
+(* --- ambient runtime telemetry ------------------------------------------- *)
+
+let current_rt_key : Rt.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let current_rt () = Domain.DLS.get current_rt_key
+
+let with_rt rt f =
+  let saved = Domain.DLS.get current_rt_key in
+  Domain.DLS.set current_rt_key (Some rt);
+  Fun.protect f ~finally:(fun () -> Domain.DLS.set current_rt_key saved)
+
+(* A profile span that additionally publishes the phase's GC pressure
+   into the ambient metrics registry.  The deltas go to Metrics only —
+   never to the Profile — so compile reports stay bit-identical whether
+   or not GC telemetry is being collected. *)
+let gc_span name f =
+  match current_metrics () with
+  | None -> span name f
+  | Some m ->
+      let labels = [ ("phase", name) ] in
+      let r, d = Rt.gc_sample (fun () -> span name f) in
+      Metrics.observe ~labels m "gc_minor_words" d.Rt.minor_words;
+      Metrics.observe ~labels m "gc_major_words" d.Rt.major_words;
+      Metrics.incr ~by:d.Rt.minor_collections ~labels m "gc_minor_collections_total";
+      Metrics.incr ~by:d.Rt.major_collections ~labels m "gc_major_collections_total";
+      Metrics.set m "gc_top_heap_words" (float_of_int d.Rt.top_heap_words);
+      r

@@ -237,6 +237,157 @@ module Stat : sig
   val of_json : Json.t -> (summary, string) result
 end
 
+(** Leveled structured logging — a ring-buffered flight recorder of log
+    records, the narrative companion to {!Trace}'s op events.
+
+    Records carry automatic context (compile id, pass, region, node,
+    emitting domain) filled in by the ambient helpers ({!with_log},
+    {!with_log_ctx}, {!log_info} …), free-form structured fields, and a
+    simulated-clock stamp when a trace was ambient at emission time — so
+    a record emitted mid-execution lands as an instant on the execution
+    timeline, correlated with the op spans around it.  The sink is
+    mutex-protected and shared with parallel-planner worker domains the
+    same way the metrics registry is. *)
+module Log : sig
+  type level = Debug | Info | Warn | Error
+
+  val level_name : level -> string
+  (** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+  val level_of_name : string -> level option
+
+  type record = {
+    lseq : int;  (** Global record sequence number (0-based). *)
+    level : level;
+    event : string;  (** Stable machine-readable id, e.g. ["plan_cache.hit"]. *)
+    msg : string;  (** Human-readable text; [""] when absent. *)
+    ts_ms : float;  (** Host wall clock, relative to sink creation. *)
+    sim_ms : float option;  (** Simulated trace clock at emission, if traced. *)
+    compile_id : int;  (** [-1] outside any compile. *)
+    pass : string;  (** [""] when no pass context. *)
+    region : int;  (** [-1] when unattributed. *)
+    node : int;  (** [-1] when unattributed. *)
+    domain : int;  (** Emitting domain id. *)
+    fields : (string * Json.t) list;  (** Free-form structured payload. *)
+  }
+
+  type t
+
+  val create : ?capacity:int -> ?min_level:level -> unit -> t
+  (** Ring buffer of [capacity] records (default 8192); older records are
+      overwritten once full.  Records below [min_level] (default
+      {!Debug}) are counted in {!filtered} and not stored.  Raises
+      [Invalid_argument] when [capacity < 1]. *)
+
+  val record :
+    t ->
+    level:level ->
+    event:string ->
+    ?msg:string ->
+    ?sim_ms:float ->
+    ?compile_id:int ->
+    ?pass:string ->
+    ?region:int ->
+    ?node:int ->
+    ?fields:(string * Json.t) list ->
+    unit ->
+    unit
+  (** Append one record.  Thread-safe; prefer the ambient {!log_info} /
+      {!log_warn} helpers, which attach context automatically. *)
+
+  val records : t -> record list
+  (** Surviving records, chronological. *)
+
+  val recorded : t -> int
+  (** Total records ever kept, including overwritten ones. *)
+
+  val dropped : t -> int
+  (** Records lost to ring-buffer wrap-around. *)
+
+  val filtered : t -> int
+  (** Records rejected below [min_level]. *)
+
+  val record_to_json : record -> Json.t
+  val record_of_json : Json.t -> (record, string) result
+
+  val to_jsonl : t -> string list
+  (** One compact JSON object per surviving record, chronological.
+      Round-trips exactly through {!of_jsonl}. *)
+
+  val of_jsonl : string list -> (record list, string) result
+  (** Parse JSONL lines (blank lines skipped). *)
+
+  val chrome_events : ?compile_pid:int -> ?exec_pid:int -> record list -> Json.t list
+  (** Records as Perfetto ["i"] instants: a record with [sim_ms] lands on
+      the execution process (default pid 1) at its simulated time on its
+      region's thread; one without lands on the compile process (default
+      pid 0) at its host timestamp.  Wrap with {!chrome_trace}. *)
+end
+
+(** Runtime telemetry: GC pressure deltas around a computation, and
+    per-worker accounting for the parallel planner's domain pool,
+    exported as one Perfetto track per worker domain. *)
+module Rt : sig
+  type gc_delta = {
+    minor_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+    top_heap_words : int;  (** Absolute peak, not a delta. *)
+  }
+
+  val gc_sample : (unit -> 'a) -> 'a * gc_delta
+  (** Run [f] between two [Gc.quick_stat] snapshots. *)
+
+  type task_span = {
+    t_index : int;  (** Task index within the pool run. *)
+    t_start_ms : float;  (** Relative to pool start. *)
+    t_dur_ms : float;
+  }
+
+  type worker = {
+    w_id : int;  (** Slot in the pool, 0-based. *)
+    w_domain : int;  (** OCaml domain id the worker ran on. *)
+    w_tasks : int;
+    w_busy_ms : float;
+    w_idle_ms : float;  (** Pool wall time not spent inside tasks. *)
+    w_queue_wait_ms : float;  (** Spawn-to-first-task latency. *)
+    w_spans : task_span list;
+  }
+
+  type pool = {
+    p_seq : int;
+    p_label : string;
+    p_jobs : int;
+    p_tasks : int;
+    p_start_ms : float;  (** Relative to collector creation. *)
+    p_wall_ms : float;
+    p_workers : worker list;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val now_ms : t -> float
+  (** Milliseconds since collector creation. *)
+
+  val record_pool :
+    t -> label:string -> jobs:int -> tasks:int -> wall_ms:float -> worker list -> unit
+  (** Append one completed pool run; called by {!Resbm.Par} after the
+      workers have joined.  Thread-safe. *)
+
+  val pools : t -> pool list
+  (** Recorded pool runs, in completion order. *)
+
+  val to_json : t -> Json.t
+
+  val chrome_events : ?pid:int -> ?name:string -> t -> Json.t list
+  (** One Perfetto thread per (pool, worker) on its own process (default
+      pid 2), task spans as ["X"] events — gaps show idle workers.  [[]]
+      when no pools were recorded.  Wrap with {!chrome_trace}. *)
+end
+
 (** Aggregate metrics: a registry of counters, gauges and log-bucketed
     histograms with quantile estimation, exposable as Prometheus text or
     JSON.  Histograms are constant space — log2-spaced buckets with
@@ -291,9 +442,21 @@ module Metrics : sig
       [compile_phase_ms{phase}], pipeline counters into
       [pipeline_events_total{counter}]. *)
 
+  val all_counters : t -> (string * labels * int) list
+  (** Every counter as (name, labels, value), sorted. *)
+
+  val all_gauges : t -> (string * labels * float) list
+  val all_histograms : t -> (string * labels * hstats) list
+
   val to_json : t -> Json.t
   (** Deterministically ordered; histogram entries carry count/sum/min/max,
       p50/p90/p99 and the non-empty cumulative buckets as [[le, count]]. *)
+
+  val of_json : Json.t -> (t, string) result
+  (** Rebuild a registry from its {!to_json} form — bucket indices are
+      recovered from the serialised bounds, so
+      [to_json (of_json (to_json m))] equals [to_json m].  Missing
+      sections are tolerated (they load as empty). *)
 
   val to_prometheus : ?namespace:string -> t -> string
   (** Prometheus text exposition (default namespace ["resbm"]); metric and
@@ -337,6 +500,9 @@ module Bench_diff : sig
     base : float;
     cand : float;
     wall_clock : bool;
+    informational : bool;
+        (** Reported but never gated (the {!informational_metrics} GC
+            cells). *)
     tolerance : float;  (** 0 for exact comparisons. *)
     verdict : verdict;
   }
@@ -349,6 +515,13 @@ module Bench_diff : sig
 
   val deterministic_metrics : (string * [ `Lower | `Higher ]) list
   (** The compared metrics and which direction counts as an improvement. *)
+
+  val informational_metrics : string list
+  (** GC cells sampled by the bench harness ([gc_minor_words],
+      [gc_major_words], [gc_top_heap_words]): diffed when both sides
+      carry them (missing on either side yields no cell, so old
+      baselines diff cleanly), reported with [informational = true], and
+      excluded from every gate. *)
 
   val load : string -> (source, string) result
   (** Parse a bench file's contents.  Refuses unversioned files, wrong
@@ -390,6 +563,64 @@ module Bench_diff : sig
 
   val pp_outcome : ?all:bool -> Format.formatter -> outcome -> unit
   (** Changed cells (all cells with [all]) plus a one-line summary. *)
+end
+
+(** Rule-based health evaluation over a finished run's metrics registry
+    and log records.  Each rule compares one aggregate against a
+    threshold; the verdict is healthy iff no rule fails.  Rules whose
+    signals the run did not produce (no traced execution, no chaos
+    campaign, no GC telemetry) report [applicable = false] and pass
+    vacuously, so one evaluator serves compile, trace and chaos flights
+    alike.  Surfaced by the [resbm health] subcommand. *)
+module Health : sig
+  type severity = Pass | Warn | Fail
+
+  val severity_name : severity -> string
+
+  type thresholds = {
+    headroom_floor_bits : float;
+        (** Minimum traced noise headroom (default 4.0 bits). *)
+    recovery_rate_floor : float;
+        (** Minimum recovered/faulted chaos-trial ratio (default 0.9). *)
+    max_fallbacks : int;  (** Planner tier fallbacks allowed (default 0). *)
+    max_refutations : int;
+        (** Certificate / plan-cache refutations allowed (default 0). *)
+    gc_major_words_ceiling : float;
+        (** Major-heap words promoted across all phases (default 2e9). *)
+  }
+
+  val default_thresholds : thresholds
+
+  type check = {
+    rule : string;
+    severity : severity;
+    applicable : bool;
+    value : float;  (** NaN when not applicable. *)
+    threshold : float;
+    detail : string;
+  }
+
+  type verdict = { healthy : bool; checks : check list }
+
+  val evaluate :
+    ?thresholds:thresholds ->
+    ?records:Log.record list ->
+    ?bench:Bench_diff.source * Bench_diff.source ->
+    Metrics.t ->
+    verdict
+  (** Run every rule.  [records] feed the refutation and error-log rules;
+      [bench] (base, candidate) adds a wall-clock band rule reusing
+      {!Bench_diff.diff}.  [Warn]-severity findings (error-level logs,
+      ring overflow) never flip the verdict to unhealthy. *)
+
+  val exit_code : verdict -> int
+  (** 0 = healthy, 2 = unhealthy. *)
+
+  val check_to_json : check -> Json.t
+  val to_json : verdict -> Json.t
+
+  val pp : Format.formatter -> verdict -> unit
+  (** One line per check plus the verdict. *)
 end
 
 val profile_chrome_events : ?pid:int -> ?name:string -> Profile.t -> Json.t list
@@ -444,3 +675,49 @@ val metric_observe : ?labels:Metrics.labels -> string -> float -> unit
 
 val metric_set : ?labels:Metrics.labels -> string -> float -> unit
 (** Set a gauge on the ambient registry; no-op when none. *)
+
+val with_log : Log.t -> (unit -> 'a) -> 'a
+(** Install [sink] as the ambient log sink for the extent of the callback
+    (restoring the previous one after, also on exceptions).  {!Resbm.Par}
+    re-installs the parent's sink in worker domains, like metrics. *)
+
+val current_log : unit -> Log.t option
+
+val with_log_ctx :
+  ?compile_id:int -> ?pass:string -> ?region:int -> ?node:int -> (unit -> 'a) -> 'a
+(** Attach context to every record emitted inside the callback.  Fields
+    merge with the enclosing context (entering a pass keeps the compile
+    id); when no sink is installed the callback runs directly and the
+    context is never even read. *)
+
+val log :
+  level:Log.level ->
+  event:string ->
+  ?msg:string ->
+  ?fields:(string * Json.t) list ->
+  unit ->
+  unit
+(** Emit one record on the ambient sink with the ambient context and — if
+    a trace is also ambient — the current simulated clock; no-op when no
+    sink is installed. *)
+
+val log_debug : event:string -> ?fields:(string * Json.t) list -> string -> unit
+val log_info : event:string -> ?fields:(string * Json.t) list -> string -> unit
+val log_warn : event:string -> ?fields:(string * Json.t) list -> string -> unit
+val log_error : event:string -> ?fields:(string * Json.t) list -> string -> unit
+(** [log_error ~event msg] = [log ~level:Error ~event ~msg ()]. *)
+
+val with_rt : Rt.t -> (unit -> 'a) -> 'a
+(** Install [rt] as the ambient runtime-telemetry collector for the
+    extent of the callback.  {!Resbm.Par} records one pool entry per
+    [tabulate] fan-out into it. *)
+
+val current_rt : unit -> Rt.t option
+
+val gc_span : string -> (unit -> 'a) -> 'a
+(** {!span}, plus — when a metrics registry is ambient — the phase's GC
+    pressure published as [gc_minor_words{phase}] / [gc_major_words{phase}]
+    observations, [gc_minor_collections_total{phase}] /
+    [gc_major_collections_total{phase}] counters and a [gc_top_heap_words]
+    gauge.  The deltas go to Metrics only, never to the Profile, so
+    compile reports stay bit-identical with telemetry off or on. *)

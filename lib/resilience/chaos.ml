@@ -10,6 +10,7 @@ type config = {
   backoff_ms : float;
   noise_floor_bits : float;
   no_retries : bool;
+  from_trace : bool;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     backoff_ms = Recovery.default.Recovery.backoff_ms;
     noise_floor_bits = Recovery.default.Recovery.noise_floor_bits;
     no_retries = false;
+    from_trace = false;
   }
 
 type trial = {
@@ -56,6 +58,7 @@ type model_summary = {
   recovery_ms_by_kind : (string * float) list;
   total_retries : int;
   total_panic_refreshes : int;
+  fault_targets : (int * float) list;
   trials : trial list;
 }
 
@@ -80,7 +83,7 @@ let name_salt name =
    structural divergence), and a large slot corruption (its quadrature
    noise bump drops the observed headroom below the floor).  Small silent
    slot corruptions are deliberately not generated — see ROADMAP. *)
-let trial_plan rng ~rate ~budget ~no_retries =
+let trial_plan rng ~rate ~budget ~no_retries ~targets =
   let u lo hi = Ckks.Prng.uniform rng ~lo ~hi in
   let seed = Ckks.Prng.int64 rng in
   let rules =
@@ -102,6 +105,24 @@ let trial_plan rng ~rate ~budget ~no_retries =
         Ckks.Fault.rule Ckks.Fault.Slot_corrupt ~prob:(rate *. u 0.25 1.0)
           ~mag:(u (-4.0) (-1.0));
       ]
+  in
+  let rules =
+    if targets = [] then rules
+    else
+      (* Divergence-targeted campaign ([from_trace]): every rule gets a
+         node-restricted copy with a 4x probability boost, placed first so
+         it wins plan-order matching on hot-spot nodes.  The base rules
+         stay behind it — the rest of the graph still sees background
+         fire, just less of it. *)
+      List.map
+        (fun (r : Ckks.Fault.rule) ->
+          {
+            r with
+            Ckks.Fault.nodes = targets;
+            prob = Float.min 1.0 (4.0 *. r.Ckks.Fault.prob);
+          })
+        rules
+      @ rules
   in
   { Ckks.Fault.seed; rules; budget }
 
@@ -143,8 +164,17 @@ let run_model cfg name =
      injection-free trial replays the exact reference noise stream, so its
      outputs must be bit-identical. *)
   let ev_seed = Int64.logxor cfg.seed 0x9E3779B97F4A7C15L in
+  let ref_trace = if cfg.from_trace then Some (Obs.Trace.create ()) else None in
   let reference =
-    Fhe_ir.Interp.run (Ckks.Evaluator.create ~seed:ev_seed prm) managed env
+    match ref_trace with
+    | None -> Fhe_ir.Interp.run (Ckks.Evaluator.create ~seed:ev_seed prm) managed env
+    | Some tr ->
+        (* Tracing is pure instrumentation, so the flight-recorded
+           reference produces the same outputs bit-for-bit — the fault-off
+           identity check below still holds under [from_trace]. *)
+        Fhe_ir.Interp.run ~trace:tr ~region_of
+          (Ckks.Evaluator.create ~seed:ev_seed prm)
+          managed env
   in
   let ref_outputs = reference.Fhe_ir.Interp.outputs in
   let max_err =
@@ -174,11 +204,27 @@ let run_model cfg name =
     in
     Fhe_ir.Noise_check.analyse ~const_magnitude prm managed
   in
+  let fault_targets =
+    match ref_trace with
+    | None -> []
+    | Some tr -> Fhe_ir.Noise_check.trace_hotspots noise (Obs.Trace.op_events tr)
+  in
+  let targets = List.map fst fault_targets in
+  if fault_targets <> [] then
+    Obs.log_info ~event:"chaos.targets"
+      ~fields:
+        [
+          ("model", Obs.Json.String name);
+          ("targets", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) targets));
+        ]
+      (Printf.sprintf "aiming fault injection at %d trace hot-spots"
+         (List.length targets));
   let rng = Ckks.Prng.create (Int64.logxor cfg.seed (name_salt name)) in
   let trials =
     List.init cfg.trials (fun t ->
         let plan =
           trial_plan rng ~rate:cfg.rate ~budget:cfg.budget ~no_retries:cfg.no_retries
+            ~targets
         in
         let injector = Ckks.Fault.create plan in
         let ev = Ckks.Evaluator.create ~seed:ev_seed prm in
@@ -278,6 +324,7 @@ let run_model cfg name =
     recovery_ms_by_kind = merge_ms (fun t -> t.recovery_ms_by_kind);
     total_retries = List.fold_left (fun a t -> a + t.retries) 0 trials;
     total_panic_refreshes = List.fold_left (fun a t -> a + t.panic_refreshes) 0 trials;
+    fault_targets;
     trials;
   }
 
@@ -292,6 +339,7 @@ let run ?metrics cfg =
         (fun ms ->
           let labels = [ ("model", ms.model) ] in
           Obs.Metrics.incr m ~labels ~by:ms.trials_run "chaos_trials_total";
+          Obs.Metrics.incr m ~labels ~by:ms.faulted_trials "chaos_faulted_total";
           Obs.Metrics.incr m ~labels ~by:ms.recovered_trials "chaos_recovered_total";
           Obs.Metrics.incr m ~labels ~by:ms.total_retries "chaos_retries_total";
           List.iter
@@ -362,6 +410,13 @@ let model_to_json m =
       ("recovery_ms_by_kind", json_kv_floats m.recovery_ms_by_kind);
       ("total_retries", Obs.Json.Int m.total_retries);
       ("total_panic_refreshes", Obs.Json.Int m.total_panic_refreshes);
+      ( "fault_targets",
+        Obs.Json.List
+          (List.map
+             (fun (n, r) ->
+               Obs.Json.Obj
+                 [ ("node", Obs.Json.Int n); ("ratio", Obs.Json.Float r) ])
+             m.fault_targets) );
       ("trials", Obs.Json.List (List.map trial_to_json m.trials));
     ]
 

@@ -34,11 +34,20 @@ type config = {
           spikes, so every detected fault goes straight to the panic
           re-bootstrap repair path instead of rollback-retry — the
           coverage mode for that branch. *)
+  from_trace : bool;
+      (** Divergence-targeted campaign: the fault-free reference run is
+          flight-recorded ({!Obs.Trace}), its per-node noise divergence
+          against the static estimate ranked
+          ({!Fhe_ir.Noise_check.trace_hotspots}), and every fault rule
+          gets a node-restricted copy with boosted probability aimed at
+          the hot spots.  Tracing is pure instrumentation, so the
+          reference outputs (and the fault-off identity check) are
+          unchanged. *)
 }
 
 val default : config
 (** seed 0xC4A05, 25 trials, [tiny] model, l_max 9, dim 64, rate 0.02,
-    budget 3, recovery defaults, retries enabled. *)
+    budget 3, recovery defaults, retries enabled, untargeted. *)
 
 type trial = {
   trial_index : int;
@@ -72,6 +81,9 @@ type model_summary = {
       (** Total simulated recovery latency attributed per fault kind. *)
   total_retries : int;
   total_panic_refreshes : int;
+  fault_targets : (int * float) list;
+      (** Hot-spot [(node, traced/predicted ratio)] targets the campaign
+          aimed at ([from_trace] only; empty otherwise). *)
   trials : trial list;
 }
 
@@ -86,7 +98,9 @@ type report = {
 val run : ?metrics:Obs.Metrics.t -> config -> report
 (** Runs the campaign.  When [metrics] is given, folds campaign counters
     into it: [chaos_trials_total{model}], [chaos_faults_total{model,kind}],
-    [chaos_recovered_total{model}], [chaos_retries_total{model}].
+    [chaos_faulted_total{model}], [chaos_recovered_total{model}],
+    [chaos_retries_total{model}] — the faulted/recovered pair is what
+    {!Obs.Health}'s recovery-rate rule reads.
     @raise Invalid_argument on an unknown model name. *)
 
 val to_json : report -> Obs.Json.t

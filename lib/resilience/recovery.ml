@@ -179,6 +179,15 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
             ("blame", Obs.Json.String kind);
             ("backoff_ms", Obs.Json.Float delay);
           ];
+        Obs.log_warn ~event:"recovery.rollback"
+          ~fields:
+            [
+              ("to", Obs.Json.Int resume);
+              ("attempt", Obs.Json.Int !attempts);
+              ("blame", Obs.Json.String kind);
+              ("backoff_ms", Obs.Json.Float delay);
+            ]
+          (Printf.sprintf "rolled back to node %d (%s)" resume kind);
         fault_mark := injected_now ();
         pos := resume
   in
@@ -269,7 +278,16 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
                 ("node", Obs.Json.Int id);
                 ("headroom_before_bits", Obs.Json.Float before);
                 ("headroom_after_bits", Obs.Json.Float (headroom c'.Ckks.Ciphertext.err));
-              ])
+              ];
+            Obs.log_warn ~event:"recovery.panic_refresh"
+              ~fields:
+                [
+                  ("node", Obs.Json.Int id);
+                  ("headroom_before_bits", Obs.Json.Float before);
+                  ( "headroom_after_bits",
+                    Obs.Json.Float (headroom c'.Ckks.Ciphertext.err) );
+                ]
+              (Printf.sprintf "panic-refreshed node %d" id))
           noisy;
         if i < n then take_checkpoint i
       end

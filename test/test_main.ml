@@ -23,4 +23,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("resilience", Test_resilience.suite);
       ("parallel-cache", Test_parallel_cache.suite);
+      ("flight", Test_flight.suite);
     ]
