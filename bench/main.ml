@@ -608,6 +608,10 @@ let bench_json () =
           Obs.Json.Obj
             (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (Obs.Profile.counters profile))
         );
+        (* Renumbering-stable structural digest: bench-diff pairs it cell
+           by cell, so a gated metric regression arrives with the plan-level
+           change that caused it (see Obs.Bench_diff.plan_drift). *)
+        ("plan_digest", Resbm.Explain.digest prm ~managed r);
       ]
   in
   (* One flight-recorded inference per model under the ReSBM manager: the

@@ -11,6 +11,8 @@
      certify                   re-check min-cut certificates + abstract-interpretation safety
      cache                     on-disk plan cache stats / clear
      bench-diff                gate a candidate bench file against a baseline
+     explain                   cost waterfall + per-bootstrap min-cut rationale
+     plan-diff                 renumbering-stable structural diff of compiled plans
      chaos                     seeded fault-injection campaign + recovery report
      metrics                   aggregate-metrics dump (Prometheus text or JSON)
      health                    rule-based health verdict over a flight file or fresh run
@@ -292,9 +294,27 @@ let print_trace_summary (report : Resbm.Report.t) tr (result : Fhe_ir.Interp.res
       bts;
     if List.length bts > 12 then Format.printf "  ... (%d more)@." (List.length bts - 12)
   end;
-  Format.printf "noisiest nodes (least headroom):@.";
+  (* The noisiest table carries the node's region and its frequency-weighted
+     Table 2 cost so a headroom scare can be triaged without cross-referencing
+     the attribution table below. *)
+  let region_name node =
+    let ra = report.Resbm.Report.region_of in
+    if node >= 0 && node < Array.length ra && ra.(node) >= 0 then
+      Printf.sprintf "region %d" ra.(node)
+    else "(unattributed)"
+  in
+  let node_cost = Hashtbl.create 64 in
   List.iter
-    (fun (node, bits) -> Format.printf "  node %-6d %7.1f bits@." node bits)
+    (fun (c : Fhe_ir.Interp.node_cost) ->
+      Hashtbl.replace node_cost c.Fhe_ir.Interp.node c.Fhe_ir.Interp.cost_ms)
+    result.Fhe_ir.Interp.node_costs;
+  Format.printf "noisiest nodes (least headroom):@.";
+  Format.printf "  %-11s %12s  %-14s %12s@." "node" "headroom" "region" "cost";
+  List.iter
+    (fun (node, bits) ->
+      Format.printf "  node %-6d %7.1f bits  %-14s %9.3f ms@." node bits
+        (region_name node)
+        (Option.value ~default:0.0 (Hashtbl.find_opt node_cost node)))
     n.Fhe_ir.Interp.noisiest;
   (* Per-region latency attribution, consistent with Report.t's partition. *)
   let totals = Hashtbl.create 16 in
@@ -1119,6 +1139,478 @@ let bench_diff_cmd =
       const run $ base_path $ cand_path $ json_path $ fail_on $ noise_mult
       $ min_tolerance $ strict_wallclock $ all)
 
+(* --- explain ---------------------------------------------------------------------- *)
+
+let top_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"K"
+        ~doc:
+          "Individually-listed nodes per op-kind bucket; the rest fold into an \
+           explicit remainder row (never dropped).")
+
+let explain_cmd =
+  let run model manager l_max jobs cache_flag top trace_path json_path =
+    let model = or_die (resolve_model model) in
+    let manager = or_die (resolve_manager manager) in
+    let prm = params_for l_max in
+    let lowered = Nn.Lowering.lower model in
+    let orig_nodes = Fhe_ir.Dfg.node_count lowered.Nn.Lowering.dfg in
+    let cache = cache_of ~flag:cache_flag in
+    let managed, report =
+      Resbm.Variants.compile ?jobs ?cache manager prm lowered.Nn.Lowering.dfg
+    in
+    let wf = Resbm.Explain.attribution ~top prm ~managed report in
+    let rationales = Resbm.Explain.rationales prm ~orig_nodes ~managed report in
+    Format.printf "%a@."
+      (Obs.Explain.pp
+         ~title:
+           (Printf.sprintf "%s / %s @ l_max %d — predicted cost attribution"
+              model.Nn.Model.name manager.Resbm.Variants.name l_max))
+      wf;
+    Format.printf "@.bootstrap rationale (%d placed):@." (List.length rationales);
+    List.iter
+      (fun r -> Format.printf "  %a@." (Resbm.Explain.pp_rationale managed) r)
+      rationales;
+    (* Cross-check the static attribution against a flight-recorded run:
+       [resbm trace --jsonl FILE] writes per-op events carrying each node's
+       freq-weighted cost; any node whose traced cost disagrees with the
+       Table 2 attribution means the plan the explainer describes is not
+       the plan that executed. *)
+    let trace_check =
+      match trace_path with
+      | None -> None
+      | Some path ->
+          let lines =
+            let ic =
+              try open_in path
+              with Sys_error msg ->
+                Format.eprintf "error: cannot read %s: %s@." path msg;
+                exit 1
+            in
+            let acc = ref [] in
+            (try
+               while true do
+                 acc := input_line ic :: !acc
+               done
+             with End_of_file -> close_in ic);
+            List.rev !acc
+          in
+          let traced = Hashtbl.create 256 in
+          List.iter
+            (fun line ->
+              if String.trim line <> "" then
+                match Obs.Json.of_string line with
+                | Ok j when Obs.Json.member "type" j = Some (Obs.Json.String "op") -> (
+                    match (Obs.Json.member "node" j, Obs.Json.member "dur_ms" j) with
+                    | Some (Obs.Json.Int node), Some dur when node >= 0 ->
+                        let ms =
+                          match dur with
+                          | Obs.Json.Float f -> f
+                          | Obs.Json.Int i -> float_of_int i
+                          | _ -> 0.0
+                        in
+                        (* Every event of a node carries the node's full
+                           freq-weighted cost, so keep-one (not sum). *)
+                        Hashtbl.replace traced node ms
+                    | _ -> ())
+                | _ -> ())
+            lines;
+          let info = Fhe_ir.Scale_check.infer prm managed in
+          let compared = ref 0 and max_dev = ref 0.0 and worst = ref (-1) in
+          Hashtbl.iter
+            (fun node traced_ms ->
+              if node < Fhe_ir.Dfg.node_count managed then begin
+                let predicted = Fhe_ir.Latency.node_cost prm managed info node in
+                incr compared;
+                let dev = Float.abs (traced_ms -. predicted) in
+                if dev > !max_dev then begin
+                  max_dev := dev;
+                  worst := node
+                end
+              end)
+            traced;
+          Format.printf
+            "@.traced cross-check (%s): %d nodes compared, max |traced - predicted| \
+             %.6f ms%s@."
+            path !compared !max_dev
+            (if !worst >= 0 && !max_dev > 1e-6 then
+               Printf.sprintf " (node %d)" !worst
+             else "");
+          Some (!compared, !max_dev)
+    in
+    (match json_path with
+    | Some path ->
+        let open Obs.Json in
+        write_json path
+          (Obj
+             ([
+                ("model", String model.Nn.Model.name);
+                ("manager", String manager.Resbm.Variants.name);
+                ("l_max", Int l_max);
+                ("attribution", Obs.Explain.to_json wf);
+                ( "rationales",
+                  List (List.map Resbm.Explain.rationale_to_json rationales) );
+                ("digest", Resbm.Explain.digest prm ~managed report);
+              ]
+             @
+             match trace_check with
+             | None -> []
+             | Some (compared, max_dev) ->
+                 [
+                   ( "trace_check",
+                     Obj
+                       [
+                         ("nodes_compared", Int compared);
+                         ("max_deviation_ms", Float max_dev);
+                       ] );
+                 ]));
+        Format.printf "wrote explain report to %s@." path
+    | None -> ());
+    (* An attribution that misses real cost is an explainability bug. *)
+    let attributed = Obs.Explain.attributed wf in
+    if wf.Obs.Explain.total > 0.0 && attributed < 0.99 *. wf.Obs.Explain.total then begin
+      Format.eprintf "error: only %.1f%% of the predicted latency is attributed@."
+        (100.0 *. attributed /. wf.Obs.Explain.total);
+      exit 2
+    end
+  in
+  let trace_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Cross-check the static attribution against the flight-recorded JSONL \
+             trace in $(docv) (written by $(b,resbm trace --jsonl)): compares every \
+             traced node's freq-weighted cost with the Table 2 prediction.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the waterfall, per-bootstrap rationales and the structural plan \
+             digest as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a compiled plan: a deterministic hierarchical cost waterfall \
+          (total -> region -> op kind -> top-k nodes, plus bootstrap / rescale / \
+          modswitch shares), and, for every placed bootstrap, the min-cut \
+          certificate evidence pinning it there with a counterfactual cost of \
+          moving it (the region's next-best cut).  Exit 2 when less than 99% of \
+          the predicted latency is attributed.")
+    Term.(
+      const run $ model_arg $ manager_arg $ l_max_arg $ jobs_arg $ cache_arg $ top_arg
+      $ trace_path $ json_path)
+
+(* --- plan-diff -------------------------------------------------------------------- *)
+
+let plan_snapshot_schema = 1
+
+let plan_snapshot_json ~l_max cells =
+  Obs.Json.Obj
+    [
+      ("plan_snapshot", Obs.Json.String "resbm");
+      ("schema_version", Obs.Json.Int plan_snapshot_schema);
+      ("l_max", Obs.Json.Int l_max);
+      ( "cells",
+        Obs.Json.List
+          (List.map
+             (fun (model, manager, digest) ->
+               Obs.Json.Obj
+                 [
+                   ("model", Obs.Json.String model);
+                   ("manager", Obs.Json.String manager);
+                   ("digest", digest);
+                 ])
+             cells) );
+    ]
+
+let load_plan_snapshot path =
+  let content =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Format.eprintf "error: cannot read %s: %s@." path msg;
+      exit 2
+  in
+  match Obs.Json.of_string content with
+  | Error msg ->
+      Format.eprintf "error: %s: %s@." path msg;
+      exit 2
+  | Ok json ->
+      (match Obs.Json.member "plan_snapshot" json with
+      | Some (Obs.Json.String "resbm") -> ()
+      | _ ->
+          Format.eprintf "error: %s is not a resbm plan snapshot@." path;
+          exit 2);
+      (match Obs.Json.member "schema_version" json with
+      | Some (Obs.Json.Int v) when v = plan_snapshot_schema -> ()
+      | Some (Obs.Json.Int v) ->
+          Format.eprintf "error: %s: snapshot schema %d is not supported@." path v;
+          exit 2
+      | _ ->
+          Format.eprintf "error: %s: unversioned plan snapshot@." path;
+          exit 2);
+      let l_max =
+        match Obs.Json.member "l_max" json with
+        | Some (Obs.Json.Int l) -> l
+        | _ ->
+            Format.eprintf "error: %s: snapshot lacks l_max@." path;
+            exit 2
+      in
+      let cells =
+        match Obs.Json.member "cells" json with
+        | Some (Obs.Json.List cs) ->
+            List.filter_map
+              (fun c ->
+                match
+                  ( Obs.Json.member "model" c,
+                    Obs.Json.member "manager" c,
+                    Obs.Json.member "digest" c )
+                with
+                | Some (Obs.Json.String m), Some (Obs.Json.String g), Some d ->
+                    Some (m, g, d)
+                | _ -> None)
+              cs
+        | _ -> []
+      in
+      (l_max, cells)
+
+let plan_diff_cmd =
+  let run base_path cand_path write_path models managers l_max jobs cache_flag
+      json_path perfetto_path =
+    let cache = cache_of ~flag:cache_flag in
+    let split s =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let compute_cells ~l_max pairs =
+      let prm = params_for l_max in
+      let lowered_tbl = Hashtbl.create 8 in
+      List.map
+        (fun (model_name, manager_name) ->
+          let model = or_die (resolve_model model_name) in
+          let manager = or_die (resolve_manager manager_name) in
+          let lowered =
+            match Hashtbl.find_opt lowered_tbl model.Nn.Model.name with
+            | Some l -> l
+            | None ->
+                let l = Nn.Lowering.lower model in
+                Hashtbl.add lowered_tbl model.Nn.Model.name l;
+                l
+          in
+          let managed, report =
+            Resbm.Variants.compile ?jobs ?cache manager prm
+              lowered.Nn.Lowering.dfg
+          in
+          ( model.Nn.Model.name,
+            manager.Resbm.Variants.name,
+            Resbm.Explain.digest prm ~managed report ))
+        pairs
+    in
+    match (write_path, base_path, cand_path) with
+    | Some out, None, None ->
+        (* Snapshot mode: compile the matrix and commit its digests. *)
+        let pairs =
+          List.concat_map
+            (fun m -> List.map (fun g -> (m, g)) (split managers))
+            (split models)
+        in
+        if pairs = [] then or_die (Error (`Msg "no model/manager cells given"));
+        let cells = compute_cells ~l_max pairs in
+        write_json out (plan_snapshot_json ~l_max cells);
+        Format.printf "wrote plan snapshot (%d cells, l_max %d) to %s@."
+          (List.length cells) l_max out
+    | Some _, _, _ ->
+        or_die (Error (`Msg "--write takes no positional snapshot arguments"))
+    | None, None, _ ->
+        or_die
+          (Error (`Msg "pass a BASELINE snapshot (and optionally a CANDIDATE)"))
+    | None, Some base_path, cand ->
+        let base_l_max, base_cells = load_plan_snapshot base_path in
+        let cand_label, cand_l_max, cand_cells =
+          match cand with
+          | Some p ->
+              let l, cs = load_plan_snapshot p in
+              (p, l, cs)
+          | None ->
+              (* Drift mode: recompute the baseline's matrix from source. *)
+              let pairs = List.map (fun (m, g, _) -> (m, g)) base_cells in
+              ("(recomputed)", base_l_max, compute_cells ~l_max:base_l_max pairs)
+        in
+        if base_l_max <> cand_l_max then begin
+          Format.eprintf "error: snapshots are from different sweeps (l_max %d vs %d)@."
+            base_l_max cand_l_max;
+          exit 2
+        end;
+        let key (m, g, _) = (m, g) in
+        let missing =
+          List.filter (fun c -> not (List.exists (fun c' -> key c' = key c) cand_cells))
+            base_cells
+        and added =
+          List.filter (fun c -> not (List.exists (fun c' -> key c' = key c) base_cells))
+            cand_cells
+        in
+        let drift = ref [] in
+        List.iter
+          (fun (m, g, base_digest) ->
+            match
+              List.find_opt (fun (m', g', _) -> m' = m && g' = g) cand_cells
+            with
+            | None -> ()
+            | Some (_, _, cand_digest) -> (
+                match Obs.Explain.diff_json base_digest cand_digest with
+                | [] -> ()
+                | changes -> drift := ((m, g), changes) :: !drift))
+          base_cells;
+        let drift = List.rev !drift in
+        List.iter
+          (fun (m, g, _) -> Format.printf "%s/%s: missing from candidate@." m g)
+          missing;
+        List.iter
+          (fun (m, g, _) -> Format.printf "%s/%s: added in candidate@." m g)
+          added;
+        List.iter
+          (fun ((m, g), changes) ->
+            Format.printf "%s/%s: %d structural change%s@." m g (List.length changes)
+              (if List.length changes = 1 then "" else "s");
+            List.iter
+              (fun c -> Format.printf "  %a@." Obs.Explain.pp_change c)
+              changes)
+          drift;
+        let clean = missing = [] && added = [] && drift = [] in
+        if clean then
+          Format.printf "%d cells compared against %s: plans are structurally identical@."
+            (List.length base_cells) cand_label
+        else
+          Format.printf "plan drift: %d cell%s changed, %d missing, %d added@."
+            (List.length drift)
+            (if List.length drift = 1 then "" else "s")
+            (List.length missing) (List.length added);
+        let all_changes =
+          List.concat_map
+            (fun ((m, g), changes) ->
+              List.map
+                (fun (c : Obs.Explain.change) ->
+                  { c with Obs.Explain.path = m :: g :: c.Obs.Explain.path })
+                changes)
+            drift
+        in
+        (match json_path with
+        | Some path ->
+            let open Obs.Json in
+            write_json path
+              (Obj
+                 [
+                   ("plan_diff", String "resbm");
+                   ("l_max", Int base_l_max);
+                   ("base", String base_path);
+                   ("candidate", String cand_label);
+                   ( "missing",
+                     List (List.map (fun (m, g, _) -> List [ String m; String g ]) missing)
+                   );
+                   ( "added",
+                     List (List.map (fun (m, g, _) -> List [ String m; String g ]) added)
+                   );
+                   ("changes", List (List.map Obs.Explain.change_to_json all_changes));
+                   ( "summary",
+                     Obj
+                       [
+                         ("cells", Int (List.length base_cells));
+                         ("drifted", Int (List.length drift));
+                         ("missing", Int (List.length missing));
+                         ("added", Int (List.length added));
+                       ] );
+                 ]);
+            Format.printf "wrote plan diff to %s@." path
+        | None -> ());
+        (match perfetto_path with
+        | Some path ->
+            write_json path (Obs.Explain.perfetto_overlay all_changes);
+            Format.printf
+              "wrote Perfetto overlay to %s (load on top of an execution trace)@." path
+        | None -> ());
+        if not clean then exit 1
+  in
+  let base_path =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline plan snapshot JSON.")
+  in
+  let cand_path =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE"
+          ~doc:
+            "Candidate plan snapshot JSON; when omitted, the baseline's matrix is \
+             recompiled from source and compared against the file (drift mode).")
+  in
+  let write_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot mode: compile the $(b,--models) x $(b,--managers) matrix at \
+             $(b,--l-max) and write the digests to $(docv) instead of diffing.")
+  in
+  let models =
+    Arg.(
+      value & opt string "resnet20,squeezenet"
+      & info [ "models" ] ~docv:"M1,M2,.." ~doc:"Models for $(b,--write).")
+  in
+  let managers =
+    Arg.(
+      value & opt string "all"
+      & info [ "managers" ] ~docv:"G1,G2,.." ~doc:"Managers for $(b,--write).")
+  in
+  let managers =
+    Term.(
+      const (fun s -> if String.lowercase_ascii (String.trim s) = "all" then
+               String.concat "," (List.map (fun m -> m.Resbm.Variants.name) Resbm.Variants.all)
+             else s)
+      $ managers)
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the structural diff as JSON to $(docv).")
+  in
+  let perfetto_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write the changes as a Perfetto instant-event overlay to $(docv), \
+             loadable on top of a $(b,resbm trace) timeline.")
+  in
+  Cmd.v
+    (Cmd.info "plan-diff"
+       ~doc:
+         "Structurally diff compiled plans.  Digests are keyed by content (node \
+          and region hashes), so the comparison is stable under node renumbering: \
+          only real placement, level/scale, boundary or cut-value changes count.  \
+          $(b,--write) records a snapshot; one positional recompiles the matrix \
+          and diffs against it (CI drift gate); two positionals diff two \
+          snapshots.  Exit 0 when identical, 1 on drift, 2 on unreadable input.")
+    Term.(
+      const run $ base_path $ cand_path $ write_path $ models $ managers $ l_max_arg
+      $ jobs_arg $ cache_arg $ json_path $ perfetto_path)
+
 (* --- chaos ------------------------------------------------------------------------ *)
 
 let chaos_cmd =
@@ -1520,6 +2012,8 @@ let () =
             certify_cmd;
             cache_cmd;
             bench_diff_cmd;
+            explain_cmd;
+            plan_diff_cmd;
             chaos_cmd;
             metrics_cmd;
             health_cmd;

@@ -8,6 +8,7 @@ type t = {
   value : float;
   sink_side : int list;
   cert : Graphlib.Maxflow.certificate option;
+  node_of : int array;
 }
 
 let pp_edge ppf = function

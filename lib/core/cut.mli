@@ -26,6 +26,12 @@ type t = {
           with {!Analysis.Certify}.  [None] for cuts that are forced
           rather than optimised (EVA waterline, parallel-msc, region-end
           bootstraps), which have nothing to prove. *)
+  node_of : int array;
+      (** Flow-network node id -> DFG node id, for reading [cert] back in
+          DFG terms ([-1] for the super source/sink; [[||]] for forced
+          cuts, which carry no network).  BTSPLC's boundary-producer
+          helper nodes map to the producing DFG node outside the
+          subgraph. *)
 }
 
 val pp : Format.formatter -> t -> unit

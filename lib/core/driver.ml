@@ -148,14 +148,23 @@ let compile_cold ~config ~name ~ms_opt ~verify_each ~profile ~fuel ~segment_scan
      plan, preserved through the plan cache. *)
   let certificates =
     let acc = ref [] in
+    let entry pass r (cut : Cut.t) c =
+      {
+        Report.ce_pass = pass;
+        ce_region = r;
+        ce_cert = c;
+        ce_node_of = Array.copy cut.Cut.node_of;
+      }
+    in
     Array.iteri
       (fun r (a : Btsmgr.region_action) ->
         (match a.Btsmgr.smo_cut with
-        | Some { Cut.cert = Some c; _ } -> acc := ("smoplc", r, c) :: !acc
+        | Some ({ Cut.cert = Some c; _ } as cut) ->
+            acc := entry "smoplc" r cut c :: !acc
         | _ -> ());
         match a.Btsmgr.bts with
-        | Some { Btsmgr.cut = Some { Cut.cert = Some c; _ }; _ } ->
-            acc := ("btsplc", r, c) :: !acc
+        | Some { Btsmgr.cut = Some ({ Cut.cert = Some c; _ } as cut); _ } ->
+            acc := entry "btsplc" r cut c :: !acc
         | _ -> ())
       plan.Btsmgr.actions;
     List.rev !acc
@@ -195,11 +204,12 @@ let certify_diags prm managed (report : Report.t) =
   let cuts =
     Obs.span "certify.cuts" @@ fun () ->
     List.concat_map
-      (fun (pass, region, cert) ->
+      (fun (e : Report.certificate_entry) ->
         (* The cut value the placement recorded IS the certificate value
            (the cut is built from it), so the internal duality check is
            the value cross-check. *)
-        Analysis.Certify.check ~pass ~region cert)
+        Analysis.Certify.check ~pass:e.Report.ce_pass ~region:e.Report.ce_region
+          e.Report.ce_cert)
       report.Report.certificates
   in
   (* One concrete scale pass feeds both abstract checks' cross-validation. *)

@@ -212,9 +212,12 @@ let dir t = t.dir
 
 (* ---------- disk tier ---------- *)
 
-(* Schema 2 added min-cut optimality certificates; schema-1 entries are
-   treated as misses and recompiled rather than served uncertifiable. *)
-let disk_schema = 2
+(* Schema 2 added min-cut optimality certificates; schema 3 added the
+   flow-node -> DFG-node mapping per certificate (the basis of the
+   explain subcommand's counterfactual rationale).  Entries with an older
+   schema are treated as misses and recompiled rather than served without
+   their evidence. *)
+let disk_schema = 3
 
 let path_of t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
 
@@ -370,9 +373,17 @@ let entry_json k (g : Dfg.t) (r : Report.t) =
       ( "certificates",
         List
           (List.map
-             (fun (pass, region, cert) ->
+             (fun (e : Report.certificate_entry) ->
                Obj
-                 [ ("pass", String pass); ("region", Int region); ("cert", cert_json cert) ])
+                 [
+                   ("pass", String e.Report.ce_pass);
+                   ("region", Int e.Report.ce_region);
+                   ("cert", cert_json e.Report.ce_cert);
+                   ( "node_of",
+                     List
+                       (Array.to_list (Array.map (fun x -> Int x) e.Report.ce_node_of))
+                   );
+                 ])
              r.Report.certificates) );
       ("outputs", List (List.map (fun o -> Int o) outs));
       ( "nodes",
@@ -444,7 +455,21 @@ let entry_of_json j =
           in
           let* region = match member "region" x with Some (Int i) -> Some i | _ -> None in
           let* cert = Option.bind (member "cert" x) cert_of_json in
-          Some ((pass, region, cert) :: tl))
+          let* node_of =
+            let* raw = match member "node_of" x with Some (List l) -> Some l | _ -> None in
+            List.fold_right
+              (fun e acc ->
+                match (e, acc) with Int i, Some tl -> Some (i :: tl) | _ -> None)
+              raw (Some [])
+          in
+          Some
+            ({
+               Report.ce_pass = pass;
+               ce_region = region;
+               ce_cert = cert;
+               ce_node_of = Array.of_list node_of;
+             }
+            :: tl))
         raw (Some [])
     in
     let* outputs =

@@ -121,7 +121,7 @@ let eva_cut regioned ~region =
         not (unit_output id) && not (Op.is_mul (Dfg.node g id).Dfg.kind))
       members
   in
-  { Cut.edges; value = 0.0; sink_side; cert = None }
+  { Cut.edges; value = 0.0; sink_side; cert = None; node_of = [||] }
 
 (* Forced cut of PARS's lazy strategy: rescale the region's live-out
    ciphertexts only, so (almost) every region operation runs at the entry
@@ -160,7 +160,7 @@ let pars_cut regioned ~region =
           else internal)
       members
   in
-  { Cut.edges; value = 0.0; sink_side = List.filter (Hashtbl.mem forced) members; cert = None }
+  { Cut.edges; value = 0.0; sink_side = List.filter (Hashtbl.mem forced) members; cert = None; node_of = [||] }
 
 (* Forced bootstrap placement at the region's end (Fhelipe / DaCapo):
    bootstrap every live-out of the level-0 subgraph. *)
@@ -179,7 +179,7 @@ let region_end_bts_cut regioned ~region ~subgraph =
       subgraph
   in
   ignore region;
-  { Cut.edges; value = 0.0; sink_side = []; cert = None }
+  { Cut.edges; value = 0.0; sink_side = []; cert = None; node_of = [||] }
 
 let compute ?fuel regioned prm ~smo_mode ~bts_mode ~region ~entry_level ~rescales ~bts =
   let g = regioned.Region.dfg in

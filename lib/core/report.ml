@@ -1,3 +1,10 @@
+type certificate_entry = {
+  ce_pass : string;
+  ce_region : int;
+  ce_cert : Graphlib.Maxflow.certificate;
+  ce_node_of : int array;
+}
+
 type t = {
   manager : string;
   compile_ms : float;
@@ -10,7 +17,7 @@ type t = {
   region_count : int;
   region_of : int array;
   fallbacks : (string * string) list;
-  certificates : (string * int * Graphlib.Maxflow.certificate) list;
+  certificates : certificate_entry list;
 }
 
 let pp ppf t =

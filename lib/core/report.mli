@@ -1,6 +1,17 @@
 (** Compilation report — the measurements behind Tables 3–5 and Figures
     6–7, plus the per-phase profile behind the perf trajectory. *)
 
+type certificate_entry = {
+  ce_pass : string;  (** ["smoplc"] or ["btsplc"]. *)
+  ce_region : int;
+  ce_cert : Graphlib.Maxflow.certificate;
+  ce_node_of : int array;
+      (** Flow-network node -> DFG node id of the graph the placement ran
+          on ([-1] for super source/sink); see {!Cut.t.node_of}.  This is
+          what lets {!Explain} read the certificate's saturated arcs back
+          as DFG edges and re-solve counterfactuals per bootstrap. *)
+}
+
 type t = {
   manager : string;
   compile_ms : float;  (** Wall-clock time of {!Driver.compile}. *)
@@ -28,14 +39,13 @@ type t = {
           [("resbm", "fuel exhausted in plan")]).  Empty for a first-try
           compile; non-empty means {!Driver.compile_robust} degraded and
           [manager] names the surviving tier. *)
-  certificates : (string * int * Graphlib.Maxflow.certificate) list;
-      (** Min-cut optimality certificates collected from the plan, as
-          [(pass, region, certificate)] with [pass] one of ["smoplc"] /
-          ["btsplc"], in region order.  Every min-cut the placement
-          algorithms solved carries one; forced (non-optimised) cuts do
-          not.  Checked by {!Analysis.Certify} under
-          [Driver.compile ~certify:true] and [resbm certify]; preserved
-          verbatim by {!Plan_cache}, so warm hits stay checkable. *)
+  certificates : certificate_entry list;
+      (** Min-cut optimality certificates collected from the plan, in
+          region order.  Every min-cut the placement algorithms solved
+          carries one; forced (non-optimised) cuts do not.  Checked by
+          {!Analysis.Certify} under [Driver.compile ~certify:true] and
+          [resbm certify]; preserved verbatim by {!Plan_cache}, so warm
+          hits stay checkable. *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -108,4 +108,5 @@ let run ?(fuel = Fuel.unlimited) regioned prm ~region ~level =
   let sink_side =
     List.filteri (fun i _ -> not mc.Graphlib.Maxflow.source_side.(i)) nodes
   in
-  { Cut.edges; value = mc.Graphlib.Maxflow.value; sink_side; cert = Some cert }
+  let node_of = Array.append node_at [| -1; -1 |] in
+  { Cut.edges; value = mc.Graphlib.Maxflow.value; sink_side; cert = Some cert; node_of }

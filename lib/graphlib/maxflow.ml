@@ -229,3 +229,22 @@ let certificate net ~source ~sink (c : cut) =
     cert_source_side = Array.copy c.source_side;
     cert_arcs = Array.of_list !arcs;
   }
+
+(* Counterfactual replay: rebuild the network a certificate was exported
+   from (same nodes, same arcs in the same insertion order, initial
+   capacities), optionally lifting some arcs to infinite capacity so they
+   can no longer be cut.  Re-running [min_cut] then yields the best cut
+   that avoids the forbidden arcs — the "next-best placement" and its
+   cost penalty relative to [cert_value]. *)
+let of_certificate ?(forbid = []) (cert : certificate) =
+  let net = create cert.cert_nodes in
+  Array.iter
+    (fun (a : flow_arc) ->
+      let cap =
+        if List.exists (fun (s, d) -> s = a.fa_src && d = a.fa_dst) forbid then
+          infinity
+        else a.fa_cap
+      in
+      add_edge net ~src:a.fa_src ~dst:a.fa_dst ~cap)
+    cert.cert_arcs;
+  net

@@ -72,3 +72,14 @@ val certificate : t -> source:int -> sink:int -> cut -> certificate
 (** Export the flow assignment left behind by {!min_cut} together with the
     returned cut.  Call after {!min_cut} on the same network; raises
     [Invalid_argument] if the network was never run. *)
+
+val of_certificate : ?forbid:(int * int) list -> certificate -> t
+(** Rebuild a fresh, unsolved network from a certificate's arc list: same
+    node count, same arcs in the same insertion order, capacities reset to
+    the initial [fa_cap].  Arcs whose [(src, dst)] pair appears in [forbid]
+    are re-added with infinite capacity, so no cut through them is ever
+    minimal.  Running {!min_cut} on the result answers the counterfactual
+    "what is the cheapest cut that avoids these arcs?" — the basis of the
+    per-bootstrap rationale in [Resbm.Explain].  A counterfactual value of
+    [infinity] means the forbidden arcs were forced: no alternative cut
+    exists. *)

@@ -1684,6 +1684,278 @@ end
    latency, node counts, predicted precision) come from the cost model
    and planner, so any drift at all is a real behaviour change; compile
    times are host wall-clock and only drift outside the band matters. *)
+(* Generic explanation rendering: hierarchical cost waterfalls and
+   structural JSON diffs.  Everything here is presentation-layer — the
+   graph-aware logic that produces the rows and digests lives in
+   [Resbm.Explain]; this module only folds, sorts, renders and compares,
+   so serving/multi-backend reports can reuse it unchanged. *)
+module Explain = struct
+  (* --- cost waterfall ----------------------------------------------------- *)
+
+  type row = { group : string; bucket : string; label : string; cost : float }
+
+  type leaf = { leaf_label : string; leaf_cost : float }
+
+  type bucket = {
+    bucket_label : string;
+    bucket_cost : float;
+    bucket_count : int;
+    leaves : leaf list;  (* top-k by cost; the rest are folded *)
+    folded : int;
+    folded_cost : float;
+  }
+
+  type group = {
+    group_label : string;
+    group_cost : float;
+    group_count : int;
+    buckets : bucket list;
+  }
+
+  type waterfall = {
+    total : float;
+    groups : group list;
+    shares : (string * float) list;
+  }
+
+  let attributed w = List.fold_left (fun acc g -> acc +. g.group_cost) 0.0 w.groups
+
+  (* Deterministic fold: groups and buckets ordered by descending cost
+     (label as tie-break), leaves likewise with only the top [top] kept
+     individually — but never silently: the fold keeps the remainder as an
+     explicit count + cost so the waterfall always sums to its total. *)
+  let waterfall ?(top = 5) ?(shares = []) ~total rows =
+    let by_cost c1 l1 c2 l2 =
+      match compare c2 c1 with 0 -> compare l1 l2 | c -> c
+    in
+    let group_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        let buckets =
+          match Hashtbl.find_opt group_tbl r.group with
+          | Some b -> b
+          | None ->
+              let b = Hashtbl.create 8 in
+              Hashtbl.add group_tbl r.group b;
+              b
+        in
+        let prev = Option.value (Hashtbl.find_opt buckets r.bucket) ~default:[] in
+        Hashtbl.replace buckets r.bucket ({ leaf_label = r.label; leaf_cost = r.cost } :: prev))
+      rows;
+    let groups =
+      Hashtbl.fold
+        (fun glabel buckets acc ->
+          let bs =
+            Hashtbl.fold
+              (fun blabel leaves acc ->
+                let leaves =
+                  List.sort
+                    (fun a b -> by_cost a.leaf_cost a.leaf_label b.leaf_cost b.leaf_label)
+                    leaves
+                in
+                let cost = List.fold_left (fun s l -> s +. l.leaf_cost) 0.0 leaves in
+                let count = List.length leaves in
+                let shown = List.filteri (fun i _ -> i < top) leaves in
+                let folded = count - List.length shown in
+                let folded_cost =
+                  cost -. List.fold_left (fun s l -> s +. l.leaf_cost) 0.0 shown
+                in
+                {
+                  bucket_label = blabel;
+                  bucket_cost = cost;
+                  bucket_count = count;
+                  leaves = shown;
+                  folded;
+                  folded_cost;
+                }
+                :: acc)
+              buckets []
+          in
+          let bs =
+            List.sort
+              (fun a b -> by_cost a.bucket_cost a.bucket_label b.bucket_cost b.bucket_label)
+              bs
+          in
+          let cost = List.fold_left (fun s b -> s +. b.bucket_cost) 0.0 bs in
+          let count = List.fold_left (fun s b -> s + b.bucket_count) 0 bs in
+          { group_label = glabel; group_cost = cost; group_count = count; buckets = bs }
+          :: acc)
+        group_tbl []
+    in
+    let groups =
+      List.sort
+        (fun a b -> by_cost a.group_cost a.group_label b.group_cost b.group_label)
+        groups
+    in
+    { total; groups; shares }
+
+  let pct total v = if total <= 0.0 then 0.0 else 100.0 *. v /. total
+
+  let pp ?(title = "cost waterfall") ppf w =
+    Format.fprintf ppf "@[<v>%s: %.3f ms total@," title w.total;
+    if w.shares <> [] then begin
+      Format.fprintf ppf "shares:";
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf " %s %.1f%%" name (pct w.total v))
+        w.shares;
+      Format.fprintf ppf "@,"
+    end;
+    List.iter
+      (fun g ->
+        Format.fprintf ppf "%-34s %12.3f ms %5.1f%% (%d nodes)@," g.group_label
+          g.group_cost (pct w.total g.group_cost) g.group_count;
+        List.iter
+          (fun b ->
+            Format.fprintf ppf "  %-32s %12.3f ms %5.1f%% (%d)@," b.bucket_label
+              b.bucket_cost (pct w.total b.bucket_cost) b.bucket_count;
+            List.iter
+              (fun l ->
+                Format.fprintf ppf "    %-30s %12.3f ms %5.1f%%@," l.leaf_label
+                  l.leaf_cost (pct w.total l.leaf_cost))
+              b.leaves;
+            if b.folded > 0 then
+              Format.fprintf ppf "    (+%d more)%*s %12.3f ms %5.1f%%@," b.folded
+                (max 0 (30 - String.length (Printf.sprintf "(+%d more)" b.folded)))
+                "" b.folded_cost (pct w.total b.folded_cost))
+          g.buckets)
+      w.groups;
+    Format.fprintf ppf "attributed: %.3f ms of %.3f ms (%.2f%%)@]" (attributed w)
+      w.total
+      (pct w.total (attributed w))
+
+  let to_json w =
+    let leaf_json l =
+      Json.Obj [ ("label", Json.String l.leaf_label); ("cost_ms", Json.Float l.leaf_cost) ]
+    in
+    let bucket_json b =
+      Json.Obj
+        [
+          ("label", Json.String b.bucket_label);
+          ("cost_ms", Json.Float b.bucket_cost);
+          ("count", Json.Int b.bucket_count);
+          ("top", Json.List (List.map leaf_json b.leaves));
+          ("folded", Json.Int b.folded);
+          ("folded_cost_ms", Json.Float b.folded_cost);
+        ]
+    in
+    let group_json g =
+      Json.Obj
+        [
+          ("label", Json.String g.group_label);
+          ("cost_ms", Json.Float g.group_cost);
+          ("count", Json.Int g.group_count);
+          ("buckets", Json.List (List.map bucket_json g.buckets));
+        ]
+    in
+    Json.Obj
+      [
+        ("total_ms", Json.Float w.total);
+        ("attributed_ms", Json.Float (attributed w));
+        ("shares", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) w.shares));
+        ("groups", Json.List (List.map group_json w.groups));
+      ]
+
+  (* --- structural JSON diff ------------------------------------------------ *)
+
+  type change = {
+    path : string list;
+    before : Json.t option;  (* None = added *)
+    after : Json.t option;  (* None = removed *)
+  }
+
+  let rec json_equal a b =
+    match (a, b) with
+    | Json.Null, Json.Null -> true
+    | Json.Bool x, Json.Bool y -> x = y
+    | Json.Int x, Json.Int y -> x = y
+    | Json.Float x, Json.Float y -> (Float.is_nan x && Float.is_nan y) || x = y
+    | Json.Int x, Json.Float y | Json.Float y, Json.Int x -> float_of_int x = y
+    | Json.String x, Json.String y -> x = y
+    | Json.List x, Json.List y ->
+        List.length x = List.length y && List.for_all2 json_equal x y
+    | Json.Obj x, Json.Obj y ->
+        let keys o = List.sort compare (List.map fst o) in
+        keys x = keys y
+        && List.for_all
+             (fun (k, v) ->
+               match List.assoc_opt k y with Some w -> json_equal v w | None -> false)
+             x
+    | _ -> false
+
+  (* Objects align by key (order-insensitive — the stability under node
+     renumbering comes from keying digests by content hashes), lists by
+     index, scalars by value.  Every difference is reported at the deepest
+     point where the two sides still align. *)
+  let diff_json base cand =
+    let changes = ref [] in
+    let emit path before after = changes := { path; before; after } :: !changes in
+    let rec go path a b =
+      match (a, b) with
+      | Json.Obj x, Json.Obj y ->
+          let keys =
+            List.sort_uniq compare (List.map fst x @ List.map fst y)
+          in
+          List.iter
+            (fun k ->
+              let path = path @ [ k ] in
+              match (List.assoc_opt k x, List.assoc_opt k y) with
+              | Some v, Some w -> go path v w
+              | Some v, None -> emit path (Some v) None
+              | None, Some w -> emit path None (Some w)
+              | None, None -> ())
+            keys
+      | Json.List x, Json.List y when List.length x = List.length y ->
+          List.iteri (fun i (v, w) -> go (path @ [ string_of_int i ]) v w)
+            (List.combine x y)
+      | _ -> if not (json_equal a b) then emit path (Some a) (Some b)
+    in
+    go [] base cand;
+    List.rev !changes
+
+  let path_to_string path = String.concat "/" path
+
+  let change_to_json c =
+    Json.Obj
+      [
+        ("path", Json.String (path_to_string c.path));
+        ("before", Option.value c.before ~default:Json.Null);
+        ("after", Option.value c.after ~default:Json.Null);
+      ]
+
+  let pp_change ppf c =
+    let side = function Some j -> Json.to_string j | None -> "(absent)" in
+    Format.fprintf ppf "%-40s %s -> %s"
+      (path_to_string c.path)
+      (side c.before) (side c.after)
+
+  (* A Perfetto-loadable overlay: one instant event per structural change,
+     so a plan diff can be dropped on top of an execution timeline and
+     scrubbed change by change. *)
+  let perfetto_overlay ?(pid = 99) changes =
+    let event i c =
+      Json.Obj
+        [
+          ("name", Json.String (path_to_string c.path));
+          ("ph", Json.String "i");
+          ("ts", Json.Int (i * 10));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int 1);
+          ("s", Json.String "g");
+          ( "args",
+            Json.Obj
+              [
+                ("before", Option.value c.before ~default:Json.Null);
+                ("after", Option.value c.after ~default:Json.Null);
+              ] );
+        ]
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.mapi event changes));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+end
+
 module Bench_diff = struct
   let schema_version = 2
 
@@ -1693,6 +1965,9 @@ module Bench_diff = struct
     metrics : (string * float) list;
     compile : Stat.summary option;
     warm : Stat.summary option;
+    digest : Json.t option;
+        (* structural plan digest (renumbering-stable; see Resbm.Explain).
+           Optional on both sides so old baselines diff cleanly. *)
   }
 
   type source = {
@@ -1728,6 +2003,11 @@ module Bench_diff = struct
     cells : cell list;
     missing : (string * string) list;  (* rows in base absent from candidate *)
     added : (string * string) list;  (* rows in candidate absent from base *)
+    plan_drift : ((string * string) * Explain.change list) list;
+        (* per (model, manager): structural plan-digest changes, when both
+           sides carry a digest.  Non-empty drift accompanies (and gates
+           like) a deterministic change — it is the plan-level explanation
+           of WHERE a metric regression came from. *)
   }
 
   (* The deterministic per-manager metrics and their preferred direction. *)
@@ -1833,7 +2113,8 @@ module Bench_diff = struct
                 | Some j -> Result.to_option (Stat.of_json j)
                 | None -> None
               in
-              Ok ({ model; manager; metrics; compile; warm } :: acc))
+              let digest = Json.member "plan_digest" mgr_json in
+              Ok ({ model; manager; metrics; compile; warm; digest } :: acc))
             (Ok acc) managers)
         (Ok []) models
     in
@@ -2032,7 +2313,21 @@ module Bench_diff = struct
                 det @ wall @ warm_band @ speedup @ info)
           base.rows
       in
-      Ok { cells; missing; added }
+      let plan_drift =
+        List.filter_map
+          (fun b ->
+            match cand_of (key b) with
+            | None -> None
+            | Some c -> (
+                match (b.digest, c.digest) with
+                | Some db, Some dc -> (
+                    match Explain.diff_json db dc with
+                    | [] -> None
+                    | changes -> Some (key b, changes))
+                | _ -> None))
+          base.rows
+      in
+      Ok { cells; missing; added; plan_drift }
     end
 
   (* --- gating -------------------------------------------------------------- *)
@@ -2064,6 +2359,7 @@ module Bench_diff = struct
       | `Changed ->
           aligned_bad
           || deterministic_changes o <> []
+          || o.plan_drift <> []
           || (strict_wallclock
              && List.exists (fun c -> c.wall_clock && c.verdict = Regressed) o.cells)
     in
@@ -2095,6 +2391,18 @@ module Bench_diff = struct
         ("cells", Json.List (List.map cell_to_json o.cells));
         ("missing", Json.List (List.map pair_json o.missing));
         ("added", Json.List (List.map pair_json o.added));
+        ( "plan_drift",
+          Json.List
+            (List.map
+               (fun ((m, g), changes) ->
+                 Json.Obj
+                   [
+                     ("model", Json.String m);
+                     ("manager", Json.String g);
+                     ( "changes",
+                       Json.List (List.map Explain.change_to_json changes) );
+                   ])
+               o.plan_drift) );
         ( "summary",
           Json.Obj
             [
@@ -2105,6 +2413,11 @@ module Bench_diff = struct
               ("incomparable", Json.Int (count Incomparable));
               ("missing", Json.Int (List.length o.missing));
               ("added", Json.Int (List.length o.added));
+              ( "plan_drift",
+                Json.Int
+                  (List.fold_left
+                     (fun acc (_, cs) -> acc + List.length cs)
+                     0 o.plan_drift) );
             ] );
       ]
 
@@ -2128,7 +2441,7 @@ module Bench_diff = struct
       List.filter (fun c -> all || c.verdict <> Unchanged) o.cells
     in
     Format.fprintf ppf "@[<v>";
-    if interesting = [] && o.missing = [] && o.added = [] then
+    if interesting = [] && o.missing = [] && o.added = [] && o.plan_drift = [] then
       Format.fprintf ppf "no changes: %d cells identical or within noise@,"
         (List.length o.cells)
     else begin
@@ -2138,7 +2451,17 @@ module Bench_diff = struct
         o.missing;
       List.iter
         (fun (m, g) -> Format.fprintf ppf "%-12s %-12s row added in candidate@," m g)
-        o.added
+        o.added;
+      (* The plan-level explanation of the metric drift above: which
+         placements, cut values or levels actually moved. *)
+      List.iter
+        (fun ((m, g), changes) ->
+          Format.fprintf ppf "%-12s %-12s plan drift (%d structural changes):@," m g
+            (List.length changes);
+          List.iter
+            (fun c -> Format.fprintf ppf "  %a@," Explain.pp_change c)
+            changes)
+        o.plan_drift
     end;
     let count v = List.length (List.filter (fun c -> c.verdict = v) o.cells) in
     Format.fprintf ppf

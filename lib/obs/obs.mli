@@ -464,6 +464,81 @@ module Metrics : sig
       series with cumulative [le] labels ending at [+Inf]. *)
 end
 
+(** Generic explanation rendering: hierarchical cost waterfalls with
+    deterministic top-k folding, a structural JSON diff, and a Perfetto
+    overlay for diffs.  Pure presentation — the graph-aware producers
+    (cost attribution, bootstrap rationale, plan digests) live in
+    [Resbm.Explain] and feed this module, so any subsystem can reuse the
+    same rendering. *)
+module Explain : sig
+  (** One attributed cost: a leaf at [group] / [bucket] / [label] in the
+      hierarchy (e.g. region / op-kind / node). *)
+  type row = { group : string; bucket : string; label : string; cost : float }
+
+  type leaf = { leaf_label : string; leaf_cost : float }
+
+  type bucket = {
+    bucket_label : string;
+    bucket_cost : float;
+    bucket_count : int;
+    leaves : leaf list;  (** Top-k leaves by cost. *)
+    folded : int;  (** Leaves beyond the top-k, kept as a count... *)
+    folded_cost : float;  (** ...and their summed cost, so nothing is dropped. *)
+  }
+
+  type group = {
+    group_label : string;
+    group_cost : float;
+    group_count : int;
+    buckets : bucket list;
+  }
+
+  type waterfall = {
+    total : float;  (** The reference total costs are shown as a percent of. *)
+    groups : group list;
+    shares : (string * float) list;  (** Named headline shares (absolute). *)
+  }
+
+  val waterfall :
+    ?top:int -> ?shares:(string * float) list -> total:float -> row list -> waterfall
+  (** Deterministic fold of rows into a waterfall: groups, buckets and
+      leaves ordered by descending cost (label as tie-break), the top
+      [top] (default 5) leaves of each bucket kept individually and the
+      rest folded into an explicit remainder — the waterfall always sums
+      to the full attributed cost. *)
+
+  val attributed : waterfall -> float
+  (** Sum of all group costs (equals the sum over every leaf + remainder). *)
+
+  val pp : ?title:string -> Format.formatter -> waterfall -> unit
+  val to_json : waterfall -> Json.t
+
+  (** One structural difference between two JSON documents. *)
+  type change = {
+    path : string list;
+    before : Json.t option;  (** [None] = added in the candidate. *)
+    after : Json.t option;  (** [None] = removed from the base. *)
+  }
+
+  val json_equal : Json.t -> Json.t -> bool
+  (** Structural equality; [Int]/[Float] compare numerically, NaN equals
+      NaN, object key order is irrelevant. *)
+
+  val diff_json : Json.t -> Json.t -> change list
+  (** Structural diff: objects align by key (order-insensitive), lists of
+      equal length by index, everything else by {!json_equal}.  Empty iff
+      the documents are structurally equal. *)
+
+  val path_to_string : string list -> string
+  val change_to_json : change -> Json.t
+  val pp_change : Format.formatter -> change -> unit
+
+  val perfetto_overlay : ?pid:int -> change list -> Json.t
+  (** A Chrome/Perfetto trace with one instant event per change, loadable
+      on top of an execution timeline (default pid 99 keeps the overlay on
+      its own track). *)
+end
+
 (** Baseline regression gating over two bench JSON files: align rows by
     (model, manager), compare deterministic metrics exactly and wall-clock
     compile times within a MAD-derived noise band. *)
@@ -479,6 +554,10 @@ module Bench_diff : sig
     warm : Stat.summary option;
         (** Warm (plan-cache hit) compile stats, when the bench recorded
             them ([compile_warm_stat]). *)
+    digest : Json.t option;
+        (** Structural plan digest ([plan_digest] cell field), when the
+            bench recorded one.  Renumbering-stable (see [Resbm.Explain]);
+            optional on both sides so old baselines diff cleanly. *)
   }
 
   type source = {
@@ -511,6 +590,11 @@ module Bench_diff : sig
     cells : cell list;
     missing : (string * string) list;  (** Rows in base absent from candidate. *)
     added : (string * string) list;  (** Rows in candidate absent from base. *)
+    plan_drift : ((string * string) * Explain.change list) list;
+        (** Per (model, manager): structural plan-digest changes, computed
+            when both sides carry a digest.  The plan-level explanation
+            that accompanies a gated metric regression; non-empty drift
+            fails the [`Changed] gate like any deterministic change. *)
   }
 
   val deterministic_metrics : (string * [ `Lower | `Higher ]) list

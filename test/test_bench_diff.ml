@@ -13,8 +13,8 @@ let metrics ?(latency = 100.0) ?(bts = 10.0) ?(rescales = 20.0) ?(nodes = 50.0)
     ("predicted_precision_bits", precision);
   ]
 
-let row ?compile ?warm model manager metrics =
-  { Obs.Bench_diff.model; manager; metrics; compile; warm }
+let row ?compile ?warm ?digest model manager metrics =
+  { Obs.Bench_diff.model; manager; metrics; compile; warm; digest }
 
 let src ?(l_max = 16) rows =
   {

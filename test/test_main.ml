@@ -24,4 +24,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("parallel-cache", Test_parallel_cache.suite);
       ("flight", Test_flight.suite);
+      ("explain", Test_explain.suite);
     ]
