@@ -14,6 +14,7 @@
      explain                   cost waterfall + per-bootstrap min-cut rationale
      plan-diff                 renumbering-stable structural diff of compiled plans
      chaos                     seeded fault-injection campaign + recovery report
+     serve                     simulated slot-batched serving campaign (deadlines, SLO)
      metrics                   aggregate-metrics dump (Prometheus text or JSON)
      health                    rule-based health verdict over a flight file or fresh run
 
@@ -1614,8 +1615,8 @@ let plan_diff_cmd =
 (* --- chaos ------------------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run models trials seed l_max dim rate budget max_attempts backoff floor no_retries
-      from_trace json_path min_recovery log_out =
+  let run models trials seed l_max dim rate budget max_attempts backoff max_backoff
+      floor no_retries from_trace json_path min_recovery log_out =
     with_flight log_out @@ fun fl ->
     let models =
       String.split_on_char ',' models
@@ -1640,6 +1641,7 @@ let chaos_cmd =
         budget;
         max_attempts;
         backoff_ms = backoff;
+        max_backoff_ms = max_backoff;
         noise_floor_bits = floor;
         no_retries;
         from_trace;
@@ -1759,6 +1761,14 @@ let chaos_cmd =
       & info [ "backoff-ms" ] ~docv:"MS"
           ~doc:"Base retry backoff charged to the simulated clock (doubles per attempt).")
   in
+  let max_backoff =
+    Arg.(
+      value & opt float 80.0
+      & info [ "max-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Ceiling on a single retry backoff delay; capped backoffs are counted in \
+             the report's recovery accounting.")
+  in
   let floor =
     Arg.(
       value & opt float 6.0
@@ -1813,29 +1823,298 @@ let chaos_cmd =
           reference bit-for-bit (exit 2 otherwise).")
     Term.(
       const run $ models $ trials $ seed $ l_max_arg $ dim $ rate $ budget $ max_attempts
-      $ backoff $ floor $ no_retries $ from_trace $ json_path $ min_recovery
-      $ log_out_arg)
+      $ backoff $ max_backoff $ floor $ no_retries $ from_trace $ json_path
+      $ min_recovery $ log_out_arg)
+
+(* --- serve ------------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run model l_max dim seed arrival_rate duration slo_ms max_batch max_wait
+      queue_depth chaos_rate chaos_budget max_retries retry_backoff max_backoff
+      recovery_attempts breaker_window breaker_threshold breaker_cooldown json_path
+      min_goodput min_attainment jobs cache_flag log_out =
+    with_flight log_out @@ fun fl ->
+    ignore (or_die (resolve_model model));
+    let seed =
+      match Int64.of_string_opt seed with
+      | Some s -> s
+      | None -> or_die (Error (`Msg (Printf.sprintf "bad seed %S" seed)))
+    in
+    let cfg =
+      {
+        Serving.Scheduler.seed;
+        model;
+        l_max;
+        dim;
+        arrival = Serving.Scheduler.Poisson arrival_rate;
+        duration_ms = duration;
+        slo_ms;
+        max_batch;
+        max_wait_ms = max_wait;
+        queue_depth;
+        chaos_rate;
+        chaos_budget;
+        recovery =
+          {
+            Resilience.Recovery.default with
+            Resilience.Recovery.max_attempts = recovery_attempts;
+            max_backoff_ms = max_backoff;
+          };
+        max_retries;
+        retry_backoff_ms = retry_backoff;
+        breaker_window;
+        breaker_threshold;
+        breaker_cooldown_ms = breaker_cooldown;
+      }
+    in
+    let cache = cache_of ~flag:cache_flag in
+    let report = Serving.Scheduler.run ?jobs ?cache cfg in
+    let r = report in
+    Format.printf
+      "serve %s: %d arrivals -> %d admitted, %d completed, %d shed, %d failed@."
+      r.Serving.Scheduler.model r.Serving.Scheduler.arrivals
+      r.Serving.Scheduler.admitted r.Serving.Scheduler.completed
+      r.Serving.Scheduler.shed r.Serving.Scheduler.failed;
+    Format.printf
+      "  batch: capacity %d, est %.2f ms, slo %.1f ms, max wait %.1f ms, mean fill \
+       %.2f@."
+      r.Serving.Scheduler.slot_capacity r.Serving.Scheduler.est_batch_ms
+      r.Serving.Scheduler.slo_ms r.Serving.Scheduler.max_wait_ms
+      r.Serving.Scheduler.mean_batch_fill;
+    Format.printf
+      "  service: goodput %.2f rps, attainment %.3f, p50 %.1f ms, p99 %.1f ms, queue \
+       peak %d@."
+      r.Serving.Scheduler.goodput_rps r.Serving.Scheduler.slo_attainment
+      r.Serving.Scheduler.p50_service_ms r.Serving.Scheduler.p99_service_ms
+      r.Serving.Scheduler.queue_depth_peak;
+    Format.printf
+      "  resilience: %d batches (%d re-dispatches), %d breaker opens, backoff %.1f ms \
+       (%d capped)@."
+      r.Serving.Scheduler.batches_run r.Serving.Scheduler.batch_retries
+      r.Serving.Scheduler.breaker_opens r.Serving.Scheduler.backoff_ms_total
+      r.Serving.Scheduler.capped_backoffs;
+    List.iter
+      (fun (reason, n) -> Format.printf "  shed %-16s %d@." reason n)
+      r.Serving.Scheduler.shed_by_reason;
+    List.iter
+      (fun (cause, n) -> Format.printf "  failed %-14s %d@." cause n)
+      r.Serving.Scheduler.failed_by_cause;
+    (match json_path with
+    | Some path ->
+        write_json path (Serving.Scheduler.to_json report);
+        Format.printf "wrote campaign report to %s@." path
+    | None -> ());
+    (match (log_out, fl) with
+    | Some path, Some fl -> write_flight path fl
+    | _ -> ());
+    let breached = ref false in
+    if r.Serving.Scheduler.goodput_rps < min_goodput then begin
+      Format.eprintf "error: goodput %.2f rps below required %.2f@."
+        r.Serving.Scheduler.goodput_rps min_goodput;
+      breached := true
+    end;
+    if r.Serving.Scheduler.slo_attainment < min_attainment then begin
+      Format.eprintf "error: SLO attainment %.3f below required %.3f@."
+        r.Serving.Scheduler.slo_attainment min_attainment;
+      breached := true
+    end;
+    if !breached then exit 2
+  in
+  let model =
+    Arg.(
+      value & opt string "tiny"
+      & info [ "model" ] ~docv:"NAME" ~doc:"Model to serve.")
+  in
+  let dim =
+    Arg.(
+      value & opt int 16
+      & info [ "dim" ] ~docv:"D" ~doc:"Slots per request payload.")
+  in
+  let seed =
+    Arg.(
+      value & opt string "0x5E17E"
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign master seed (decimal or 0x hex).  Arrivals, payloads, fault \
+             plans, evaluator noise and the report are all deterministic in it.")
+  in
+  let arrival_rate =
+    Arg.(
+      value & opt float 40.0
+      & info [ "arrival-rate" ] ~docv:"RPS"
+          ~doc:"Mean Poisson arrival rate, requests per second (simulated).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Arrival-window length (simulated ms).")
+  in
+  let slo_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slo-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline after arrival; 0 derives 3x the fault-free \
+             reference batch latency.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 4
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Requests packed per batch (also capped by the slot count / dim).")
+  in
+  let max_wait =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-wait-ms" ] ~docv:"MS"
+          ~doc:"Longest the oldest pending request waits for a batch to fill; 0 \
+                derives slo/4.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Bounded queue: arrivals beyond it are shed.")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-rate" ] ~docv:"P"
+          ~doc:"Per-op fault-injection probability per dispatch (0 disables).")
+  in
+  let chaos_budget =
+    Arg.(
+      value & opt int 2
+      & info [ "chaos-budget" ] ~docv:"N" ~doc:"Max injections per dispatch.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Batch re-dispatches after a retryable failure.")
+  in
+  let retry_backoff =
+    Arg.(
+      value & opt float 5.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base batch-retry backoff (doubles per attempt, capped).")
+  in
+  let max_backoff =
+    Arg.(
+      value & opt float 80.0
+      & info [ "max-backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Ceiling on a single backoff delay — both the supervisor's rollback \
+             backoff and the scheduler's batch-retry backoff.")
+  in
+  let recovery_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "recovery-attempts" ] ~docv:"N"
+          ~doc:"In-batch rollback-retries per checkpoint interval.")
+  in
+  let breaker_window =
+    Arg.(
+      value & opt int 6
+      & info [ "breaker-window" ] ~docv:"N"
+          ~doc:"Recent batches the circuit breaker judges.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "breaker-threshold" ] ~docv:"RATE"
+          ~doc:
+            "Bad fraction (faults or deadline misses) of the window that degrades \
+             the breaker a stage: full batches -> half batches -> reject.")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt float 0.0
+      & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+          ~doc:"Open-state hold time before probing again; 0 derives 2x the SLO.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign report as JSON to $(docv) (byte-identical across \
+             runs and across $(b,--jobs) values with the same seed and config).")
+  in
+  let min_goodput =
+    Arg.(
+      value & opt float 0.0
+      & info [ "min-goodput" ] ~docv:"RPS"
+          ~doc:"Exit with code 2 when goodput falls below $(docv).")
+  in
+  let min_attainment =
+    Arg.(
+      value & opt float 0.9
+      & info [ "min-attainment" ] ~docv:"RATE"
+          ~doc:
+            "Exit with code 2 when SLO attainment (completed/admitted) falls below \
+             $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a deterministic simulated serving campaign: a seeded Poisson arrival \
+          trace through a bounded queue with per-request deadlines, slot-batched \
+          execution under recovery supervision, load shedding, retry with capped \
+          backoff, and a circuit breaker.  Exit 2 when the goodput or SLO-attainment \
+          floor is breached.")
+    Term.(
+      const run $ model $ l_max_arg $ dim $ seed $ arrival_rate $ duration $ slo_ms
+      $ max_batch $ max_wait $ queue_depth $ chaos_rate $ chaos_budget $ max_retries
+      $ retry_backoff $ max_backoff $ recovery_attempts $ breaker_window
+      $ breaker_threshold $ breaker_cooldown $ json_path $ min_goodput
+      $ min_attainment $ jobs_arg $ cache_arg $ log_out_arg)
 
 (* --- metrics ---------------------------------------------------------------------- *)
 
 let metrics_cmd =
-  let run model manager l_max dim format out =
-    let model = or_die (resolve_model model) in
-    let manager = or_die (resolve_manager manager) in
-    let prm = params_for l_max in
-    let lowered = Nn.Lowering.lower model in
+  let run model manager l_max dim format out serve =
+    let model_name = model in
     let m = Obs.Metrics.create () in
     (* Everything below runs with the registry installed, so the Driver and
        Evaluator hot paths publish into it; the flight-recorded trace is
        folded in afterwards for the per-op and per-region distributions. *)
     let failure =
-      Obs.with_metrics m (fun () ->
-          let managed, report =
-            Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg
-          in
-          let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
-          ignore (Obs.Metrics.of_trace ~into:m tr);
-          match outcome with Ok _ -> None | Error msg -> Some msg)
+      if serve then begin
+        (* A small pinned serving campaign under light chaos: populates the
+           serve_* counters, the service_latency_ms / serve_queue_depth
+           histograms (whose stats carry p50/p99) and the queue-depth-peak
+           gauge, so the dump shows the serving schema end to end. *)
+        ignore (or_die (resolve_model model_name));
+        let cfg =
+          {
+            Serving.Scheduler.default with
+            Serving.Scheduler.model = model_name;
+            l_max;
+            dim;
+            arrival = Serving.Scheduler.Poisson 24.0;
+            duration_ms = 500.0;
+            chaos_rate = 0.05;
+          }
+        in
+        Obs.with_metrics m (fun () ->
+            ignore (Serving.Scheduler.run cfg);
+            None)
+      end
+      else begin
+        let model = or_die (resolve_model model) in
+        let manager = or_die (resolve_manager manager) in
+        let prm = params_for l_max in
+        let lowered = Nn.Lowering.lower model in
+        Obs.with_metrics m (fun () ->
+            let managed, report =
+              Resbm.Variants.compile manager prm lowered.Nn.Lowering.dfg
+            in
+            let tr, outcome = traced_inference prm lowered ~managed ~report ~dim in
+            ignore (Obs.Metrics.of_trace ~into:m tr);
+            match outcome with Ok _ -> None | Error msg -> Some msg)
+      end
     in
     let rendered =
       match format with
@@ -1874,23 +2153,34 @@ let metrics_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
   in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Run a small pinned-seed serving campaign (light chaos) instead of a \
+             traced inference, populating the serve_* counters and the \
+             service-latency / queue-depth histograms (p50/p99 in their stats).")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Compile a model and run one flight-recorded simulated inference with the \
-          aggregate-metrics registry installed, then dump every counter, gauge and \
-          latency/noise histogram as Prometheus text or JSON.")
-    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ dim $ format $ out)
+          aggregate-metrics registry installed (or, with $(b,--serve), a small \
+          serving campaign), then dump every counter, gauge and latency/noise \
+          histogram as Prometheus text or JSON.")
+    Term.(const run $ model_arg $ manager_arg $ l_max_arg $ dim $ format $ out $ serve)
 
 (* --- health ----------------------------------------------------------------------- *)
 
 let health_cmd =
-  let run in_file model manager l_max dim json headroom_floor recovery_floor
+  let run in_file model manager l_max dim json headroom_floor recovery_floor slo_floor
       max_fallbacks max_refutations gc_ceiling =
     let thresholds =
       {
         Obs.Health.headroom_floor_bits = headroom_floor;
         recovery_rate_floor = recovery_floor;
+        slo_attainment_floor = slo_floor;
         max_fallbacks;
         max_refutations;
         gc_major_words_ceiling = gc_ceiling;
@@ -1961,6 +2251,14 @@ let health_cmd =
             "Fail when the chaos recovered/faulted ratio falls below $(docv) \
              (vacuous without chaos counters in the flight).")
   in
+  let slo_floor =
+    Arg.(
+      value & opt float 0.95
+      & info [ "slo-floor" ] ~docv:"RATE"
+          ~doc:
+            "Fail when the serving completed/admitted ratio falls below $(docv) \
+             (vacuous without serving counters in the flight).")
+  in
   let max_fallbacks =
     Arg.(
       value & opt int 0
@@ -1990,7 +2288,8 @@ let health_cmd =
           Exit 0 when healthy, 2 when any rule fails.")
     Term.(
       const run $ in_file $ model_arg $ manager_arg $ l_max_arg $ dim $ json
-      $ headroom_floor $ recovery_floor $ max_fallbacks $ max_refutations $ gc_ceiling)
+      $ headroom_floor $ recovery_floor $ slo_floor $ max_fallbacks $ max_refutations
+      $ gc_ceiling)
 
 let () =
   let info =
@@ -2015,6 +2314,7 @@ let () =
             explain_cmd;
             plan_diff_cmd;
             chaos_cmd;
+            serve_cmd;
             metrics_cmd;
             health_cmd;
           ]))

@@ -23,6 +23,13 @@ let make ~slots ~scale_bits ~level ~size ~err =
 
 let integrity_ok ct = Int64.equal (checksum ct.slots) ct.chk
 
+let slice ct ~off ~len =
+  if off < 0 || len < 0 || off + len > Array.length ct.slots then
+    invalid_arg
+      (Printf.sprintf "Ciphertext.slice: block [%d, %d) outside %d slots" off (off + len)
+         (Array.length ct.slots));
+  Array.sub ct.slots off len
+
 let max_abs ct = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 ct.slots
 
 let pp ppf ct =

@@ -34,6 +34,12 @@ val integrity_ok : t -> bool
     False means the slots were mutated outside {!make} — in this
     simulator, only injected slot corruption does that. *)
 
+val slice : t -> off:int -> len:int -> float array
+(** [slice ct ~off ~len] copies the slot block [[off, off+len)] — how a
+    slot-batched serving layer extracts one packed request's result from a
+    shared ciphertext.  @raise Invalid_argument when the block falls
+    outside the slot vector. *)
+
 val max_abs : t -> float
 
 val pp : Format.formatter -> t -> unit

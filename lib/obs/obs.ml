@@ -2488,6 +2488,7 @@ module Health = struct
   type thresholds = {
     headroom_floor_bits : float;
     recovery_rate_floor : float;
+    slo_attainment_floor : float;
     max_fallbacks : int;
     max_refutations : int;
     gc_major_words_ceiling : float;
@@ -2497,6 +2498,7 @@ module Health = struct
     {
       headroom_floor_bits = 4.0;
       recovery_rate_floor = 0.9;
+      slo_attainment_floor = 0.95;
       max_fallbacks = 0;
       max_refutations = 0;
       gc_major_words_ceiling = 2e9;
@@ -2562,6 +2564,27 @@ module Health = struct
            Printf.sprintf "%d/%d faulted trials recovered (rate %.3f, floor %.3f)"
              recovered faulted rate thresholds.recovery_rate_floor
          else "no faulted chaos trials")
+    in
+    let slo =
+      (* Serving campaigns fold [serve_admitted_total] /
+         [serve_completed_total] into the registry; attainment is the
+         fraction of admitted requests completed within their deadline
+         (shed requests never count against the SLO — shedding is the
+         intended response to overload, missing deadlines is not). *)
+      let admitted = csum "serve_admitted_total" in
+      let completed = csum "serve_completed_total" in
+      let applicable = admitted > 0 in
+      let rate =
+        if applicable then float_of_int completed /. float_of_int admitted else nan
+      in
+      check "slo-attainment" ~applicable ~warn_only:false
+        ~ok:((not applicable) || rate >= thresholds.slo_attainment_floor)
+        ~value:rate ~threshold:thresholds.slo_attainment_floor
+        (if applicable then
+           Printf.sprintf
+             "%d/%d admitted requests completed in SLO (attainment %.3f, floor %.3f)"
+             completed admitted rate thresholds.slo_attainment_floor
+         else "no admitted serving requests")
     in
     let fallbacks =
       let v = csum "planner_fallbacks_total" in
@@ -2649,7 +2672,7 @@ module Health = struct
               ])
     in
     let checks =
-      [ headroom; recovery; fallbacks; refutations; errors; gc; rings ] @ wall
+      [ headroom; recovery; slo; fallbacks; refutations; errors; gc; rings ] @ wall
     in
     { healthy = not (List.exists (fun c -> c.severity = Fail) checks); checks }
 

@@ -666,6 +666,12 @@ module Health : sig
         (** Minimum traced noise headroom (default 4.0 bits). *)
     recovery_rate_floor : float;
         (** Minimum recovered/faulted chaos-trial ratio (default 0.9). *)
+    slo_attainment_floor : float;
+        (** Minimum completed/admitted serving-request ratio — requests
+            finished within their deadline over requests admitted — read
+            from the [serve_completed_total] / [serve_admitted_total]
+            counters a serving campaign folds into the registry (default
+            0.95; vacuous when nothing was admitted). *)
     max_fallbacks : int;  (** Planner tier fallbacks allowed (default 0). *)
     max_refutations : int;
         (** Certificate / plan-cache refutations allowed (default 0). *)

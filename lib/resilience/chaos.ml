@@ -8,6 +8,7 @@ type config = {
   budget : int;
   max_attempts : int;
   backoff_ms : float;
+  max_backoff_ms : float;
   noise_floor_bits : float;
   no_retries : bool;
   from_trace : bool;
@@ -24,6 +25,7 @@ let default =
     budget = 3;
     max_attempts = Recovery.default.Recovery.max_attempts;
     backoff_ms = Recovery.default.Recovery.backoff_ms;
+    max_backoff_ms = Recovery.default.Recovery.max_backoff_ms;
     noise_floor_bits = Recovery.default.Recovery.noise_floor_bits;
     no_retries = false;
     from_trace = false;
@@ -40,6 +42,8 @@ type trial = {
   retries : int;
   panic_refreshes : int;
   recovery_ms_by_kind : (string * float) list;
+  backoff_ms_total : float;
+  capped_backoffs : int;
 }
 
 type model_summary = {
@@ -56,6 +60,8 @@ type model_summary = {
   recovery_rate : float;
   faults_by_kind : (string * int) list;
   recovery_ms_by_kind : (string * float) list;
+  backoff_ms_total : float;
+  capped_backoffs : int;
   total_retries : int;
   total_panic_refreshes : int;
   fault_targets : (int * float) list;
@@ -68,6 +74,9 @@ type report = {
   total_faulted : int;
   total_recovered : int;
   overall_recovery_rate : float;
+  recovery_ms_by_kind : (string * float) list;
+  backoff_ms_total : float;
+  capped_backoffs : int;
 }
 
 (* Deterministic per-model salt so each model gets an independent fault
@@ -187,6 +196,7 @@ let run_model cfg name =
     {
       Recovery.max_attempts = (if cfg.no_retries then 0 else cfg.max_attempts);
       backoff_ms = cfg.backoff_ms;
+      max_backoff_ms = cfg.max_backoff_ms;
       checkpoint_budget_bytes = None;
       noise_floor_bits = cfg.noise_floor_bits;
       noise_slack_bits = Recovery.default.Recovery.noise_slack_bits;
@@ -262,6 +272,8 @@ let run_model cfg name =
               retries = stats.Recovery.retries;
               panic_refreshes = stats.Recovery.panic_refreshes;
               recovery_ms_by_kind = stats.Recovery.recovery_ms_by_kind;
+              backoff_ms_total = stats.Recovery.backoff_ms_total;
+              capped_backoffs = stats.Recovery.capped_backoffs;
             }
         | Error e ->
             {
@@ -275,6 +287,8 @@ let run_model cfg name =
               retries = 0;
               panic_refreshes = 0;
               recovery_ms_by_kind = [];
+              backoff_ms_total = 0.0;
+              capped_backoffs = 0;
             })
   in
   let faulted = List.filter (fun t -> t.injected > 0) trials in
@@ -322,6 +336,10 @@ let run_model cfg name =
        else float_of_int (List.length recovered) /. float_of_int (List.length faulted));
     faults_by_kind = merge_counts (fun t -> t.kinds);
     recovery_ms_by_kind = merge_ms (fun t -> t.recovery_ms_by_kind);
+    backoff_ms_total =
+      List.fold_left (fun a (t : trial) -> a +. t.backoff_ms_total) 0.0 trials;
+    capped_backoffs =
+      List.fold_left (fun a (t : trial) -> a + t.capped_backoffs) 0 trials;
     total_retries = List.fold_left (fun a t -> a + t.retries) 0 trials;
     total_panic_refreshes = List.fold_left (fun a t -> a + t.panic_refreshes) 0 trials;
     fault_targets;
@@ -349,6 +367,19 @@ let run ?metrics cfg =
                 ~by:v "chaos_faults_total")
             ms.faults_by_kind)
         models);
+  let recovery_ms_by_kind =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (m : model_summary) ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k
+              (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+          m.recovery_ms_by_kind)
+      models;
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* det-ok: sorted *))
+  in
   {
     config_seed = cfg.seed;
     models;
@@ -357,13 +388,15 @@ let run ?metrics cfg =
     overall_recovery_rate =
       (if total_faulted = 0 then 1.0
        else float_of_int total_recovered /. float_of_int total_faulted);
+    recovery_ms_by_kind;
+    backoff_ms_total =
+      List.fold_left (fun a (m : model_summary) -> a +. m.backoff_ms_total) 0.0 models;
+    capped_backoffs =
+      List.fold_left (fun a (m : model_summary) -> a + m.capped_backoffs) 0 models;
   }
 
 let json_kv_counts kvs =
   Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs)
-
-let json_kv_floats kvs =
-  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Float v)) kvs)
 
 let trial_to_json t =
   Obs.Json.Obj
@@ -380,7 +413,9 @@ let trial_to_json t =
         match t.error with None -> Obs.Json.Null | Some e -> Obs.Json.String e );
       ("retries", Obs.Json.Int t.retries);
       ("panic_refreshes", Obs.Json.Int t.panic_refreshes);
-      ("recovery_ms_by_kind", json_kv_floats t.recovery_ms_by_kind);
+      ( "recovery",
+        Recovery.accounting_json ~recovery_ms_by_kind:t.recovery_ms_by_kind
+          ~backoff_ms_total:t.backoff_ms_total ~capped_backoffs:t.capped_backoffs );
     ]
 
 let model_to_json m =
@@ -407,7 +442,9 @@ let model_to_json m =
       ("clean_identical", Obs.Json.Bool m.clean_identical);
       ("recovery_rate", Obs.Json.Float m.recovery_rate);
       ("faults_by_kind", json_kv_counts m.faults_by_kind);
-      ("recovery_ms_by_kind", json_kv_floats m.recovery_ms_by_kind);
+      ( "recovery",
+        Recovery.accounting_json ~recovery_ms_by_kind:m.recovery_ms_by_kind
+          ~backoff_ms_total:m.backoff_ms_total ~capped_backoffs:m.capped_backoffs );
       ("total_retries", Obs.Json.Int m.total_retries);
       ("total_panic_refreshes", Obs.Json.Int m.total_panic_refreshes);
       ( "fault_targets",
@@ -428,4 +465,7 @@ let to_json r =
       ("total_faulted", Obs.Json.Int r.total_faulted);
       ("total_recovered", Obs.Json.Int r.total_recovered);
       ("overall_recovery_rate", Obs.Json.Float r.overall_recovery_rate);
+      ( "recovery",
+        Recovery.accounting_json ~recovery_ms_by_kind:r.recovery_ms_by_kind
+          ~backoff_ms_total:r.backoff_ms_total ~capped_backoffs:r.capped_backoffs );
     ]

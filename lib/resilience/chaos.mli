@@ -27,6 +27,7 @@ type config = {
   budget : int;  (** Max injections per trial (negative = unlimited). *)
   max_attempts : int;  (** {!Recovery.config.max_attempts}. *)
   backoff_ms : float;  (** {!Recovery.config.backoff_ms}. *)
+  max_backoff_ms : float;  (** {!Recovery.config.max_backoff_ms}. *)
   noise_floor_bits : float;  (** {!Recovery.config.noise_floor_bits}. *)
   no_retries : bool;
       (** Retry-less campaign: recovery runs with [max_attempts = 0]
@@ -61,6 +62,8 @@ type trial = {
   retries : int;
   panic_refreshes : int;
   recovery_ms_by_kind : (string * float) list;
+  backoff_ms_total : float;  (** {!Recovery.stats.backoff_ms_total}. *)
+  capped_backoffs : int;  (** {!Recovery.stats.capped_backoffs}. *)
 }
 
 type model_summary = {
@@ -79,6 +82,8 @@ type model_summary = {
   faults_by_kind : (string * int) list;
   recovery_ms_by_kind : (string * float) list;
       (** Total simulated recovery latency attributed per fault kind. *)
+  backoff_ms_total : float;  (** Summed over trials. *)
+  capped_backoffs : int;  (** Summed over trials. *)
   total_retries : int;
   total_panic_refreshes : int;
   fault_targets : (int * float) list;
@@ -93,6 +98,10 @@ type report = {
   total_faulted : int;
   total_recovered : int;
   overall_recovery_rate : float;
+  recovery_ms_by_kind : (string * float) list;
+      (** Per-kind recovery latency merged across all models, sorted. *)
+  backoff_ms_total : float;
+  capped_backoffs : int;
 }
 
 val run : ?metrics:Obs.Metrics.t -> config -> report
@@ -105,4 +114,7 @@ val run : ?metrics:Obs.Metrics.t -> config -> report
 
 val to_json : report -> Obs.Json.t
 (** Deterministic serialisation: identical seeds and configs produce
-    byte-identical strings via {!Obs.Json.to_string}. *)
+    byte-identical strings via {!Obs.Json.to_string}.  Trial, model, and
+    report levels each carry a ["recovery"] object rendered through
+    {!Recovery.accounting_json} — the same schema serving campaign
+    reports use. *)

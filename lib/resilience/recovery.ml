@@ -3,6 +3,7 @@ module Session = Fhe_ir.Interp.Session
 type config = {
   max_attempts : int;
   backoff_ms : float;
+  max_backoff_ms : float;
   checkpoint_budget_bytes : float option;
   noise_floor_bits : float;
   noise_slack_bits : float;
@@ -12,6 +13,7 @@ let default =
   {
     max_attempts = 3;
     backoff_ms = 5.0;
+    max_backoff_ms = 80.0;
     checkpoint_budget_bytes = None;
     noise_floor_bits = 6.0;
     noise_slack_bits = 12.0;
@@ -25,6 +27,7 @@ type stats = {
   evictions : int;
   checkpoint_bytes_peak : float;
   backoff_ms_total : float;
+  capped_backoffs : int;
   recovery_ms_by_kind : (string * float) list;
   faults_by_kind : (string * int) list;
   injected_faults : int;
@@ -32,6 +35,20 @@ type stats = {
 }
 
 let headroom = Obs.Trace.headroom_bits
+
+(* One recovery-accounting schema shared by every report that aggregates
+   supervised runs (chaos campaigns, the serving scheduler): per-kind
+   simulated recovery latency, total backoff, and how many backoffs the
+   [max_backoff_ms] cap clipped. *)
+let accounting_json ~recovery_ms_by_kind ~backoff_ms_total ~capped_backoffs =
+  Obs.Json.Obj
+    [
+      ( "recovery_ms_by_kind",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Float v)) recovery_ms_by_kind) );
+      ("backoff_ms_total", Obs.Json.Float backoff_ms_total);
+      ("capped_backoffs", Obs.Json.Int capped_backoffs);
+    ]
 
 (* Injection progress of the ambient injector; 0 when none is installed.
    Recovery compares marks of this counter to tell fault-tainted execution
@@ -99,6 +116,7 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
   let retries = ref 0 and refreshes = ref 0 in
   let n_checkpoints = ref 0 and evictions = ref 0 in
   let bytes_peak = ref 0.0 and backoff_total = ref 0.0 in
+  let capped = ref 0 in
   let recovery_ms : (string, float) Hashtbl.t = Hashtbl.create 7 in
   let start_mark = injected_now () in
   let fault_mark = ref start_mark in
@@ -167,7 +185,12 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
         let resume = Session.rollback s cp in
         let wasted = before -. Session.latency_ms s in
         incr attempts;
-        let delay = config.backoff_ms *. (2.0 ** float_of_int (!attempts - 1)) in
+        let raw = config.backoff_ms *. (2.0 ** float_of_int (!attempts - 1)) in
+        let delay = Float.min raw config.max_backoff_ms in
+        if delay < raw then begin
+          incr capped;
+          Obs.metric_incr "recovery_backoff_capped_total"
+        end;
         Session.charge_ms s delay;
         backoff_total := !backoff_total +. delay;
         let prev = Option.value ~default:0.0 (Hashtbl.find_opt recovery_ms kind) in
@@ -335,6 +358,7 @@ let run ?(config = default) ?trace ?region_of ?noise ev g env =
       evictions = !evictions;
       checkpoint_bytes_peak = !bytes_peak;
       backoff_ms_total = !backoff_total;
+      capped_backoffs = !capped;
       recovery_ms_by_kind =
         List.sort compare
           (Hashtbl.fold (fun k v acc -> (k, v) :: acc) recovery_ms [] (* det-ok: sorted *));

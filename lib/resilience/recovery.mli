@@ -46,7 +46,12 @@ type config = {
           (re-raising, or panic-refreshing a noise violation). *)
   backoff_ms : float;
       (** Base retry delay, charged to the simulated clock; attempt [k]
-          waits [backoff_ms * 2^(k-1)]. *)
+          waits [backoff_ms * 2^(k-1)], clipped to [max_backoff_ms]. *)
+  max_backoff_ms : float;
+      (** Ceiling on a single backoff delay.  Unbounded doubling can blow
+          past any request deadline; serving callers set this from their
+          SLO.  Clipped backoffs are counted in {!stats.capped_backoffs}
+          and in the [recovery_backoff_capped_total] metric. *)
   checkpoint_budget_bytes : float option;
       (** Total bytes of retained checkpoints; [None] derives
           [2 * Liveness.peak_bytes] from the graph.  At least one
@@ -63,7 +68,9 @@ type config = {
 }
 
 val default : config
-(** [max_attempts = 3], [backoff_ms = 5.0], derived budget,
+(** [max_attempts = 3], [backoff_ms = 5.0], [max_backoff_ms = 80.0] (never
+    reached by the default three attempts, whose largest delay is 20 ms —
+    existing pinned campaigns are unchanged), derived budget,
     [noise_floor_bits = 6.0], [noise_slack_bits = 12.0]. *)
 
 type stats = {
@@ -74,6 +81,8 @@ type stats = {
   evictions : int;  (** Checkpoints dropped to stay under the budget. *)
   checkpoint_bytes_peak : float;  (** Peak retained checkpoint bytes. *)
   backoff_ms_total : float;  (** Simulated backoff charged by retries. *)
+  capped_backoffs : int;
+      (** Backoff delays clipped by {!config.max_backoff_ms}. *)
   recovery_ms_by_kind : (string * float) list;
       (** Simulated latency spent recovering (wasted re-execution +
           backoff), attributed to the fault kind blamed for each retry
@@ -86,6 +95,17 @@ type stats = {
           the run finished, ascending — shows which spans the value-based
           eviction chose to keep guarding. *)
 }
+
+val accounting_json :
+  recovery_ms_by_kind:(string * float) list ->
+  backoff_ms_total:float ->
+  capped_backoffs:int ->
+  Obs.Json.t
+(** The shared recovery-accounting JSON schema:
+    [{"recovery_ms_by_kind": {...}, "backoff_ms_total": f,
+    "capped_backoffs": n}].  Chaos campaign reports and serving campaign
+    reports both render their (possibly merged) recovery accounting
+    through this one function, so the two stay field-compatible. *)
 
 val run :
   ?config:config ->

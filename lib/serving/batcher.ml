@@ -1,0 +1,63 @@
+type request = {
+  rid : int;
+  arrival_ms : float;
+  deadline_ms : float;
+  payload : float array;
+}
+
+type t = { capacity : int; max_wait_ms : float }
+
+let create ~capacity ~max_wait_ms =
+  if capacity < 1 then invalid_arg "Batcher.create: capacity below 1";
+  if max_wait_ms < 0.0 then invalid_arg "Batcher.create: negative max_wait_ms";
+  { capacity; max_wait_ms }
+
+let capacity prm ~dim ~max_batch =
+  if dim < 1 then invalid_arg "Batcher.capacity: dim below 1";
+  max 1 (min max_batch (Ckks.Params.slot_count prm / dim))
+
+type decision =
+  | Dispatch of request list * request list
+  | Wait_until of float
+  | Idle
+
+let rec take n = function
+  | [] -> ([], [])
+  | l when n = 0 -> ([], l)
+  | x :: tl ->
+      let hd, rest = take (n - 1) tl in
+      (x :: hd, rest)
+
+let decide t ~now ?cap ~next_arrival pending =
+  let cap =
+    match cap with None -> t.capacity | Some c -> max 1 (min c t.capacity)
+  in
+  match pending with
+  | [] -> Idle
+  | oldest :: _ ->
+      if List.length pending >= cap then
+        let members, rest = take cap pending in
+        Dispatch (members, rest)
+      else
+        let due = oldest.arrival_ms +. t.max_wait_ms in
+        if now >= due then Dispatch (pending, [])
+        else
+          (* A new arrival before the due time may top the batch up, so
+             wake at whichever comes first. *)
+          Wait_until
+            (match next_arrival with
+            | Some a when a <= due -> a
+            | _ -> due)
+
+let pack ~dim ~slots requests =
+  let wide = Array.make slots 0.0 in
+  List.iteri
+    (fun i r ->
+      if (i + 1) * dim > slots then
+        invalid_arg "Batcher.pack: batch does not fit the slot vector";
+      Array.blit r.payload 0 wide (i * dim) (min dim (Array.length r.payload)))
+    requests;
+  wide
+
+let unpack ~dim ~count ct =
+  List.init count (fun i -> Ckks.Ciphertext.slice ct ~off:(i * dim) ~len:dim)

@@ -1,0 +1,59 @@
+(** Slot batching: packing pending requests into the unused CKKS slots of
+    one inference.
+
+    The paper's packing model is one image per ciphertext; the serving
+    layer exploits the slots that model leaves empty (a 16-pixel request
+    uses 16 of 32768 slots) by laying requests out in blocks — request
+    [b]'s [dim]-length payload occupies slots [[b*dim, (b+1)*dim)] of a
+    shared input vector — so one supervised inference serves a whole
+    batch at the simulated cost of a solo run.  This is the SIMD
+    amortisation BTS and FAB build FHE serving economics on.
+
+    The block layout is an accounting-grade simulation: rotations inside
+    the evaluated graph cross block boundaries, which a production
+    deployment would mask off per block.  Latency, scheduling, and
+    recovery accounting — what the serving layer measures — are
+    unaffected; per-request numerical fidelity is out of scope (see
+    ROADMAP). *)
+
+type request = {
+  rid : int;  (** Dense request id, also the index into campaign arrays. *)
+  arrival_ms : float;  (** Simulated arrival time. *)
+  deadline_ms : float;  (** Absolute completion deadline ([arrival + SLO]). *)
+  payload : float array;  (** The [dim]-length input image. *)
+}
+
+type t = { capacity : int; max_wait_ms : float }
+
+val create : capacity:int -> max_wait_ms:float -> t
+(** [capacity] is the most requests one batch packs; [max_wait_ms] bounds
+    how long the oldest pending request waits for the batch to fill.
+    @raise Invalid_argument on a capacity below 1 or a negative wait. *)
+
+val capacity : Ckks.Params.t -> dim:int -> max_batch:int -> int
+(** How many [dim]-slot blocks fit: [max 1 (min max_batch (slot_count / dim))]. *)
+
+type decision =
+  | Dispatch of request list * request list
+      (** [(members, still_pending)]: run [members] now. *)
+  | Wait_until of float
+      (** Nothing to run yet; the next decision point (the batch's due
+          time, or an earlier arrival that may top the batch up).  Always
+          strictly after [now] when the queue was drained first. *)
+  | Idle  (** No pending requests. *)
+
+val decide :
+  t -> now:float -> ?cap:int -> next_arrival:float option -> request list -> decision
+(** Batch-formation policy over the pending queue (oldest first): dispatch
+    a full batch immediately; dispatch a partial batch once the oldest
+    request has waited [max_wait_ms]; otherwise wait.  [cap] shrinks the
+    effective capacity (clamped to [[1, capacity]]) — the circuit
+    breaker's degraded mode. *)
+
+val pack : dim:int -> slots:int -> request list -> float array
+(** Block-layout the payloads into a [slots]-length vector (zero-padded).
+    @raise Invalid_argument when the batch does not fit. *)
+
+val unpack : dim:int -> count:int -> Ckks.Ciphertext.t -> float array list
+(** Extract the [count] per-request result blocks from a shared output
+    ciphertext ({!Ckks.Ciphertext.slice}). *)

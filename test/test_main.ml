@@ -22,6 +22,7 @@ let () =
       ("waterline", Test_waterline.suite);
       ("coverage", Test_coverage.suite);
       ("resilience", Test_resilience.suite);
+      ("serving", Test_serving.suite);
       ("parallel-cache", Test_parallel_cache.suite);
       ("flight", Test_flight.suite);
       ("explain", Test_explain.suite);

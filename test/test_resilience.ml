@@ -319,6 +319,39 @@ let recovery_survives_noise_spike () =
   checkb "output within noise of the reference" true
     (max_delta reference.Interp.outputs result.Interp.outputs < 1e-4)
 
+let backoff_is_capped_and_counted () =
+  let p, managed, env, region_of = fig1_compiled () in
+  let inj =
+    Ckks.Fault.create
+      {
+        Ckks.Fault.seed = 42L;
+        rules = [ Ckks.Fault.rule Ckks.Fault.Transient ~prob:1.0 ~mag:0.0 ];
+        budget = 3;
+      }
+  in
+  let config =
+    {
+      Resilience.Recovery.default with
+      Resilience.Recovery.max_attempts = 4;
+      backoff_ms = 10.0;
+      max_backoff_ms = 15.0;
+    }
+  in
+  let m = Obs.Metrics.create () in
+  let _, stats =
+    Obs.with_metrics m (fun () ->
+        Ckks.Fault.with_faults inj (fun () ->
+            Resilience.Recovery.run ~config ~region_of
+              (Ckks.Evaluator.create ~seed:9L p) managed env))
+  in
+  checkb "enough rollbacks to hit the cap" true (stats.Resilience.Recovery.retries >= 2);
+  checkb "capped backoffs counted" true (stats.Resilience.Recovery.capped_backoffs >= 1);
+  checkb "total backoff respects the cap" true
+    (stats.Resilience.Recovery.backoff_ms_total
+    <= 15.0 *. float_of_int stats.Resilience.Recovery.retries);
+  checki "cap hits exported as a metric" stats.Resilience.Recovery.capped_backoffs
+    (Obs.Metrics.counter_value m "recovery_backoff_capped_total")
+
 let panic_refresh_when_retries_disabled () =
   let p, managed, env, region_of = fig1_compiled () in
   let reference = Interp.run (Ckks.Evaluator.create ~seed:9L p) managed env in
@@ -593,7 +626,19 @@ let chaos_campaign_recovers () =
     ms.Resilience.Chaos.clean_identical;
   checkb "faulted trials recover" true (r.Resilience.Chaos.overall_recovery_rate >= 0.95);
   checki "trials counted" 8
-    (Obs.Metrics.counter_value ~labels:[ ("model", "tiny") ] m "chaos_trials_total")
+    (Obs.Metrics.counter_value ~labels:[ ("model", "tiny") ] m "chaos_trials_total");
+  (* The report shares the serving recovery-accounting schema at every
+     level: trial, model, and campaign JSON all carry a "recovery" object. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let rendered = Obs.Json.to_string (Resilience.Chaos.to_json r) in
+  List.iter
+    (fun key -> checkb (key ^ " in chaos JSON") true (contains rendered key))
+    [ "\"recovery\""; "\"recovery_ms_by_kind\""; "\"backoff_ms_total\""; "\"capped_backoffs\"" ];
+  checkb "campaign-level backoff aggregated" true (r.Resilience.Chaos.backoff_ms_total >= 0.0)
 
 let suite =
   [
@@ -609,6 +654,7 @@ let suite =
     case "injections leave fault trace instants" injection_leaves_trace_instant;
     case "recovery survives an injected transient" recovery_survives_transient;
     case "recovery survives a noise spike" recovery_survives_noise_spike;
+    case "exponential backoff is capped and counted" backoff_is_capped_and_counted;
     case "panic refresh repairs noise when retries are off"
       panic_refresh_when_retries_disabled;
     case "checkpoint eviction respects the byte budget"
